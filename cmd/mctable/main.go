@@ -1,0 +1,27 @@
+// Command mctable regenerates BMBP's rare-event run-length lookup table by
+// Monte Carlo simulation of autocorrelated log-normal series (Section 4.1
+// of the paper). The output is the source for core.DefaultRareEventTable.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/mc"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	steps := flag.Int("steps", 2_000_000, "series length per phi")
+	flag.Parse()
+	pts := mc.Build(mc.Config{Seed: *seed, Steps: *steps})
+	fmt.Println("phi  rawACF  threshold  P(run>=1)  P(run>=2)  P(run>=3)  P(run>=4)  P(run>=6)  P(run>=8)")
+	for _, p := range pts {
+		fmt.Printf("%.2f %7.3f %6d %12.5f %10.6f %10.6f %10.6f %10.6f %10.6f\n",
+			p.Phi, p.RawACF, p.Threshold, p.RunProbs[0], p.RunProbs[1], p.RunProbs[2], p.RunProbs[3], p.RunProbs[5], p.RunProbs[7])
+	}
+	fmt.Println("\ncore.RareEventTable literal:")
+	for _, e := range mc.TableFromPoints(pts) {
+		fmt.Printf("\t{MaxAutocorr: %.3f, Threshold: %d},\n", e.MaxAutocorr, e.Threshold)
+	}
+}

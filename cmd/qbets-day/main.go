@@ -1,0 +1,137 @@
+// Command qbets-day reproduces the paper's time-resolved results: the
+// Table 8 "day in the life" quantile profile and the Figure 1 and Figure 2
+// predicted-bound series.
+//
+// Usage:
+//
+//	qbets-day -table 8              # Table 8 (datastar/normal, May 5 2004)
+//	qbets-day -figure 1             # Figure 1 series as CSV + sparkline
+//	qbets-day -figure 2             # Figure 2 series as CSV + sparkline
+//	qbets-day                       # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qbets-day: ")
+	var (
+		table  = flag.Int("table", 0, "print table 8 only")
+		figure = flag.Int("figure", 0, "print one figure (1 or 2) only")
+		seed   = flag.Int64("seed", 42, "synthetic workload seed")
+		csv    = flag.Bool("csv", false, "emit figure series as CSV instead of sparklines")
+		pngDir = flag.String("png", "", "also write the figures as PNG files into this directory")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed}
+
+	all := *table == 0 && *figure == 0
+	if all || *table == 8 {
+		printTable8(cfg)
+	}
+	if all || *figure == 1 {
+		printFigure(cfg, 1, *csv)
+		writePNG(cfg, 1, *pngDir)
+	}
+	if all || *figure == 2 {
+		printFigure(cfg, 2, *csv)
+		writePNG(cfg, 2, *pngDir)
+	}
+}
+
+// writePNG renders a figure into dir as figure<n>.png.
+func writePNG(cfg experiments.Config, n int, dir string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	var series []report.Series
+	title := ""
+	if n == 1 {
+		series = experiments.Figure1(cfg)
+		title = "figure 1: 0.95-quantile bounds, feb 24 2005"
+	} else {
+		series = experiments.Figure2(cfg)
+		title = "figure 2: datastar normal by procs, june 2004"
+	}
+	path := filepath.Join(dir, fmt.Sprintf("figure%d.png", n))
+	if err := plot.RenderFile(path, plot.Config{LogY: true, Title: title}, series...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", path)
+}
+
+func printTable8(cfg experiments.Config) {
+	rows := experiments.Table8(cfg)
+	tbl := report.NewTable(
+		"Table 8 — one day in the life of datastar/normal (May 5, 2004): 95%-confidence quantile bounds, seconds",
+		"time", ".25 quantile (lower)", ".5 quantile", ".75 quantile", ".95 quantile",
+	)
+	for _, r := range rows {
+		tbl.AddRow(
+			time.Unix(r.Time, 0).UTC().Format("15:04"),
+			report.Seconds(r.Q25Lower),
+			report.Seconds(r.Q50),
+			report.Seconds(r.Q75),
+			report.Seconds(r.Q95),
+		)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+func printFigure(cfg experiments.Config, n int, csv bool) {
+	var series []report.Series
+	var title string
+	switch n {
+	case 1:
+		series = experiments.Figure1(cfg)
+		title = "Figure 1 — predicted 0.95-quantile upper bounds, Feb 24 2005 (5-minute samples, seconds)"
+	case 2:
+		series = experiments.Figure2(cfg)
+		title = "Figure 2 — datastar/normal bounds by processor count, June 2004 (6-hour samples, seconds)"
+	default:
+		log.Fatalf("unknown figure %d", n)
+	}
+	if csv {
+		if err := report.RenderSeries(os.Stdout, title, series...); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Println(title)
+	for _, s := range series {
+		lo, hi := minMax(s.Values)
+		fmt.Printf("  %-22s [%8.0fs .. %8.0fs]  %s\n", s.Label, lo, hi, report.Sparkline(s.Values))
+	}
+	fmt.Println()
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

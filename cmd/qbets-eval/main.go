@@ -1,0 +1,206 @@
+// Command qbets-eval reproduces the paper's evaluation tables: the by-queue
+// correctness and accuracy comparisons (Tables 3 and 4) and the
+// by-processor-count breakdowns (Tables 5, 6, and 7). Reproduced values are
+// printed beside the paper's published numbers; an asterisk marks a method
+// that failed to reach the 0.95 correct fraction, exactly as in the paper.
+//
+// Usage:
+//
+//	qbets-eval                          # all tables
+//	qbets-eval -table 3                 # one table (3, 4, 5, 6, or 7)
+//	qbets-eval -extended                # beyond-paper comparator field
+//	qbets-eval -sweep                   # quantile/confidence grid
+//	qbets-eval -autocat datastar/normal # fixed vs learned job categories
+//	qbets-eval -seed 7                  # different synthetic-workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qbets-eval: ")
+	var (
+		table    = flag.Int("table", 0, "print only this table (3-7); 0 = all")
+		extended = flag.Bool("extended", false, "also run the beyond-paper comparator field (log-uniform, running-max, empirical)")
+		sweep    = flag.Bool("sweep", false, "run the quantile/confidence sweep (Section 5's 'several combinations')")
+		autocat  = flag.String("autocat", "", "compare merged vs fixed-bucket vs learned categories on machine/queue (e.g. datastar/normal)")
+		seed     = flag.Int64("seed", 42, "synthetic workload seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed}
+
+	if *autocat != "" {
+		printAutoCat(cfg, *autocat)
+		if *table == 0 && !*extended && !*sweep {
+			return
+		}
+	}
+	if *sweep {
+		printSweep(cfg)
+		if *table == 0 && !*extended {
+			return
+		}
+	}
+	if *extended {
+		printExtended(cfg)
+		if *table == 0 {
+			return
+		}
+	}
+
+	if *table == 0 || *table == 3 || *table == 4 {
+		rows := experiments.Table34(cfg)
+		if *table == 0 || *table == 3 {
+			printTable3(rows)
+		}
+		if *table == 0 || *table == 4 {
+			printTable4(rows)
+		}
+	}
+	if *table == 0 || *table >= 5 {
+		rows := experiments.Table567(cfg)
+		if *table == 0 || *table == 5 {
+			printTable567(rows, "Table 5 — BMBP correct fraction by queue and processor count",
+				func(r experiments.Table567Row) [4]float64 { return r.BMBP })
+		}
+		if *table == 0 || *table == 6 {
+			printTable567(rows, "Table 6 — log-normal (no trimming) correct fraction by queue and processor count",
+				func(r experiments.Table567Row) [4]float64 { return r.LogNoTrim })
+		}
+		if *table == 0 || *table == 7 {
+			printTable567(rows, "Table 7 — log-normal (with trimming) correct fraction by queue and processor count",
+				func(r experiments.Table567Row) [4]float64 { return r.LogTrim })
+		}
+	}
+	if *table != 0 && (*table < 3 || *table > 7) {
+		log.Fatalf("unknown table %d (have 3-7)", *table)
+	}
+}
+
+func printTable3(rows []experiments.Table34Row) {
+	tbl := report.NewTable(
+		"Table 3 — fraction of correct 0.95-quantile/95%-confidence bounds per queue (paper values in parens; '*' = below 0.95)",
+		"machine", "queue", "bmbp", "(paper)", "logn-notrim", "(paper)", "logn-trim", "(paper)",
+	)
+	for _, r := range rows {
+		tbl.AddRow(r.Machine, r.Queue,
+			report.Frac(r.BMBP.CorrectFraction, 0.95), report.Frac(r.PaperBMBP, 0.95),
+			report.Frac(r.LogNoTrim.CorrectFraction, 0.95), report.Frac(r.PaperLogNoTrim, 0.95),
+			report.Frac(r.LogTrim.CorrectFraction, 0.95), report.Frac(r.PaperLogTrim, 0.95),
+		)
+	}
+	render(tbl)
+}
+
+func printTable4(rows []experiments.Table34Row) {
+	tbl := report.NewTable(
+		"Table 4 — median ratio of actual over predicted wait (accuracy; higher = tighter bound)",
+		"machine", "queue", "bmbp", "(paper)", "logn-notrim", "(paper)", "logn-trim", "(paper)",
+	)
+	for _, r := range rows {
+		tbl.AddRow(r.Machine, r.Queue,
+			report.Sci(r.BMBP.MedianRatio), report.Sci(r.PaperBMBPRatio),
+			report.Sci(r.LogNoTrim.MedianRatio), report.Sci(r.PaperNoTrimRatio),
+			report.Sci(r.LogTrim.MedianRatio), report.Sci(r.PaperTrimRatio),
+		)
+	}
+	render(tbl)
+}
+
+func printTable567(rows []experiments.Table567Row, title string, pick func(experiments.Table567Row) [4]float64) {
+	tbl := report.NewTable(title, "machine", "queue", "1-4", "5-16", "17-64", "65+")
+	for _, r := range rows {
+		vals := pick(r)
+		cells := []string{r.Machine, r.Queue}
+		for _, b := range trace.AllBuckets {
+			cells = append(cells, report.FracOrDash(vals[b], 0.95))
+		}
+		tbl.AddRow(cells...)
+	}
+	render(tbl)
+}
+
+func printAutoCat(cfg experiments.Config, name string) {
+	machine, queue, ok := strings.Cut(name, "/")
+	if !ok {
+		log.Fatalf("-autocat wants machine/queue, got %q", name)
+	}
+	results := experiments.AutoCategories(cfg, machine, queue)
+	if results == nil {
+		log.Fatalf("unknown queue %q", name)
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Job-category strategies on %s — merged vs fixed buckets vs learned clusters", name),
+		"strategy", "categories", "scored", "correct", "median ratio", "mean ratio",
+	)
+	for _, r := range results {
+		tbl.AddRow(r.Strategy,
+			fmt.Sprintf("%d", r.Categories),
+			fmt.Sprintf("%d", r.Scored),
+			report.Frac(r.CorrectFraction, 0.95),
+			report.Sci(r.MedianRatio),
+			report.Sci(r.MeanRatio),
+		)
+	}
+	render(tbl)
+}
+
+func printSweep(cfg experiments.Config) {
+	points := experiments.SweepQC(cfg)
+	tbl := report.NewTable(
+		"Quantile/confidence sweep — BMBP correct fraction (target = the quantile itself)",
+		"machine", "queue", "quantile", "confidence", "correct", "scored",
+	)
+	for _, pt := range points {
+		tbl.AddRow(pt.Machine, pt.Queue,
+			fmt.Sprintf("%.2f", pt.Quantile),
+			fmt.Sprintf("%.2f", pt.Confidence),
+			report.Frac(pt.CorrectFraction, pt.Quantile),
+			fmt.Sprintf("%d", pt.Scored),
+		)
+	}
+	render(tbl)
+}
+
+func printExtended(cfg experiments.Config) {
+	rows := experiments.Extended(cfg)
+	tbl := report.NewTable(
+		"Extended comparison — correct fraction per queue, all methods ('*' = below 0.95)",
+		append([]string{"machine", "queue"}, experiments.ExtendedMethods...)...,
+	)
+	for _, r := range rows {
+		cells := []string{r.Machine, r.Queue}
+		for _, o := range r.Outcomes {
+			cells = append(cells, report.Frac(o.CorrectFraction, 0.95))
+		}
+		tbl.AddRow(cells...)
+	}
+	render(tbl)
+
+	sums := experiments.SummarizeExtended(rows)
+	stbl := report.NewTable(
+		"Extended summary — queues correct (of 32) and median accuracy ratio per method",
+		"method", "queues-correct", "median-accuracy-ratio",
+	)
+	for _, s := range sums {
+		stbl.AddRow(s.Method, fmt.Sprintf("%d/%d", s.QueuesCorrect, s.QueuesTotal), report.Sci(s.MedianOfRatios))
+	}
+	render(stbl)
+}
+
+func render(tbl *report.Table) {
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

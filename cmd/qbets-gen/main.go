@@ -1,0 +1,130 @@
+// Command qbets-gen generates the calibrated synthetic trace suite (all 39
+// machine/queue logs of the paper's Table 1) or a scheduler-emergent trace,
+// and can print the regenerated Table 1 summary.
+//
+// Usage:
+//
+//	qbets-gen -summary                 # print Table 1 (generated vs paper)
+//	qbets-gen -out traces/             # write all 39 traces as text files
+//	qbets-gen -queue datastar/normal -out traces/
+//	qbets-gen -scheduler -jobs 50000 -out traces/   # emergent traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/scheduler"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qbets-gen: ")
+	var (
+		summary   = flag.Bool("summary", false, "print the regenerated Table 1 next to the paper's values")
+		out       = flag.String("out", "", "directory to write trace files into")
+		queue     = flag.String("queue", "", "generate a single machine/queue (e.g. datastar/normal)")
+		seed      = flag.Int64("seed", 42, "generation seed")
+		schedMode = flag.Bool("scheduler", false, "generate traces from the batch-scheduler substrate instead of the calibrated generator")
+		jobs      = flag.Int("jobs", 30000, "job count for -scheduler")
+		swf       = flag.Bool("swf", false, "write traces in Standard Workload Format instead of the native text format")
+	)
+	flag.Parse()
+
+	switch {
+	case *summary:
+		printSummary(*seed)
+	case *schedMode:
+		if *out == "" {
+			log.Fatal("-scheduler requires -out")
+		}
+		writeSchedulerTraces(*out, *jobs, *seed)
+	case *out != "":
+		writeTraces(*out, *queue, *seed, *swf)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printSummary(seed int64) {
+	rows := experiments.Table1(experiments.Config{Seed: seed})
+	tbl := report.NewTable(
+		"Table 1 — job submittal traces: generated (calibrated synthetic) vs paper (seconds)",
+		"machine", "queue", "jobs", "mean", "mean(paper)", "median", "median(paper)", "stddev", "stddev(paper)",
+	)
+	for _, r := range rows {
+		tbl.AddRow(
+			r.Machine, r.Queue,
+			fmt.Sprintf("%d", r.Generated.Count),
+			fmt.Sprintf("%.0f", r.Generated.Mean), fmt.Sprintf("%.0f", r.Paper.Mean),
+			fmt.Sprintf("%.0f", r.Generated.Median), fmt.Sprintf("%.0f", r.Paper.Median),
+			fmt.Sprintf("%.0f", r.Generated.StdDev), fmt.Sprintf("%.0f", r.Paper.StdDev),
+		)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeTraces(dir, only string, seed int64, asSWF bool) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	written := 0
+	for i := range trace.PaperQueues {
+		p := &trace.PaperQueues[i]
+		if only != "" && p.Name() != only {
+			continue
+		}
+		t := workload.ModelFor(p, seed+int64(i)*7919).Generate()
+		base := strings.ReplaceAll(p.Name(), "/", "_")
+		var path string
+		var err error
+		if asSWF {
+			path = filepath.Join(dir, base+".swf")
+			err = trace.WriteSWFFile(path, t)
+		} else {
+			path = filepath.Join(dir, base+".trace")
+			err = trace.WriteFile(path, t)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d jobs)\n", path, t.Len())
+		written++
+	}
+	if written == 0 {
+		log.Fatalf("no queue matched %q", only)
+	}
+}
+
+func writeSchedulerTraces(dir string, jobs int, seed int64) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	stream := scheduler.GenerateJobs(scheduler.WorkloadConfig{Jobs: jobs, Seed: seed})
+	res, err := scheduler.Run(scheduler.DefaultMachine(), stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %d jobs: utilization %.2f, %d backfilled\n",
+		len(res.Jobs), res.Utilization, res.Backfilled)
+	for _, q := range []string{"high", "normal", "low"} {
+		t := res.Trace("sim128", q)
+		path := filepath.Join(dir, "sim128_"+q+".trace")
+		if err := trace.WriteFile(path, t); err != nil {
+			log.Fatal(err)
+		}
+		s := t.Summary()
+		fmt.Printf("wrote %s (%d jobs, mean wait %.0fs, median %.0fs)\n", path, s.Count, s.Mean, s.Median)
+	}
+}

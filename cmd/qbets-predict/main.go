@@ -1,0 +1,159 @@
+// Command qbets-predict is the deployable prediction tool: it replays a
+// batch-queue trace file (the periodic scheduler-log dumps a live
+// installation would feed it) and reports the bound a submitting user would
+// have been quoted, along with the realized correctness statistics.
+//
+// Usage:
+//
+//	qbets-predict -trace traces/datastar_normal.trace
+//	qbets-predict -trace q.trace -quantile 0.9 -confidence 0.99
+//	qbets-predict -trace q.trace -by-procs       # per processor category
+//	qbets-predict -trace q.trace -compare        # BMBP vs log-normal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/qbets"
+)
+
+// readSWFQueue loads one queue of a Standard Workload Format archive log.
+func readSWFQueue(path, queue string) (qbets.Trace, error) {
+	traces, _, err := trace.ReadSWFFile(path, trace.SWFOptions{
+		MergeQueues: queue == "all",
+	})
+	if err != nil {
+		return qbets.Trace{}, err
+	}
+	var names []string
+	for _, it := range traces {
+		names = append(names, it.Queue)
+		if it.Queue != queue {
+			continue
+		}
+		out := qbets.Trace{Machine: it.Machine, Queue: it.Queue}
+		for _, j := range it.Jobs {
+			out.Jobs = append(out.Jobs, qbets.Job{Submit: j.Submit, WaitSeconds: j.Wait, Procs: j.Procs})
+		}
+		return out, nil
+	}
+	return qbets.Trace{}, fmt.Errorf("queue %q not in SWF log (have: %s)", queue, strings.Join(names, ", "))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qbets-predict: ")
+	var (
+		tracePath  = flag.String("trace", "", "trace file to replay (required)")
+		swfQueue   = flag.String("swf-queue", "", "treat -trace as a Standard Workload Format log and replay this queue name (\"all\" merges queues)")
+		quantile   = flag.Float64("quantile", 0.95, "quantile of queue delay to bound")
+		confidence = flag.Float64("confidence", 0.95, "confidence level of the bound")
+		byProcs    = flag.Bool("by-procs", false, "maintain one predictor per processor-count category")
+		compare    = flag.Bool("compare", false, "evaluate BMBP against the log-normal comparators")
+		every      = flag.Int("every", 0, "print a live forecast every N jobs (0 = final summary only)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var tr qbets.Trace
+	var err error
+	if *swfQueue != "" {
+		tr, err = readSWFQueue(*tracePath, *swfQueue)
+	} else {
+		tr, err = qbets.ReadTraceFile(*tracePath)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace %s/%s: %d jobs\n", tr.Machine, tr.Queue, len(tr.Jobs))
+
+	if *compare {
+		// A fit diagnostic first: if the data rejects log-normality, the
+		// parametric comparator is structurally handicapped.
+		diag := qbets.New(qbets.WithoutTrimming())
+		for _, j := range tr.Jobs {
+			diag.Observe(j.WaitSeconds)
+		}
+		if d, p := diag.FitDiagnostic(); !math.IsNaN(d) {
+			verdict := "plausible"
+			if p < 0.01 {
+				verdict = "rejected (heavy contamination or nonstationarity)"
+			}
+			fmt.Printf("log-normal fit: KS distance %.3f, p %.2g — %s\n", d, p, verdict)
+		}
+		reports := qbets.Evaluate(tr, qbets.EvalConfig{Quantile: *quantile, Confidence: *confidence})
+		tbl := report.NewTable(
+			fmt.Sprintf("replayed evaluation (%.2f quantile at %.0f%% confidence)", *quantile, *confidence*100),
+			"method", "scored", "correct", "fraction", "median actual/predicted", "change points",
+		)
+		for _, r := range reports {
+			tbl.AddRow(r.Method,
+				fmt.Sprintf("%d", r.Scored),
+				fmt.Sprintf("%d", r.Correct),
+				report.Frac(r.CorrectFraction, *confidence),
+				report.Sci(r.MedianRatio),
+				fmt.Sprintf("%d", r.ChangePoints),
+			)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	replayLive(tr, *quantile, *confidence, *byProcs, *every)
+}
+
+// replayLive streams the trace through a Service in release order, quoting
+// a bound for every submission and scoring it, printing periodic status.
+func replayLive(tr qbets.Trace, q, c float64, byProcs bool, every int) {
+	svc := qbets.NewService(byProcs, qbets.WithQuantile(q), qbets.WithConfidence(c))
+	type rel struct {
+		t     int64
+		procs int
+		w     float64
+	}
+	var pending []rel
+	scored, correct := 0, 0
+	for i, job := range tr.Jobs {
+		// Make released waits visible.
+		keep := pending[:0]
+		for _, r := range pending {
+			if r.t <= job.Submit {
+				svc.Observe(tr.Queue, r.procs, r.w)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		pending = append(keep, rel{job.Submit + int64(job.WaitSeconds), job.Procs, job.WaitSeconds})
+
+		bound, ok := svc.Forecast(tr.Queue, job.Procs)
+		if ok {
+			scored++
+			if job.WaitSeconds <= bound {
+				correct++
+			}
+		}
+		if every > 0 && i%every == 0 && ok {
+			fmt.Printf("job %7d  procs %4d  quoted bound %10.0fs  actual wait %10.0fs\n",
+				i, job.Procs, bound, job.WaitSeconds)
+		}
+	}
+	frac := 1.0
+	if scored > 0 {
+		frac = float64(correct) / float64(scored)
+	}
+	fmt.Printf("quoted %d bounds; %d correct (%.3f, target %.2f)\n", scored, correct, frac, q)
+	for _, k := range svc.Queues() {
+		fmt.Printf("  stream %s\n", k)
+	}
+}

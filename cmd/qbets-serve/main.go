@@ -1,0 +1,80 @@
+// Command qbets-serve runs the prediction service over HTTP: a live
+// installation feeds it periodic scheduler-log dumps and users (or a
+// metascheduler) query worst-case bounds before submitting — the
+// deployment the paper describes as the method's purpose.
+//
+//	qbets-serve -addr :8080 -by-procs
+//
+//	curl -XPOST localhost:8080/v1/observe \
+//	     -d '{"queue":"normal","procs":8,"wait_seconds":123}'
+//	curl 'localhost:8080/v1/forecast?queue=normal&procs=8'
+//	curl 'localhost:8080/v1/profile?queue=normal&procs=8'
+//	curl 'localhost:8080/v1/status'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/qbets"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qbets-serve: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		byProcs    = flag.Bool("by-procs", true, "one predictor per queue × processor category")
+		quantile   = flag.Float64("quantile", 0.95, "quantile of queue delay to bound")
+		confidence = flag.Float64("confidence", 0.95, "confidence level of the bound")
+		statePath  = flag.String("state", "", "state file: loaded at startup if present, saved periodically and on shutdown")
+		saveEvery  = flag.Duration("save-interval", 5*time.Minute, "state save period (with -state)")
+	)
+	flag.Parse()
+
+	server := qbets.NewServer(*byProcs,
+		qbets.WithQuantile(*quantile),
+		qbets.WithConfidence(*confidence),
+	)
+	if *statePath != "" {
+		switch err := server.LoadFile(*statePath); {
+		case err == nil:
+			log.Printf("restored state from %s", *statePath)
+		case os.IsNotExist(err):
+			log.Printf("no state at %s yet; starting fresh", *statePath)
+		default:
+			log.Fatalf("loading %s: %v", *statePath, err)
+		}
+		go func() {
+			for range time.Tick(*saveEvery) {
+				if err := server.SaveFile(*statePath); err != nil {
+					log.Printf("state save failed: %v", err)
+				}
+			}
+		}()
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			if err := server.SaveFile(*statePath); err != nil {
+				log.Printf("final state save failed: %v", err)
+			}
+			os.Exit(0)
+		}()
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           server,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("listening on %s (quantile %.2f, confidence %.2f, by-procs %v)",
+		*addr, *quantile, *confidence, *byProcs)
+	if err := httpServer.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of Brevik, Nurmi, and
+// Wolski, "Predicting Bounds on Queuing Delay in Space-shared Computing
+// Environments" (IISWC 2006; UCSB TR CS2005-09).
+//
+// The public API lives in the qbets subpackage. The implementation —
+// statistics, the BMBP predictor, the log-normal comparators, the
+// trace-replay evaluation simulator, the calibrated synthetic workload
+// suite, and the batch-scheduler substrate — lives under internal/. The
+// benchmark harness in bench_test.go regenerates every table and figure of
+// the paper's evaluation; cmd/ holds the runnable tools.
+package repro

@@ -1,0 +1,66 @@
+// Quickstart: feed a Forecaster historical queue waits, get an upper bound
+// on the delay the next job will suffer, with 95% confidence on the 0.95
+// quantile — the paper's headline capability.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/qbets"
+)
+
+func main() {
+	f := qbets.New() // 0.95 quantile at 95% confidence, trimming enabled
+
+	// Replay a synthetic history: log-normal waits around 20 minutes with
+	// a heavy tail, the shape every batch queue in the paper's Table 1
+	// exhibits.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		wait := math.Round(math.Exp(math.Log(1200) + 1.5*rng.NormFloat64()))
+		f.Observe(wait)
+	}
+
+	bound, ok := f.Forecast()
+	if !ok {
+		panic("needs at least 59 observations")
+	}
+	fmt.Printf("Observed %d completed jobs (%d change points detected).\n",
+		f.Observations(), f.ChangePoints())
+	fmt.Printf("With 95%% confidence, at most 5%% of submissions will wait more than %.0f s (%.1f h).\n",
+		bound, bound/3600)
+
+	// The same history answers richer questions (the paper's Table 8
+	// profile): how long might a job wait at several likelihoods?
+	fmt.Println("\nQuantile profile (95% confidence):")
+	for _, b := range f.Profile() {
+		side := "no more than"
+		if b.Lower {
+			side = "at least    "
+		}
+		fmt.Printf("  %2.0f%% of jobs wait %s %8.0f s\n", b.Quantile*100, side, b.Seconds)
+	}
+
+	// A submission-time decision: can I expect results within two hours?
+	twoHours := 7200.0
+	q50 := f.ForecastQuantile(0.50, 0.95, false)
+	switch {
+	case bound <= twoHours:
+		fmt.Println("\nEven the worst typical case starts within two hours.")
+	case q50.OK && q50.Seconds <= twoHours:
+		fmt.Println("\nThe median case starts within two hours, but budget for the tail.")
+	default:
+		fmt.Println("\nPlan for a long wait or pick another queue.")
+	}
+
+	// Or ask the inverse question directly: how sure can I be of starting
+	// within a given deadline?
+	for _, deadline := range []float64{600, 3600, 6 * 3600} {
+		if q, ok := f.ProbabilityWithin(deadline); ok {
+			fmt.Printf("with 95%% confidence, at least %2.0f%% of submissions start within %5.0f s\n",
+				q*100, deadline)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Service: run the prediction HTTP service in-process, feed it a
+// scheduler-log dump over the wire, and query forecasts the way a portal
+// or metascheduler would.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/qbets"
+)
+
+func main() {
+	// In production: qbets-serve -addr :8080. Here: an in-process server.
+	srv := httptest.NewServer(qbets.NewServer(true))
+	defer srv.Close()
+
+	// A site cron job POSTs the latest completed jobs every five minutes.
+	rng := rand.New(rand.NewSource(7))
+	var records []qbets.ObserveRecord
+	for i := 0; i < 500; i++ {
+		procs := 1 << rng.Intn(8)
+		lift := 0.4 * math.Log2(float64(procs)) // bigger jobs wait longer
+		records = append(records, qbets.ObserveRecord{
+			Queue:       "normal",
+			Procs:       procs,
+			WaitSeconds: math.Round(math.Exp(math.Log(300) + lift + rng.NormFloat64())),
+		})
+	}
+	body, _ := json.Marshal(records)
+	resp, err := http.Post(srv.URL+"/v1/observe", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("posted %d completed jobs -> %s\n\n", len(records), resp.Status)
+
+	// A user about to submit asks: how long might my job wait, at worst?
+	for _, procs := range []int{1, 8, 32, 128} {
+		r, err := http.Get(fmt.Sprintf("%s/v1/forecast?queue=normal&procs=%d", srv.URL, procs))
+		if err != nil {
+			panic(err)
+		}
+		var fr qbets.ForecastResponse
+		json.NewDecoder(r.Body).Decode(&fr)
+		r.Body.Close()
+		if fr.OK {
+			fmt.Printf("%4d procs: with %.0f%% confidence, at most %.0f%% of jobs wait > %.0f s (history %d)\n",
+				procs, fr.Confidence*100, (1-fr.Quantile)*100, fr.BoundSeconds, fr.Observations)
+		} else {
+			fmt.Printf("%4d procs: not enough history yet (%d observations)\n", procs, fr.Observations)
+		}
+	}
+
+	// The richer profile for one shape.
+	r, err := http.Get(srv.URL + "/v1/profile?queue=normal&procs=8")
+	if err != nil {
+		panic(err)
+	}
+	var prof []qbets.ProfileEntry
+	json.NewDecoder(r.Body).Decode(&prof)
+	r.Body.Close()
+	fmt.Println("\n8-processor profile:")
+	for _, e := range prof {
+		fmt.Printf("  %s bound on the %.0f%% quantile: %8.0f s\n", e.Side, e.Quantile*100, e.Seconds)
+	}
+}

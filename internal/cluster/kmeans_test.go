@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(t *testing.T, seed int64) ([][]float64, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 5}}
+	var points [][]float64
+	var truth []int
+	for c, ctr := range centers {
+		for i := 0; i < 200; i++ {
+			points = append(points, []float64{
+				ctr[0] + rng.NormFloat64(),
+				ctr[1] + rng.NormFloat64(),
+			})
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	points, truth := blobs(t, 1)
+	res := KMeans(points, 3, 7, 100)
+	if len(res.Centers) != 3 {
+		t.Fatalf("centers = %d", len(res.Centers))
+	}
+	// Every true blob maps to exactly one cluster label.
+	label := map[int]int{}
+	for i, a := range res.Assign {
+		if prev, ok := label[truth[i]]; ok {
+			if prev != a {
+				t.Fatalf("blob %d split across clusters", truth[i])
+			}
+		} else {
+			label[truth[i]] = a
+		}
+	}
+	if len(label) != 3 {
+		t.Fatalf("blobs merged: %v", label)
+	}
+	// Inertia should be about 2 per point (two unit-variance dims).
+	perPoint := res.Inertia / float64(len(points))
+	if perPoint > 3 {
+		t.Errorf("inertia per point = %g", perPoint)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	points, _ := blobs(t, 2)
+	a := KMeans(points, 3, 9, 100)
+	b := KMeans(points, 3, 9, 100)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("assignments differ across identical runs")
+		}
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatal("inertia differs")
+	}
+}
+
+func TestKMeansDegenerateInputs(t *testing.T) {
+	if r := KMeans(nil, 3, 1, 10); len(r.Centers) != 0 {
+		t.Error("empty input")
+	}
+	// More clusters than distinct points: k collapses.
+	pts := [][]float64{{1}, {1}, {1}, {2}}
+	r := KMeans(pts, 5, 1, 50)
+	if len(r.Centers) > 2 {
+		t.Errorf("k not clamped: %d centers", len(r.Centers))
+	}
+	if r.Inertia > 1e-9 {
+		t.Errorf("two distinct values should cluster exactly, inertia %g", r.Inertia)
+	}
+	// k=1 returns the centroid.
+	one := KMeans([][]float64{{0}, {4}}, 1, 1, 50)
+	if math.Abs(one.Centers[0][0]-2) > 1e-12 {
+		t.Errorf("k=1 centroid = %v", one.Centers)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	res := Result{Centers: [][]float64{{0}, {10}}}
+	if res.Nearest([]float64{2}) != 0 || res.Nearest([]float64{8}) != 1 {
+		t.Error("nearest lookup")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	pts := [][]float64{{0, 100}, {2, 100}, {4, 100}}
+	scaled, means, sds := Standardize(pts)
+	if means[0] != 2 || means[1] != 100 {
+		t.Errorf("means = %v", means)
+	}
+	// Constant dimension gets sd 1 (centered only).
+	if sds[1] != 1 {
+		t.Errorf("constant-dim sd = %g", sds[1])
+	}
+	// Scaled first dimension has mean 0 and sd 1.
+	var m, v float64
+	for _, p := range scaled {
+		m += p[0]
+	}
+	m /= 3
+	for _, p := range scaled {
+		v += (p[0] - m) * (p[0] - m)
+	}
+	v = math.Sqrt(v / 3)
+	if math.Abs(m) > 1e-12 || math.Abs(v-1) > 1e-12 {
+		t.Errorf("scaled mean %g sd %g", m, v)
+	}
+	// Apply maps consistently.
+	q := Apply([]float64{2, 100}, means, sds)
+	if q[0] != 0 || q[1] != 0 {
+		t.Errorf("Apply = %v", q)
+	}
+	if s, _, _ := Standardize(nil); s != nil {
+		t.Error("empty standardize")
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBMBPDefaults(t *testing.T) {
+	b := New(Config{})
+	cfg := b.Config()
+	if cfg.Quantile != 0.95 || cfg.Confidence != 0.95 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if b.MinHistory() != 59 {
+		t.Fatalf("MinHistory = %d", b.MinHistory())
+	}
+	if b.Name() != "bmbp" {
+		t.Fatal("name")
+	}
+}
+
+func TestBMBPNoBoundBeforeMinHistory(t *testing.T) {
+	b := New(Config{})
+	for i := 0; i < 58; i++ {
+		b.Observe(float64(i), false)
+		if _, ok := b.Bound(); ok {
+			t.Fatalf("bound available at %d observations", i+1)
+		}
+	}
+	b.Observe(58, false)
+	bound, ok := b.Bound()
+	if !ok {
+		t.Fatal("bound unavailable at 59 observations")
+	}
+	// With exactly 59 observations the bound is the maximum (k = 59).
+	if bound != 58 {
+		t.Fatalf("bound = %g, want max observation 58", bound)
+	}
+}
+
+func TestBMBPBoundIsOrderStatistic(t *testing.T) {
+	b := New(Config{Mode: ModeExact})
+	rng := rand.New(rand.NewSource(4))
+	var hist []float64
+	for i := 0; i < 500; i++ {
+		v := math.Exp(rng.NormFloat64())
+		b.Observe(v, false)
+		hist = append(hist, v)
+	}
+	bound, ok := b.Bound()
+	if !ok {
+		t.Fatal("no bound")
+	}
+	// Cross-check against the pure-function path on the same history.
+	sorted := append([]float64(nil), hist...)
+	sortFloats(sorted)
+	want, _ := UpperBound(sorted, 0.95, 0.95, ModeExact)
+	if bound != want {
+		t.Fatalf("bound %g != pure computation %g", bound, want)
+	}
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+func TestBMBPTrimOnConsecutiveMisses(t *testing.T) {
+	b := New(Config{FixedRareThreshold: 3})
+	for i := 0; i < 200; i++ {
+		b.Observe(1, false)
+	}
+	if b.Trims() != 0 {
+		t.Fatal("unexpected trim")
+	}
+	// A change point: three consecutive misses trigger a trim to 59.
+	b.Observe(100, true)
+	b.Observe(100, true)
+	if b.Trims() != 0 {
+		t.Fatal("trimmed too early")
+	}
+	b.Observe(100, true)
+	if b.Trims() != 1 {
+		t.Fatalf("Trims = %d, want 1", b.Trims())
+	}
+	if got := b.HistoryLen(); got != 59 {
+		t.Fatalf("history after trim = %d, want 59", got)
+	}
+	// The trimmed history ends with the three new-regime values.
+	h := b.History()
+	if h[len(h)-1] != 100 || h[len(h)-2] != 100 || h[len(h)-3] != 100 {
+		t.Fatal("trim did not keep the most recent values")
+	}
+	// Bound reflects the post-trim window maximum.
+	if bound, ok := b.Bound(); !ok || bound != 100 {
+		t.Fatalf("post-trim bound = %g ok=%v", bound, ok)
+	}
+}
+
+func TestBMBPMissRunResetByHit(t *testing.T) {
+	b := New(Config{FixedRareThreshold: 3})
+	for i := 0; i < 100; i++ {
+		b.Observe(1, false)
+	}
+	b.Observe(50, true)
+	b.Observe(50, true)
+	b.Observe(1, false) // run broken
+	b.Observe(50, true)
+	b.Observe(50, true)
+	if b.Trims() != 0 {
+		t.Fatal("interrupted miss runs must not trim")
+	}
+}
+
+func TestBMBPNoTrimConfig(t *testing.T) {
+	b := New(Config{NoTrim: true, FixedRareThreshold: 3})
+	for i := 0; i < 100; i++ {
+		b.Observe(1, false)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(100, true)
+	}
+	if b.Trims() != 0 {
+		t.Fatal("NoTrim predictor trimmed")
+	}
+	if b.HistoryLen() != 110 {
+		t.Fatalf("history = %d", b.HistoryLen())
+	}
+}
+
+func TestBMBPMaxHistory(t *testing.T) {
+	b := New(Config{MaxHistory: 100, NoTrim: true})
+	for i := 0; i < 250; i++ {
+		b.Observe(float64(i), false)
+	}
+	if got := b.HistoryLen(); got != 100 {
+		t.Fatalf("history = %d, want 100", got)
+	}
+	h := b.History()
+	if h[0] != 150 || h[99] != 249 {
+		t.Fatalf("wrong window retained: first=%g last=%g", h[0], h[99])
+	}
+}
+
+func TestBMBPCalibrationFromACF(t *testing.T) {
+	// Uncorrelated history lands in the lowest rare-event bucket.
+	b := New(Config{})
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		b.Observe(rng.Float64(), false)
+	}
+	b.FinishTraining()
+	if got := b.RareThreshold(); got != DefaultRareEventTable[0].Threshold {
+		t.Errorf("iid threshold = %d, want %d", got, DefaultRareEventTable[0].Threshold)
+	}
+	// Strongly autocorrelated history lands in a higher bucket.
+	b2 := New(Config{})
+	x := 0.0
+	for i := 0; i < 2000; i++ {
+		x = 0.98*x + 0.2*rng.NormFloat64()
+		b2.Observe(x+10, false)
+	}
+	b2.FinishTraining()
+	if b2.RareThreshold() <= b.RareThreshold() {
+		t.Errorf("autocorrelated threshold %d should exceed iid %d", b2.RareThreshold(), b.RareThreshold())
+	}
+}
+
+func TestBMBPObserveAuto(t *testing.T) {
+	b := New(Config{FixedRareThreshold: 3})
+	for i := 0; i < 100; i++ {
+		b.ObserveAuto(1)
+	}
+	// Jumps beyond the current (adapting) bound count as misses
+	// automatically; the values grow so each one outruns the bound.
+	b.ObserveAuto(100)
+	b.ObserveAuto(200)
+	b.ObserveAuto(300)
+	if b.Trims() != 1 {
+		t.Fatalf("ObserveAuto did not feed the miss run: trims = %d", b.Trims())
+	}
+}
+
+func TestBMBPBoundFor(t *testing.T) {
+	b := New(Config{})
+	for i := 1; i <= 1000; i++ {
+		b.Observe(float64(i), false)
+	}
+	up95, ok := b.BoundFor(0.95, 0.95, Upper)
+	if !ok {
+		t.Fatal("upper bound unavailable")
+	}
+	lo25, ok := b.BoundFor(0.25, 0.95, Lower)
+	if !ok {
+		t.Fatal("lower bound unavailable")
+	}
+	med, ok := b.BoundFor(0.5, 0.95, Upper)
+	if !ok {
+		t.Fatal("median bound unavailable")
+	}
+	if !(lo25 < med && med < up95) {
+		t.Fatalf("bounds not ordered: %g %g %g", lo25, med, up95)
+	}
+	// Upper 0.95 bound on 1..1000 sits a margin above the 950th value.
+	if up95 < 950 || up95 > 975 {
+		t.Errorf("up95 = %g out of expected range", up95)
+	}
+	if lo25 > 250 || lo25 < 215 {
+		t.Errorf("lo25 = %g out of expected range", lo25)
+	}
+}
+
+func TestBMBPLiveCoverageOnStationaryStream(t *testing.T) {
+	// End-to-end self-check: predict-then-observe over an i.i.d. stream;
+	// the fraction of covered observations must be at least ~0.95.
+	b := New(Config{})
+	rng := rand.New(rand.NewSource(21))
+	warm := 200
+	covered, scored := 0, 0
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(2 * rng.NormFloat64())
+		bound, ok := b.Bound()
+		if i >= warm && ok {
+			scored++
+			if v <= bound {
+				covered++
+			}
+		}
+		b.Observe(v, ok && v > bound)
+	}
+	frac := float64(covered) / float64(scored)
+	if frac < 0.945 {
+		t.Errorf("live coverage %.4f below 0.95", frac)
+	}
+	if frac > 0.995 {
+		t.Errorf("live coverage %.4f suspiciously conservative", frac)
+	}
+}
+
+func TestRareEventTableLookup(t *testing.T) {
+	tbl := DefaultRareEventTable
+	if got := tbl.Lookup(-0.2); got != tbl[0].Threshold {
+		t.Errorf("negative ACF -> first bucket, got %d", got)
+	}
+	if got := tbl.Lookup(math.NaN()); got != tbl[len(tbl)-1].Threshold {
+		// NaN compares false everywhere, so it falls through to the last
+		// bucket — the conservative end.
+		t.Errorf("NaN ACF = %d", got)
+	}
+	if got := tbl.Lookup(2); got != tbl[len(tbl)-1].Threshold {
+		t.Errorf("huge ACF -> last bucket, got %d", got)
+	}
+	// Monotone nondecreasing thresholds.
+	for i := 1; i < len(tbl); i++ {
+		if tbl[i].Threshold < tbl[i-1].Threshold {
+			t.Errorf("table not monotone at %d", i)
+		}
+		if tbl[i].MaxAutocorr <= tbl[i-1].MaxAutocorr {
+			t.Errorf("bucket edges not increasing at %d", i)
+		}
+	}
+	// Empty table falls back to defaults.
+	var empty RareEventTable
+	if got := empty.Lookup(0); got != DefaultRareEventTable.Lookup(0) {
+		t.Error("empty table fallback")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	hist := make([]float64, 1000)
+	for i := range hist {
+		hist[i] = float64(i + 1)
+	}
+	entries := Profile(hist, Table8Specs, ModeAuto)
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i, e := range entries {
+		if !e.OK {
+			t.Fatalf("entry %d not OK", i)
+		}
+	}
+	// Ordered: lower .25 <= upper .5 <= upper .75 <= upper .95.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Bound < entries[i-1].Bound {
+			t.Fatalf("profile not ordered: %v", entries)
+		}
+	}
+	// Too-short history yields OK=false.
+	short := Profile([]float64{1, 2, 3}, Table8Specs, ModeAuto)
+	for _, e := range short {
+		if e.OK {
+			t.Fatal("short history should not produce bounds")
+		}
+	}
+}
+
+func TestProfileOfMatchesProfile(t *testing.T) {
+	b := New(Config{})
+	hist := make([]float64, 500)
+	rng := rand.New(rand.NewSource(17))
+	for i := range hist {
+		hist[i] = rng.Float64() * 100
+		b.Observe(hist[i], false)
+	}
+	want := Profile(hist, Table8Specs, ModeAuto)
+	got := ProfileOf(b, Table8Specs)
+	for i := range want {
+		if got[i].Bound != want[i].Bound || got[i].OK != want[i].OK {
+			t.Fatalf("entry %d: live %+v vs pure %+v", i, got[i], want[i])
+		}
+	}
+}

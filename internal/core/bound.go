@@ -1,0 +1,219 @@
+// Package core implements BMBP, the Brevik Method Batch Predictor: a
+// nonparametric, distribution-free method for predicting bounds, with
+// quantitative confidence levels, on the queuing delay an individual job
+// will experience in a space-shared (batch scheduled) computing system.
+//
+// The method treats each historical wait time as a Bernoulli trial relative
+// to the unknown population quantile X_q: an observation is below X_q with
+// probability q. With n observations, the probability that the k-th order
+// statistic exceeds X_q is the binomial tail probability
+// P(Bin(n, q) <= k-1); choosing the smallest k that pushes that probability
+// to at least the desired confidence C makes the k-th smallest observed wait
+// a level-C upper confidence bound on X_q. Because batch systems are
+// nonstationary — administrators retune schedulers, priorities shift — BMBP
+// watches for runs of consecutive missed predictions (a "rare event" whose
+// length threshold is calibrated to the history's autocorrelation) and, on
+// detecting one, trims its history to the minimum statistically meaningful
+// length and starts over.
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// BoundMode selects how the order-statistic index for a bound is computed.
+type BoundMode int
+
+const (
+	// ModeAuto uses the exact binomial computation for small samples and
+	// the central-limit normal approximation once the expected numbers of
+	// successes and failures both reach 10 (the paper's rule).
+	ModeAuto BoundMode = iota
+	// ModeExact always uses the exact binomial computation.
+	ModeExact
+	// ModeApprox always uses the normal approximation (falling back to
+	// exact only when the approximate index exceeds the sample size).
+	ModeApprox
+)
+
+func (m BoundMode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeExact:
+		return "exact"
+	case ModeApprox:
+		return "approx"
+	default:
+		return "unknown"
+	}
+}
+
+// MinSampleSize returns the smallest history length from which a level-c
+// upper confidence bound on the q quantile can be produced at all: the
+// smallest n with 1 − q^n >= c. For q = c = 0.95 this is 59, the figure the
+// paper trims to after a change point.
+func MinSampleSize(q, c float64) int {
+	if q <= 0 || q >= 1 || c <= 0 || c >= 1 {
+		return 0
+	}
+	n := int(math.Ceil(math.Log(1-c) / math.Log(q)))
+	if n < 1 {
+		n = 1
+	}
+	// Guard against floating-point edge cases by verifying directly.
+	for 1-math.Pow(q, float64(n)) < c {
+		n++
+	}
+	for n > 1 && 1-math.Pow(q, float64(n-1)) >= c {
+		n--
+	}
+	return n
+}
+
+// MinSampleSizeLower is the analogue of MinSampleSize for lower bounds: the
+// smallest n with 1 − (1−q)^n >= c, i.e. the smallest history from which a
+// level-c lower confidence bound on the q quantile exists.
+func MinSampleSizeLower(q, c float64) int {
+	return MinSampleSize(1-q, c)
+}
+
+// UpperBoundIndex returns the 1-based order-statistic index k such that the
+// k-th smallest of n i.i.d. observations is a level-c upper confidence bound
+// for the q quantile, following mode. ok is false when no such index exists
+// (n below MinSampleSize).
+func UpperBoundIndex(n int, q, c float64, mode BoundMode) (k int, ok bool) {
+	if n < MinSampleSize(q, c) {
+		return 0, false
+	}
+	switch mode {
+	case ModeExact:
+		return upperIndexExact(n, q, c), true
+	case ModeApprox:
+		k = upperIndexApprox(n, q, c)
+		if k > n {
+			k = upperIndexExact(n, q, c)
+		}
+		return k, true
+	default:
+		if (stats.Binomial{N: n, P: q}).NormalApproxOK() {
+			k = upperIndexApprox(n, q, c)
+			if k > n {
+				k = upperIndexExact(n, q, c)
+			}
+			return k, true
+		}
+		return upperIndexExact(n, q, c), true
+	}
+}
+
+// upperIndexExact finds the smallest k in [1, n] with
+// P(Bin(n, q) <= k−1) >= c by binary search (the CDF is nondecreasing in k).
+// The caller guarantees such k exists.
+func upperIndexExact(n int, q, c float64) int {
+	b := stats.Binomial{N: n, P: q}
+	lo, hi := 1, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.CDF(mid-1) >= c {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// upperIndexApprox computes the paper's Appendix approximation: take the q
+// quantile of the sample and move up a further z_c·sqrt(n·q·(1−q)) order
+// statistics, rounding everything up to stay conservative.
+func upperIndexApprox(n int, q, c float64) int {
+	z := stats.StdNormalQuantile(c)
+	k := int(math.Ceil(float64(n)*q + z*math.Sqrt(float64(n)*q*(1-q))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// LowerBoundIndex returns the 1-based order-statistic index k such that the
+// k-th smallest of n observations is a level-c lower confidence bound for
+// the q quantile. ok is false when no such index exists.
+func LowerBoundIndex(n int, q, c float64, mode BoundMode) (k int, ok bool) {
+	if n < MinSampleSizeLower(q, c) {
+		return 0, false
+	}
+	switch mode {
+	case ModeExact:
+		return lowerIndexExact(n, q, c), true
+	case ModeApprox:
+		k = lowerIndexApprox(n, q, c)
+		if k < 1 {
+			k = lowerIndexExact(n, q, c)
+		}
+		return k, true
+	default:
+		if (stats.Binomial{N: n, P: q}).NormalApproxOK() {
+			k = lowerIndexApprox(n, q, c)
+			if k < 1 {
+				k = lowerIndexExact(n, q, c)
+			}
+			return k, true
+		}
+		return lowerIndexExact(n, q, c), true
+	}
+}
+
+// lowerIndexExact finds the largest k in [1, n] with
+// P(Bin(n, q) >= k) >= c, i.e. P(Bin(n,q) <= k−1) <= 1−c. The caller
+// guarantees k = 1 qualifies.
+func lowerIndexExact(n int, q, c float64) int {
+	b := stats.Binomial{N: n, P: q}
+	lo, hi := 1, n
+	// b.CDF(k-1) is nondecreasing in k; we need the largest k with
+	// CDF(k-1) <= 1-c.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if b.CDF(mid-1) <= 1-c {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// lowerIndexApprox mirrors upperIndexApprox in the downward direction,
+// rounding down to stay conservative.
+func lowerIndexApprox(n int, q, c float64) int {
+	z := stats.StdNormalQuantile(c)
+	k := int(math.Floor(float64(n)*q - z*math.Sqrt(float64(n)*q*(1-q))))
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// UpperBound returns the level-c upper confidence bound for the q quantile
+// from a sorted (ascending) sample, or ok=false when the sample is too
+// small.
+func UpperBound(sorted []float64, q, c float64, mode BoundMode) (bound float64, ok bool) {
+	k, ok := UpperBoundIndex(len(sorted), q, c, mode)
+	if !ok {
+		return 0, false
+	}
+	return sorted[k-1], true
+}
+
+// LowerBound returns the level-c lower confidence bound for the q quantile
+// from a sorted (ascending) sample, or ok=false when the sample is too
+// small.
+func LowerBound(sorted []float64, q, c float64, mode BoundMode) (bound float64, ok bool) {
+	k, ok := LowerBoundIndex(len(sorted), q, c, mode)
+	if !ok {
+		return 0, false
+	}
+	return sorted[k-1], true
+}

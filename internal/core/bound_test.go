@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestMinSampleSizePaperValue(t *testing.T) {
+	// Section 4.1: 59 observations are the minimum for a 95%-confidence
+	// bound on the 0.95 quantile.
+	if got := MinSampleSize(0.95, 0.95); got != 59 {
+		t.Fatalf("MinSampleSize(.95,.95) = %d, want 59", got)
+	}
+}
+
+func TestMinSampleSizeDefinition(t *testing.T) {
+	for _, c := range []struct{ q, conf float64 }{
+		{0.5, 0.95}, {0.75, 0.9}, {0.9, 0.99}, {0.95, 0.95}, {0.99, 0.8},
+	} {
+		n := MinSampleSize(c.q, c.conf)
+		if n < 1 {
+			t.Fatalf("MinSampleSize(%g,%g) = %d", c.q, c.conf, n)
+		}
+		if cov := 1 - math.Pow(c.q, float64(n)); cov < c.conf {
+			t.Errorf("n=%d does not reach confidence: %g < %g", n, cov, c.conf)
+		}
+		if n > 1 {
+			if cov := 1 - math.Pow(c.q, float64(n-1)); cov >= c.conf {
+				t.Errorf("n-1=%d already reaches confidence %g", n-1, cov)
+			}
+		}
+	}
+	if MinSampleSize(0, 0.95) != 0 || MinSampleSize(0.95, 1) != 0 {
+		t.Error("invalid parameters should return 0")
+	}
+}
+
+func TestMinSampleSizeLower(t *testing.T) {
+	// Lower bound on the 0.25 quantile at 95% confidence needs 11 samples:
+	// smallest n with 1 - 0.75^n >= 0.95.
+	if got := MinSampleSizeLower(0.25, 0.95); got != 11 {
+		t.Fatalf("MinSampleSizeLower(.25,.95) = %d, want 11", got)
+	}
+}
+
+// bruteUpperIndex is the by-definition search the binary search must match.
+func bruteUpperIndex(n int, q, c float64) int {
+	b := stats.Binomial{N: n, P: q}
+	for k := 1; k <= n; k++ {
+		if b.CDF(k-1) >= c {
+			return k
+		}
+	}
+	return -1
+}
+
+func bruteLowerIndex(n int, q, c float64) int {
+	b := stats.Binomial{N: n, P: q}
+	best := -1
+	for k := 1; k <= n; k++ {
+		if b.CDF(k-1) <= 1-c {
+			best = k
+		}
+	}
+	return best
+}
+
+func TestUpperBoundIndexExactMatchesBruteForce(t *testing.T) {
+	for _, q := range []float64{0.5, 0.9, 0.95} {
+		for _, n := range []int{59, 60, 75, 100, 150, 237} {
+			if n < MinSampleSize(q, 0.95) {
+				continue
+			}
+			got, ok := UpperBoundIndex(n, q, 0.95, ModeExact)
+			want := bruteUpperIndex(n, q, 0.95)
+			if !ok || got != want {
+				t.Errorf("n=%d q=%g: exact index %d ok=%v, brute %d", n, q, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestLowerBoundIndexExactMatchesBruteForce(t *testing.T) {
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		for _, n := range []int{15, 40, 99, 200} {
+			if n < MinSampleSizeLower(q, 0.95) {
+				continue
+			}
+			got, ok := LowerBoundIndex(n, q, 0.95, ModeExact)
+			want := bruteLowerIndex(n, q, 0.95)
+			if !ok || got != want {
+				t.Errorf("n=%d q=%g: exact lower index %d ok=%v, brute %d", n, q, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestUpperBoundIndexBelowMinimum(t *testing.T) {
+	if _, ok := UpperBoundIndex(58, 0.95, 0.95, ModeExact); ok {
+		t.Error("58 samples should not support the bound")
+	}
+	if _, ok := UpperBoundIndex(58, 0.95, 0.95, ModeAuto); ok {
+		t.Error("auto mode must refuse too")
+	}
+}
+
+func TestApproxIndexNearExact(t *testing.T) {
+	// The paper's Appendix example: n=1000, q=.9, C=.95 gives index 916.
+	k, ok := UpperBoundIndex(1000, 0.9, 0.95, ModeApprox)
+	if !ok || k != 916 {
+		t.Errorf("appendix example: k=%d ok=%v, want 916", k, ok)
+	}
+	// Exact and approximate indices agree within 2 order statistics where
+	// the approximation's preconditions hold.
+	for _, n := range []int{300, 1000, 5000, 50000} {
+		for _, q := range []float64{0.5, 0.9, 0.95} {
+			if !(stats.Binomial{N: n, P: q}).NormalApproxOK() {
+				continue
+			}
+			ke, _ := UpperBoundIndex(n, q, 0.95, ModeExact)
+			ka, _ := UpperBoundIndex(n, q, 0.95, ModeApprox)
+			// The paper's ceil-everything recipe has no continuity
+			// correction, so it can land one order statistic either side
+			// of the exact index.
+			if d := ka - ke; d < -1 || d > 2 {
+				t.Errorf("n=%d q=%g: exact %d approx %d", n, q, ke, ka)
+			}
+		}
+	}
+}
+
+func TestAutoModeSelectsByRule(t *testing.T) {
+	// At q=.95, n=100 has only 5 expected failures: auto must equal exact.
+	ke, _ := UpperBoundIndex(100, 0.95, 0.95, ModeExact)
+	ka, _ := UpperBoundIndex(100, 0.95, 0.95, ModeAuto)
+	if ke != ka {
+		t.Errorf("auto %d != exact %d for small expected failures", ka, ke)
+	}
+	// At n=10000, the approximation applies.
+	kap, _ := UpperBoundIndex(10000, 0.95, 0.95, ModeApprox)
+	kauto, _ := UpperBoundIndex(10000, 0.95, 0.95, ModeAuto)
+	if kap != kauto {
+		t.Errorf("auto %d != approx %d for large n", kauto, kap)
+	}
+}
+
+func TestUpperBoundCoverageMonteCarlo(t *testing.T) {
+	// The defining property of the method (paper Section 4): across
+	// repeated i.i.d. samples, the produced bound is >= the true quantile
+	// in at least a fraction C of samples.
+	const (
+		n      = 80
+		trials = 3000
+		q, c   = 0.95, 0.95
+	)
+	trueQ := math.Exp(stats.StdNormalQuantile(q)) // log-normal population
+	rng := rand.New(rand.NewSource(12))
+	covered := 0
+	sample := make([]float64, n)
+	for tr := 0; tr < trials; tr++ {
+		for i := range sample {
+			sample[i] = math.Exp(rng.NormFloat64())
+		}
+		sort.Float64s(sample)
+		bound, ok := UpperBound(sample, q, c, ModeExact)
+		if !ok {
+			t.Fatal("bound unavailable")
+		}
+		if bound >= trueQ {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < c-0.012 {
+		t.Errorf("coverage %.3f below confidence %.2f", frac, c)
+	}
+}
+
+func TestLowerBoundCoverageMonteCarlo(t *testing.T) {
+	const (
+		n      = 100
+		trials = 3000
+		q, c   = 0.25, 0.95
+	)
+	trueQ := stats.StdNormalQuantile(q)
+	rng := rand.New(rand.NewSource(13))
+	covered := 0
+	sample := make([]float64, n)
+	for tr := 0; tr < trials; tr++ {
+		for i := range sample {
+			sample[i] = rng.NormFloat64()
+		}
+		sort.Float64s(sample)
+		bound, ok := LowerBound(sample, q, c, ModeExact)
+		if !ok {
+			t.Fatal("bound unavailable")
+		}
+		if bound <= trueQ {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < c-0.012 {
+		t.Errorf("lower coverage %.3f below confidence %.2f", frac, c)
+	}
+}
+
+func TestBoundConvergesTowardQuantile(t *testing.T) {
+	// Appendix: as n grows the bound converges to the sample quantile
+	// itself — the index fraction k/n approaches q from above.
+	prev := 1.0
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		k, ok := UpperBoundIndex(n, 0.9, 0.95, ModeAuto)
+		if !ok {
+			t.Fatal("bound unavailable")
+		}
+		frac := float64(k) / float64(n)
+		if frac < 0.9 {
+			t.Errorf("n=%d: index fraction %.4f below quantile", n, frac)
+		}
+		if frac > prev {
+			t.Errorf("n=%d: index fraction %.4f not shrinking (prev %.4f)", n, frac, prev)
+		}
+		prev = frac
+	}
+	if prev > 0.905 {
+		t.Errorf("final index fraction %.4f should be close to 0.9", prev)
+	}
+}
+
+func TestBoundModeString(t *testing.T) {
+	if ModeAuto.String() != "auto" || ModeExact.String() != "exact" || ModeApprox.String() != "approx" {
+		t.Error("mode strings")
+	}
+	if Upper.String() != "upper" || Lower.String() != "lower" {
+		t.Error("side strings")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import "math"
+
+// CUSUM change detection — an alternative to the paper's rare-event
+// run-length rule, provided for ablation. The paper detects a change point
+// when a run of consecutive missed predictions reaches a threshold
+// calibrated to the series' autocorrelation; a Bernoulli CUSUM instead
+// accumulates log-likelihood-ratio evidence across ALL recent outcomes, so
+// it also catches sustained-but-interleaved degradation (miss rates of,
+// say, 20% that never produce long runs).
+//
+// For a bound with nominal miss probability p0 = 1 − q tested against a
+// degraded rate p1 > p0, each outcome updates
+//
+//	S ← max(0, S + w),  w = ln(p1/p0)            on a miss
+//	                    w = ln((1−p1)/(1−p0))    on a hit
+//
+// and a change is signaled when S exceeds the decision interval H. The
+// classic run rule is the special case where hits reset S to zero
+// entirely.
+
+// CUSUMDetector accumulates evidence that a bound's miss rate has risen
+// above its design level.
+type CUSUMDetector struct {
+	missWeight float64
+	hitWeight  float64
+	h          float64
+	s          float64
+}
+
+// NewCUSUMDetector builds a detector for a bound on quantile q (nominal
+// miss rate 1−q), tuned to flag a degradation to miss rate p1 with
+// decision interval h (in units of log-likelihood; 3–6 are typical —
+// larger means fewer false alarms and slower detection).
+func NewCUSUMDetector(q, p1, h float64) *CUSUMDetector {
+	p0 := 1 - q
+	if p0 <= 0 || p0 >= 1 || p1 <= p0 || p1 >= 1 {
+		// Degenerate tuning: fall back to a detector that never fires.
+		return &CUSUMDetector{h: math.Inf(1)}
+	}
+	return &CUSUMDetector{
+		missWeight: math.Log(p1 / p0),
+		hitWeight:  math.Log((1 - p1) / (1 - p0)),
+		h:          h,
+	}
+}
+
+// Observe folds in one prediction outcome and reports whether the
+// accumulated evidence crosses the decision interval. On a signal the
+// detector resets.
+func (c *CUSUMDetector) Observe(missed bool) (signal bool) {
+	w := c.hitWeight
+	if missed {
+		w = c.missWeight
+	}
+	c.s += w
+	if c.s < 0 {
+		c.s = 0
+	}
+	if c.s >= c.h {
+		c.s = 0
+		return true
+	}
+	return false
+}
+
+// Level returns the current accumulated evidence (0 when quiescent).
+func (c *CUSUMDetector) Level() float64 { return c.s }
+
+// Reset clears accumulated evidence.
+func (c *CUSUMDetector) Reset() { c.s = 0 }
+
+// NewWithCUSUM returns a BMBP variant whose change-point detector is a
+// Bernoulli CUSUM instead of the paper's consecutive-miss rule. All other
+// behavior (trim-to-minimum on signal, bound computation) is unchanged.
+// p1 and h tune the detector as in NewCUSUMDetector.
+func NewWithCUSUM(cfg Config, p1, h float64) *BMBPCUSUM {
+	cfg = cfg.withDefaults()
+	inner := New(cfg)
+	// Disable the inner run-length rule; the CUSUM owns detection.
+	inner.cfg.NoTrim = true
+	return &BMBPCUSUM{
+		inner:    inner,
+		detector: NewCUSUMDetector(cfg.Quantile, p1, h),
+	}
+}
+
+// BMBPCUSUM wraps BMBP with CUSUM-driven trimming.
+type BMBPCUSUM struct {
+	inner    *BMBP
+	detector *CUSUMDetector
+	trims    int
+}
+
+// Name identifies the variant in result tables.
+func (b *BMBPCUSUM) Name() string { return "bmbp-cusum" }
+
+// Observe records a released job's wait and runs the detector.
+func (b *BMBPCUSUM) Observe(wait float64, missed bool) {
+	b.inner.Observe(wait, missed)
+	if b.detector.Observe(missed) && b.inner.HistoryLen() > b.inner.MinHistory() {
+		b.trimToMinimum()
+	}
+}
+
+func (b *BMBPCUSUM) trimToMinimum() {
+	hist := b.inner.History()
+	keep := hist[len(hist)-b.inner.MinHistory():]
+	fresh := New(b.inner.cfg)
+	for _, v := range keep {
+		fresh.Observe(v, false)
+	}
+	b.inner = fresh
+	b.trims++
+}
+
+// FinishTraining is a no-op: the CUSUM needs no calibration period.
+func (b *BMBPCUSUM) FinishTraining() {}
+
+// Refit recomputes the current bound.
+func (b *BMBPCUSUM) Refit() { b.inner.Refit() }
+
+// Bound returns the current upper confidence bound.
+func (b *BMBPCUSUM) Bound() (float64, bool) { return b.inner.Bound() }
+
+// Trims returns how many change points the detector acted on.
+func (b *BMBPCUSUM) Trims() int { return b.trims }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCUSUMDetectorSignalsOnSustainedDegradation(t *testing.T) {
+	det := NewCUSUMDetector(0.95, 0.3, 6)
+	// At the nominal 5% miss rate the detector fires rarely (each alarm
+	// needs ~4 misses in a short window).
+	rng := rand.New(rand.NewSource(1))
+	fired := 0
+	for i := 0; i < 20000; i++ {
+		if det.Observe(rng.Float64() < 0.05) {
+			fired++
+		}
+	}
+	if fired > 5 {
+		t.Errorf("false alarms at nominal rate: %d in 20k", fired)
+	}
+	// At a 30% miss rate it fires fast.
+	det.Reset()
+	steps := 0
+	for {
+		steps++
+		if det.Observe(rng.Float64() < 0.30) {
+			break
+		}
+		if steps > 500 {
+			t.Fatal("no signal after 500 degraded outcomes")
+		}
+	}
+	if steps > 120 {
+		t.Errorf("slow detection: %d steps", steps)
+	}
+}
+
+func TestCUSUMCatchesInterleavedMisses(t *testing.T) {
+	// A deterministic miss pattern with no run longer than 2 — invisible
+	// to the paper's run rule at threshold 3 — but a 33% miss rate, which
+	// the CUSUM flags.
+	run := New(Config{FixedRareThreshold: 3})
+	cus := NewCUSUMDetector(0.95, 0.3, 4)
+	cusFired := false
+	for i := 0; i < 300; i++ {
+		missed := i%3 != 2 // miss, miss, hit, miss, miss, hit...
+		// Feed the run-rule predictor (values irrelevant here).
+		run.Observe(1, missed)
+		if cus.Observe(missed) {
+			cusFired = true
+		}
+	}
+	if run.Trims() != 0 {
+		t.Error("run rule should NOT fire on interleaved misses (runs of 2)")
+	}
+	if !cusFired {
+		t.Error("CUSUM should fire on a sustained 67% miss rate")
+	}
+}
+
+func TestCUSUMDegenerateTuning(t *testing.T) {
+	det := NewCUSUMDetector(0.95, 0.01, 4) // p1 below nominal: never fires
+	for i := 0; i < 1000; i++ {
+		if det.Observe(true) {
+			t.Fatal("degenerate detector fired")
+		}
+	}
+	if det.Level() != 0 && det.Level() > 0 {
+		// Level may stay 0 or grow; firing is what matters. Reset works.
+		det.Reset()
+		if det.Level() != 0 {
+			t.Fatal("reset")
+		}
+	}
+}
+
+func TestBMBPCUSUMAdaptsToChangePoint(t *testing.T) {
+	b := NewWithCUSUM(Config{Seed: 1}, 0.5, 3)
+	if b.Name() != "bmbp-cusum" {
+		t.Error("name")
+	}
+	for i := 0; i < 500; i++ {
+		b.Observe(10, false)
+	}
+	before, _ := b.Bound()
+	// Regime change: persistent misses, sometimes interleaved with hits.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 80; i++ {
+		missed := rng.Float64() < 0.7
+		w := 10.0
+		if missed {
+			w = 5000 + 100*float64(i)
+		}
+		b.Observe(w, missed)
+	}
+	if b.Trims() == 0 {
+		t.Fatal("no CUSUM trim after a sustained regime change")
+	}
+	after, ok := b.Bound()
+	if !ok || after <= before {
+		t.Errorf("bound did not adapt upward: %g -> %g", before, after)
+	}
+	b.FinishTraining() // no-op
+	b.Refit()
+}
+
+func TestBMBPCUSUMLiveCoverage(t *testing.T) {
+	// The CUSUM variant must preserve the coverage property on a
+	// stationary stream.
+	b := NewWithCUSUM(Config{Seed: 3}, 0.3, 4)
+	rng := rand.New(rand.NewSource(3))
+	scored, covered := 0, 0
+	for i := 0; i < 20000; i++ {
+		v := rng.Float64() * 1000
+		bound, ok := b.Bound()
+		missed := ok && v > bound
+		if i > 200 && ok {
+			scored++
+			if !missed {
+				covered++
+			}
+		}
+		b.Observe(v, missed)
+	}
+	if frac := float64(covered) / float64(scored); frac < 0.945 {
+		t.Errorf("coverage %.4f", frac)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+// FuzzUnmarshalBinary: state restoration must never panic or accept
+// structurally invalid blobs silently.
+func FuzzUnmarshalBinary(f *testing.F) {
+	valid := func() []byte {
+		b := New(Config{})
+		for i := 0; i < 100; i++ {
+			b.Observe(float64(i), false)
+		}
+		blob, _ := b.MarshalBinary()
+		return blob
+	}()
+	f.Add(valid)
+	f.Add([]byte("BMBP"))
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := New(Config{})
+		if err := b.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted blobs must leave a usable predictor.
+		if b.MinHistory() < 1 {
+			t.Fatal("restored predictor has invalid minimum history")
+		}
+		b.Observe(1, false)
+		b.Refit()
+		b.Bound()
+		// And re-serialize cleanly.
+		if _, err := b.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+	})
+}

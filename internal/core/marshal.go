@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/ostat"
+)
+
+// Binary state serialization, so a deployed predictor can survive process
+// restarts without retraining: the paper's deployment model feeds the
+// predictor five-minute scheduler-log dumps, and losing a year of history
+// to a restart would reset the bound to its minimum-history conservatism.
+//
+// The format is versioned and self-contained: configuration, calibration
+// state, and the observation-ordered history (the order statistics are
+// rebuilt on load).
+
+const (
+	marshalMagic   = "BMBP"
+	marshalVersion = 1
+)
+
+// MarshalBinary encodes the predictor's full state.
+func (b *BMBP) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(marshalMagic)
+	w := func(v interface{}) {
+		// bytes.Buffer writes never fail.
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	w(uint16(marshalVersion))
+	w(b.cfg.Quantile)
+	w(b.cfg.Confidence)
+	w(int32(b.cfg.Mode))
+	w(b.cfg.NoTrim)
+	w(int64(b.cfg.FixedRareThreshold))
+	w(int64(b.cfg.MaxHistory))
+	w(b.cfg.Seed)
+
+	w(int64(b.rareThreshold))
+	w(int64(b.consecMisses))
+	w(int64(b.trims))
+	w(int64(b.observations))
+
+	w(int64(len(b.cfg.RareTable)))
+	for _, e := range b.cfg.RareTable {
+		w(e.MaxAutocorr)
+		w(int64(e.Threshold))
+	}
+
+	w(int64(len(b.hist)))
+	for _, v := range b.hist {
+		w(v)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a predictor serialized by MarshalBinary,
+// replacing the receiver's state entirely.
+func (b *BMBP) UnmarshalBinary(data []byte) error {
+	buf := bytes.NewReader(data)
+	magic := make([]byte, len(marshalMagic))
+	if _, err := buf.Read(magic); err != nil || string(magic) != marshalMagic {
+		return fmt.Errorf("core: not a BMBP state blob")
+	}
+	var version uint16
+	r := func(v interface{}) error {
+		return binary.Read(buf, binary.LittleEndian, v)
+	}
+	if err := r(&version); err != nil {
+		return fmt.Errorf("core: truncated state: %v", err)
+	}
+	if version != marshalVersion {
+		return fmt.Errorf("core: unsupported state version %d", version)
+	}
+
+	var cfg Config
+	var mode int32
+	var fixedRare, maxHistory int64
+	if err := firstErr(
+		r(&cfg.Quantile), r(&cfg.Confidence), r(&mode), r(&cfg.NoTrim),
+		r(&fixedRare), r(&maxHistory), r(&cfg.Seed),
+	); err != nil {
+		return fmt.Errorf("core: truncated config: %v", err)
+	}
+	cfg.Mode = BoundMode(mode)
+	cfg.FixedRareThreshold = int(fixedRare)
+	cfg.MaxHistory = int(maxHistory)
+	// Written as positive conditions so NaN (all comparisons false) is
+	// rejected too.
+	if !(cfg.Quantile > 0 && cfg.Quantile < 1 && cfg.Confidence > 0 && cfg.Confidence < 1) {
+		return fmt.Errorf("core: corrupt state: quantile %g confidence %g", cfg.Quantile, cfg.Confidence)
+	}
+
+	var rareThreshold, consecMisses, trims, observations int64
+	if err := firstErr(r(&rareThreshold), r(&consecMisses), r(&trims), r(&observations)); err != nil {
+		return fmt.Errorf("core: truncated calibration: %v", err)
+	}
+
+	var tableLen int64
+	if err := r(&tableLen); err != nil {
+		return fmt.Errorf("core: truncated table: %v", err)
+	}
+	if tableLen < 0 || tableLen > 1024 {
+		return fmt.Errorf("core: corrupt table length %d", tableLen)
+	}
+	table := make(RareEventTable, tableLen)
+	for i := range table {
+		var thr int64
+		if err := firstErr(r(&table[i].MaxAutocorr), r(&thr)); err != nil {
+			return fmt.Errorf("core: truncated table entry: %v", err)
+		}
+		table[i].Threshold = int(thr)
+	}
+	cfg.RareTable = table
+
+	var histLen int64
+	if err := r(&histLen); err != nil {
+		return fmt.Errorf("core: truncated history length: %v", err)
+	}
+	if histLen < 0 || histLen > 1<<31 {
+		return fmt.Errorf("core: corrupt history length %d", histLen)
+	}
+	hist := make([]float64, histLen)
+	for i := range hist {
+		if err := r(&hist[i]); err != nil {
+			return fmt.Errorf("core: truncated history: %v", err)
+		}
+		if math.IsNaN(hist[i]) || hist[i] < 0 {
+			return fmt.Errorf("core: corrupt history value %g", hist[i])
+		}
+	}
+
+	// Rebuild derived structures.
+	b.cfg = cfg
+	b.minHistory = MinSampleSize(cfg.Quantile, cfg.Confidence)
+	b.hist = hist
+	b.set = ostat.New(cfg.Seed + 1)
+	for _, v := range hist {
+		b.set.Insert(v)
+	}
+	b.rareThreshold = int(rareThreshold)
+	b.consecMisses = int(consecMisses)
+	b.trims = int(trims)
+	b.observations = int(observations)
+	b.stale = true
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

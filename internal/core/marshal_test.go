@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	orig := New(Config{Quantile: 0.9, Confidence: 0.99, MaxHistory: 5000, Seed: 7})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		orig.ObserveAuto(math.Exp(2 * rng.NormFloat64()))
+	}
+	origBound, origOK := orig.Bound()
+
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Config{})
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.HistoryLen() != orig.HistoryLen() {
+		t.Fatalf("history %d vs %d", restored.HistoryLen(), orig.HistoryLen())
+	}
+	if restored.Trims() != orig.Trims() {
+		t.Errorf("trims %d vs %d", restored.Trims(), orig.Trims())
+	}
+	if restored.RareThreshold() != orig.RareThreshold() {
+		t.Errorf("rare threshold %d vs %d", restored.RareThreshold(), orig.RareThreshold())
+	}
+	gotBound, gotOK := restored.Bound()
+	if gotOK != origOK || gotBound != origBound {
+		t.Fatalf("bound %g/%v vs %g/%v", gotBound, gotOK, origBound, origOK)
+	}
+	// The restored predictor keeps evolving identically on the upper
+	// bound path: same history + same config means same future bounds.
+	future := []float64{3, 99, 0.5, 12}
+	for _, v := range future {
+		orig.Observe(v, false)
+		restored.Observe(v, false)
+	}
+	b1, _ := orig.Bound()
+	b2, _ := restored.Bound()
+	if b1 != b2 {
+		t.Fatalf("post-restore divergence: %g vs %g", b1, b2)
+	}
+	cfg := restored.Config()
+	if cfg.Quantile != 0.9 || cfg.Confidence != 0.99 || cfg.MaxHistory != 5000 {
+		t.Errorf("config not restored: %+v", cfg)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	b := New(Config{})
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("NOPE1234"),
+		[]byte("BMBP"),         // truncated after magic
+		[]byte("BMBP\x09\x00"), // unsupported version
+	}
+	for i, blob := range cases {
+		if err := b.UnmarshalBinary(blob); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated mid-history.
+	good := New(Config{})
+	for i := 0; i < 100; i++ {
+		good.Observe(float64(i), false)
+	}
+	blob, _ := good.MarshalBinary()
+	if err := b.UnmarshalBinary(blob[:len(blob)-4]); err == nil {
+		t.Error("truncated history accepted")
+	}
+	// Corrupt quantile.
+	blob2, _ := good.MarshalBinary()
+	for i := 6; i < 14; i++ {
+		blob2[i] = 0xFF
+	}
+	if err := b.UnmarshalBinary(blob2); err == nil {
+		t.Error("corrupt quantile accepted")
+	}
+}
+
+func TestMarshalEmptyPredictor(t *testing.T) {
+	orig := New(Config{})
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Config{})
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.HistoryLen() != 0 {
+		t.Error("empty predictor restored with history")
+	}
+	if _, ok := restored.Bound(); ok {
+		t.Error("empty predictor has a bound")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import "sort"
+
+// QuantileSpec names one bound in a quantile profile: the quantile, the
+// confidence level, and which side of the bound is wanted.
+type QuantileSpec struct {
+	Q    float64
+	C    float64
+	Side Side
+}
+
+// ProfileEntry is one computed bound of a quantile profile.
+type ProfileEntry struct {
+	Spec  QuantileSpec
+	Bound float64
+	OK    bool
+}
+
+// Table8Specs is the quantile profile the paper's Table 8 reports for the
+// "day in the life" of the datastar/normal queue: a 95%-confidence lower
+// bound on the 0.25 quantile and 95%-confidence upper bounds on the 0.5,
+// 0.75, and 0.95 quantiles.
+var Table8Specs = []QuantileSpec{
+	{Q: 0.25, C: 0.95, Side: Lower},
+	{Q: 0.50, C: 0.95, Side: Upper},
+	{Q: 0.75, C: 0.95, Side: Upper},
+	{Q: 0.95, C: 0.95, Side: Upper},
+}
+
+// Profile computes all requested bounds from a single history (any order;
+// it sorts a copy). Entries whose history is too short come back with
+// OK=false.
+func Profile(history []float64, specs []QuantileSpec, mode BoundMode) []ProfileEntry {
+	sorted := make([]float64, len(history))
+	copy(sorted, history)
+	sort.Float64s(sorted)
+	out := make([]ProfileEntry, len(specs))
+	for i, s := range specs {
+		var bound float64
+		var ok bool
+		if s.Side == Lower {
+			bound, ok = LowerBound(sorted, s.Q, s.C, mode)
+		} else {
+			bound, ok = UpperBound(sorted, s.Q, s.C, mode)
+		}
+		out[i] = ProfileEntry{Spec: s, Bound: bound, OK: ok}
+	}
+	return out
+}
+
+// ProfileOf computes a quantile profile from a live predictor's current
+// history.
+func ProfileOf(b *BMBP, specs []QuantileSpec) []ProfileEntry {
+	out := make([]ProfileEntry, len(specs))
+	for i, s := range specs {
+		bound, ok := b.BoundFor(s.Q, s.C, s.Side)
+		out[i] = ProfileEntry{Spec: s, Bound: bound, OK: ok}
+	}
+	return out
+}

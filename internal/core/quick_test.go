@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Property-based invariants of the bound index machinery, checked with
+// testing/quick over randomized (n, q, C).
+
+func quantileFrom(u16 uint16) float64 {
+	// q in [0.5, 0.99].
+	return 0.5 + 0.49*float64(u16)/65535
+}
+
+func confFrom(u16 uint16) float64 {
+	// C in [0.8, 0.99].
+	return 0.8 + 0.19*float64(u16)/65535
+}
+
+func TestQuickUpperIndexIsValidBound(t *testing.T) {
+	// Defining property: at the returned k, P(Bin(n,q) <= k-1) >= C, and
+	// at k-1 it is below C (minimality).
+	f := func(n16, q16, c16 uint16) bool {
+		n := int(n16)%3000 + 1
+		q := quantileFrom(q16)
+		c := confFrom(c16)
+		k, ok := UpperBoundIndex(n, q, c, ModeExact)
+		if !ok {
+			return n < MinSampleSize(q, c)
+		}
+		if k < 1 || k > n {
+			return false
+		}
+		b := stats.Binomial{N: n, P: q}
+		if b.CDF(k-1) < c {
+			return false
+		}
+		if k > 1 && b.CDF(k-2) >= c {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLowerIndexIsValidBound(t *testing.T) {
+	f := func(n16, q16, c16 uint16) bool {
+		n := int(n16)%3000 + 1
+		q := 0.1 + 0.5*float64(q16)/65535 // lower bounds for low-to-mid quantiles
+		c := confFrom(c16)
+		k, ok := LowerBoundIndex(n, q, c, ModeExact)
+		if !ok {
+			return n < MinSampleSizeLower(q, c)
+		}
+		if k < 1 || k > n {
+			return false
+		}
+		b := stats.Binomial{N: n, P: q}
+		// P(x_(k) < X_q) = P(Bin >= k) >= C.
+		if b.Survival(k-1) < c {
+			return false
+		}
+		// Maximality: k+1 would not qualify.
+		if k < n && b.Survival(k) >= c {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndexMonotoneInConfidence(t *testing.T) {
+	// More confidence demands a higher order statistic.
+	f := func(n16, q16 uint16) bool {
+		n := int(n16)%2000 + 100
+		q := quantileFrom(q16)
+		prev := 0
+		for _, c := range []float64{0.8, 0.9, 0.95, 0.99} {
+			k, ok := UpperBoundIndex(n, q, c, ModeExact)
+			if !ok {
+				continue
+			}
+			if k < prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndexMonotoneInQuantile(t *testing.T) {
+	f := func(n16 uint16) bool {
+		n := int(n16)%2000 + 200
+		prev := 0
+		for _, q := range []float64{0.5, 0.75, 0.9, 0.95} {
+			k, ok := UpperBoundIndex(n, q, 0.95, ModeExact)
+			if !ok {
+				continue
+			}
+			if k < prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndexFractionShrinksWithN(t *testing.T) {
+	// Conservatism k/n decreases toward q as n grows (the Appendix's
+	// convergence observation), for any (q, C).
+	f := func(q16, c16 uint16) bool {
+		q := quantileFrom(q16)
+		c := confFrom(c16)
+		prev := 1.0
+		for _, n := range []int{200, 2000, 20000} {
+			k, ok := UpperBoundIndex(n, q, c, ModeAuto)
+			if !ok {
+				continue
+			}
+			frac := float64(k) / float64(n)
+			if frac < q {
+				return false // never below the quantile itself
+			}
+			if frac > prev+1e-9 {
+				return false
+			}
+			prev = frac
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProfileOrdering(t *testing.T) {
+	// For any history, the Table 8 profile entries are nondecreasing.
+	f := func(raw []uint32) bool {
+		if len(raw) < 80 {
+			return true
+		}
+		hist := make([]float64, len(raw))
+		for i, v := range raw {
+			hist[i] = float64(v % 100000)
+		}
+		entries := Profile(hist, Table8Specs, ModeAuto)
+		prev := -1.0
+		for _, e := range entries {
+			if !e.OK {
+				continue
+			}
+			if e.Bound < prev {
+				return false
+			}
+			prev = e.Bound
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

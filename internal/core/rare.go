@@ -1,0 +1,59 @@
+package core
+
+// Rare-event run-length thresholds (Section 4.1, "Nonstationarity").
+//
+// A single miss of a 0.95-quantile bound happens 5% of the time by design.
+// For i.i.d. data, r consecutive misses happens with probability 0.05^r, so
+// three in a row (1.25e-4) is practically certain evidence of a change
+// point. Autocorrelated data produces longer excursions above the quantile,
+// so the run length that constitutes a "rare event" must grow with the
+// series' first autocorrelation. The paper calibrates this with a Monte
+// Carlo over AR(1) log-normal series; internal/mc contains that simulation
+// (runnable via cmd/mctable), and DefaultRareEventTable below is its output
+// (seed 1, 2e6 steps per rho, rare-event probability cutoff 0.002 — just
+// under the i.i.d. two-in-a-row probability of 0.0025 the paper calls
+// "extremely rare", so that i.i.d. series get the paper's three-in-a-row
+// threshold).
+
+// RareEventEntry maps a first-autocorrelation upper edge to the consecutive
+// miss count that constitutes a rare event for series at or below that
+// autocorrelation.
+type RareEventEntry struct {
+	MaxAutocorr float64 // entries apply to ACF <= MaxAutocorr
+	Threshold   int     // consecutive misses that signal a change point
+}
+
+// RareEventTable is a coarse-grained lookup from a history's lag-1
+// autocorrelation to its rare-event run-length threshold.
+type RareEventTable []RareEventEntry
+
+// DefaultRareEventTable is the precomputed table used when a predictor is
+// not given one explicitly. Regenerate with internal/mc (see
+// TestDefaultTableMatchesMonteCarlo, which checks the builder reproduces
+// these values).
+// Raw-series autocorrelations are much lower than the log-space AR(1)
+// coefficients that generate them (the heavy tail dilutes linear
+// correlation), which is why the buckets concentrate below 0.75.
+var DefaultRareEventTable = RareEventTable{
+	{MaxAutocorr: 0.10, Threshold: 3},
+	{MaxAutocorr: 0.26, Threshold: 4},
+	{MaxAutocorr: 0.41, Threshold: 5},
+	{MaxAutocorr: 0.59, Threshold: 7},
+	{MaxAutocorr: 0.76, Threshold: 12},
+	{MaxAutocorr: 1.01, Threshold: 22},
+}
+
+// Lookup returns the rare-event threshold for a series with the given lag-1
+// autocorrelation. Autocorrelations at or below zero (or NaN) fall into the
+// first bucket; values above every bucket use the last entry.
+func (t RareEventTable) Lookup(acf float64) int {
+	if len(t) == 0 {
+		return DefaultRareEventTable.Lookup(acf)
+	}
+	for _, e := range t {
+		if acf <= e.MaxAutocorr {
+			return e.Threshold
+		}
+	}
+	return t[len(t)-1].Threshold
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+	"repro/qbets"
+)
+
+// Learned categories vs. fixed buckets — beyond the paper. Section 6.2
+// fixes the processor-count categories to the four ranges TACC suggested;
+// the authors' follow-up system learned categories from the workload
+// instead. This experiment replays one queue three ways and compares:
+//
+//   - merged: a single predictor for the whole queue (Section 6.1 shape)
+//   - fixed:  one predictor per fixed processor-count bucket (Section 6.2)
+//   - auto:   qbets.AutoService with learned categories
+//
+// The replay honors the visibility rule (a wait is observable only at job
+// start) with per-job scoring after a 10% training prefix, mirroring the
+// main simulator.
+
+// AutoCatResult summarizes one routing strategy's performance.
+type AutoCatResult struct {
+	Strategy        string
+	Scored, Correct int
+	CorrectFraction float64
+	// MedianRatio is the paper's accuracy metric; MeanRatio is robust to
+	// the zero-inflated waits an uncontended scheduler produces (where
+	// the median actual wait — and so the median ratio — is exactly 0).
+	MedianRatio float64
+	MeanRatio   float64
+	Categories  int
+}
+
+// AutoCategories runs the comparison on one embedded paper machine/queue.
+func AutoCategories(cfg Config, machine, queue string) []AutoCatResult {
+	cfg = cfg.withDefaults()
+	p := trace.FindPaperQueue(machine, queue)
+	if p == nil {
+		return nil
+	}
+	return AutoCategoriesOn(cfg, cfg.GenerateQueue(p))
+}
+
+// AutoCategoriesOn runs the comparison on any trace.
+func AutoCategoriesOn(cfg Config, t *trace.Trace) []AutoCatResult {
+	cfg = cfg.withDefaults()
+	queue := t.Queue
+
+	type strategy struct {
+		name     string
+		observe  func(procs int, wait float64)
+		forecast func(procs int) (float64, bool)
+		cats     func() int
+	}
+	mkMerged := func() strategy {
+		f := qbets.New(qbets.WithSeed(cfg.Seed))
+		return strategy{
+			name:     "merged",
+			observe:  func(procs int, w float64) { f.Observe(w) },
+			forecast: func(procs int) (float64, bool) { return f.Forecast() },
+			cats:     func() int { return 1 },
+		}
+	}
+	mkFixed := func() strategy {
+		s := qbets.NewService(true, qbets.WithSeed(cfg.Seed))
+		return strategy{
+			name:     "fixed-buckets",
+			observe:  func(procs int, w float64) { s.Observe(queue, procs, w) },
+			forecast: func(procs int) (float64, bool) { return s.Forecast(queue, procs) },
+			cats:     func() int { return len(s.Queues()) },
+		}
+	}
+	mkAuto := func() strategy {
+		a := qbets.NewAutoService(4, 500, qbets.WithSeed(cfg.Seed))
+		return strategy{
+			name:     "learned",
+			observe:  func(procs int, w float64) { a.Observe(procs, 0, w) },
+			forecast: func(procs int) (float64, bool) { return a.Forecast(procs, 0) },
+			cats:     func() int { return a.Categories() },
+		}
+	}
+
+	var out []AutoCatResult
+	for _, mk := range []func() strategy{mkMerged, mkFixed, mkAuto} {
+		s := mk()
+		out = append(out, replayStrategy(t, s.name, s.observe, s.forecast, s.cats))
+	}
+	return out
+}
+
+func replayStrategy(t *trace.Trace, name string,
+	observe func(int, float64), forecast func(int) (float64, bool), cats func() int) AutoCatResult {
+
+	type rel struct {
+		at    int64
+		procs int
+		wait  float64
+	}
+	var pending []rel
+	train := t.Len() / 10
+	res := AutoCatResult{Strategy: name}
+	var ratios []float64
+	for i, j := range t.Jobs {
+		keep := pending[:0]
+		for _, r := range pending {
+			if r.at <= j.Submit {
+				observe(r.procs, r.wait)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		pending = append(keep, rel{j.Release(), j.Procs, j.Wait})
+
+		bound, ok := forecast(j.Procs)
+		if i >= train && ok {
+			res.Scored++
+			if j.Wait <= bound {
+				res.Correct++
+			}
+			if bound > 0 {
+				ratios = append(ratios, j.Wait/bound)
+			}
+		}
+	}
+	if res.Scored > 0 {
+		res.CorrectFraction = float64(res.Correct) / float64(res.Scored)
+	} else {
+		res.CorrectFraction = 1
+	}
+	sort.Float64s(ratios)
+	if n := len(ratios); n > 0 {
+		if n%2 == 1 {
+			res.MedianRatio = ratios[n/2]
+		} else {
+			res.MedianRatio = (ratios[n/2-1] + ratios[n/2]) / 2
+		}
+		sum := 0.0
+		for _, r := range ratios {
+			sum += r
+		}
+		res.MeanRatio = sum / float64(n)
+	}
+	res.Categories = cats()
+	return res
+}

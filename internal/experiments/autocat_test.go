@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+func checkStrategies(t *testing.T, results []AutoCatResult, floor float64) map[string]AutoCatResult {
+	t.Helper()
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[string]AutoCatResult{}
+	for _, r := range results {
+		byName[r.Strategy] = r
+		if r.Scored == 0 {
+			t.Fatalf("%s scored nothing", r.Strategy)
+		}
+		// Every strategy rides on BMBP, so every strategy must stay near
+		// the correctness target.
+		if r.CorrectFraction < floor {
+			t.Errorf("%s correct %.3f below %.2f", r.Strategy, r.CorrectFraction, floor)
+		}
+	}
+	if byName["merged"].Categories != 1 {
+		t.Error("merged should have one category")
+	}
+	if byName["fixed-buckets"].Categories < 2 {
+		t.Errorf("fixed buckets = %d categories", byName["fixed-buckets"].Categories)
+	}
+	if byName["learned"].Categories < 2 {
+		t.Errorf("learned = %d categories", byName["learned"].Categories)
+	}
+	return byName
+}
+
+func TestAutoCategoriesOnSyntheticQueue(t *testing.T) {
+	// datastar/normal: category differences exist but the congestion
+	// episodes (bucket-independent) dominate the upper tail, so splitting
+	// is roughly a wash here — the interesting assertion is that it does
+	// not cost correctness.
+	checkStrategies(t, AutoCategories(Config{}, "datastar", "normal"), 0.94)
+	if AutoCategories(Config{}, "nope", "nope") != nil {
+		t.Error("unknown queue should be nil")
+	}
+}
+
+func TestAutoCategoriesOnSchedulerTrace(t *testing.T) {
+	// On emergent waits from the backfilling scheduler, job size is the
+	// dominant wait factor (small jobs slip into holes, wide jobs queue),
+	// so per-category prediction must buy real accuracy over a merged
+	// predictor.
+	jobs := scheduler.GenerateJobs(scheduler.WorkloadConfig{Jobs: 25000, Seed: 31})
+	res, err := scheduler.Run(scheduler.DefaultMachine(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace("sim128", "normal")
+	// Emergent scheduler waits are harsher than the calibrated suite (the
+	// queue-ceiling kills and backfill reservations produce abrupt regime
+	// flips no predictor sees coming), so the correctness floor here is
+	// looser than the paper-suite 0.95 — what matters is that all three
+	// strategies sit together near the target.
+	byName := checkStrategies(t, AutoCategoriesOn(Config{}, tr), 0.90)
+	// Most scheduler waits are zero, so the median ratio degenerates; the
+	// mean ratio is instead dominated by the magnitude of misses (jobs
+	// whose wait dwarfed the quoted bound). A merged predictor quotes
+	// small-job-ish bounds to wide jobs and takes huge overshoots;
+	// per-category prediction must shrink that tail substantially.
+	merged := byName["merged"].MeanRatio
+	if merged == 0 {
+		t.Fatal("mean ratio degenerate")
+	}
+	for _, s := range []string{"fixed-buckets", "learned"} {
+		if got := byName[s].MeanRatio; got >= merged {
+			t.Errorf("%s mean overshoot %.3g not below merged %.3g", s, got, merged)
+		}
+	}
+}

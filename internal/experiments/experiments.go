@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) from the calibrated synthetic trace suite: the
+// Table 1 workload summary, the by-queue correctness and accuracy
+// comparisons of Tables 3 and 4, the by-processor-count breakdowns of
+// Tables 5-7, the Table 8 quantile profile, and the Figure 1/2 bound time
+// series. Each experiment returns plain data (paired with the paper's
+// published values where applicable) so the cmd tools, tests, and
+// benchmarks all share one implementation.
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives trace generation and predictor internals; a fixed seed
+	// reproduces every table byte-for-byte.
+	Seed int64
+	// Quantile and Confidence default to the paper's 0.95/0.95.
+	Quantile   float64
+	Confidence float64
+	// Sim overrides the evaluation simulator settings (zero value = the
+	// paper's: 300 s epochs, 10% training).
+	Sim sim.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Quantile == 0 {
+		c.Quantile = 0.95
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	return c
+}
+
+// queueSeed derives the per-queue generation seed, matching workload.Suite.
+func queueSeed(base int64, index int) int64 {
+	return base + int64(index)*7919
+}
+
+// GenerateQueue builds the calibrated synthetic trace for one embedded
+// paper queue under this configuration.
+func (c Config) GenerateQueue(p *trace.PaperQueue) *trace.Trace {
+	c = c.withDefaults()
+	for i := range trace.PaperQueues {
+		if &trace.PaperQueues[i] == p || (trace.PaperQueues[i].Machine == p.Machine && trace.PaperQueues[i].Queue == p.Queue) {
+			return workload.ModelFor(p, queueSeed(c.Seed, i)).Generate()
+		}
+	}
+	return workload.ModelFor(p, c.Seed).Generate()
+}
+
+// EvalQueue replays one trace against the paper's three methods and returns
+// their results in table column order (BMBP, logn-notrim, logn-trim).
+func (c Config) EvalQueue(t *trace.Trace) []sim.Result {
+	c = c.withDefaults()
+	preds := predictor.Standard(c.Quantile, c.Confidence, c.Seed)
+	return sim.Run(t, preds, c.Sim)
+}
+
+// nan is the "no value" marker used across experiment outputs.
+var nan = math.NaN()
+
+// forEachIndex runs fn(i) for i in [0, n) on a bounded worker pool. Every
+// experiment's per-queue work (generate + replay + score) is independent,
+// so the table loops fan out across cores; results are written to
+// pre-sized slices by index, which keeps output order deterministic.
+func forEachIndex(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The experiments run the full evaluation pipeline over the calibrated
+// synthetic suite; these are the repository's headline integration tests,
+// asserting the paper's qualitative results hold end to end.
+
+func TestTable1Calibration(t *testing.T) {
+	rows := Table1(Config{})
+	if len(rows) != 39 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	badMedian := 0
+	for _, r := range rows {
+		if r.Generated.Count != r.Paper.JobCount {
+			t.Errorf("%s/%s: count %d vs %d", r.Machine, r.Queue, r.Generated.Count, r.Paper.JobCount)
+		}
+		medT := math.Max(r.Paper.Median, 1)
+		med := math.Max(r.Generated.Median, 1)
+		if ratio := med / medT; ratio > 4 || ratio < 0.25 {
+			badMedian++
+			t.Logf("%s/%s: median %g vs %g", r.Machine, r.Queue, r.Generated.Median, r.Paper.Median)
+		}
+		// Heavy tail everywhere: mean above median.
+		if r.Generated.Mean < r.Generated.Median {
+			t.Errorf("%s/%s: generated tail too light", r.Machine, r.Queue)
+		}
+	}
+	if badMedian > 2 {
+		t.Errorf("%d queues outside median tolerance", badMedian)
+	}
+}
+
+func TestTable34HeadlineResults(t *testing.T) {
+	rows := Table34(Config{})
+	if len(rows) != 32 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	const pass = 0.95
+	agree := 0
+	total := 0
+	bmbpAccuracyWins := 0
+	for _, r := range rows {
+		name := r.Machine + "/" + r.Queue
+
+		// The paper's single BMBP failure is LANL/short; every other
+		// queue must clear 0.95.
+		if name == "lanl/short" {
+			if r.BMBP.CorrectFraction >= pass {
+				t.Errorf("%s: BMBP %.3f should reproduce the paper's failure", name, r.BMBP.CorrectFraction)
+			}
+		} else if r.BMBP.CorrectFraction < pass {
+			t.Errorf("%s: BMBP %.3f below 0.95", name, r.BMBP.CorrectFraction)
+		}
+
+		// BMBP must not be grossly over-conservative either: the paper's
+		// fractions cluster at 0.95-0.99.
+		if r.BMBP.CorrectFraction > 0.999 {
+			t.Errorf("%s: BMBP %.3f suspiciously conservative", name, r.BMBP.CorrectFraction)
+		}
+
+		// Pass/fail pattern agreement with the paper, per method.
+		check := func(got, want float64) {
+			total++
+			if (got < pass) == (want < pass) {
+				agree++
+			}
+		}
+		check(r.BMBP.CorrectFraction, r.PaperBMBP)
+		check(r.LogNoTrim.CorrectFraction, r.PaperLogNoTrim)
+		check(r.LogTrim.CorrectFraction, r.PaperLogTrim)
+
+		if r.BMBP.MedianRatio > math.Max(r.LogNoTrim.MedianRatio, r.LogTrim.MedianRatio) {
+			bmbpAccuracyWins++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.88 {
+		t.Errorf("pass/fail pattern agreement %.2f (%d/%d) below 0.88", frac, agree, total)
+	}
+	// The untrimmed log-normal must fail on a substantial set of queues
+	// (the paper: 13 of 32) and trimming must repair most of them.
+	noTrimFails, trimFails := 0, 0
+	for _, r := range rows {
+		if r.LogNoTrim.CorrectFraction < pass {
+			noTrimFails++
+		}
+		if r.LogTrim.CorrectFraction < pass {
+			trimFails++
+		}
+	}
+	if noTrimFails < 8 {
+		t.Errorf("logn-notrim fails on only %d queues; the paper's effect is absent", noTrimFails)
+	}
+	if trimFails >= noTrimFails {
+		t.Errorf("trimming did not help: %d fails vs %d untrimmed", trimFails, noTrimFails)
+	}
+	// Accuracy: BMBP quotes the tightest bound (highest actual/predicted
+	// median ratio) on a majority of queues, as in the paper's boldface.
+	if bmbpAccuracyWins < len(rows)/2 {
+		t.Errorf("BMBP tightest on only %d of %d queues", bmbpAccuracyWins, len(rows))
+	}
+}
+
+func TestTable567ByProcessorCount(t *testing.T) {
+	rows := Table567(Config{})
+	if len(rows) != 27 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	const pass = 0.95
+	cellsChecked := 0
+	for _, r := range rows {
+		for _, b := range trace.AllBuckets {
+			has := !math.IsNaN(r.BMBP[b])
+			if has != r.PaperPresent[b] {
+				t.Errorf("%s/%s bucket %s: presence %v, paper %v (jobs %d)",
+					r.Machine, r.Queue, b.Label(), has, r.PaperPresent[b], r.Jobs[b])
+				continue
+			}
+			if !has {
+				continue
+			}
+			cellsChecked++
+			// Table 5's shape: BMBP makes the desired fraction in every
+			// reported cell.
+			if r.BMBP[b] < pass {
+				t.Errorf("%s/%s bucket %s: BMBP %.3f below 0.95", r.Machine, r.Queue, b.Label(), r.BMBP[b])
+			}
+		}
+	}
+	if cellsChecked < 40 {
+		t.Errorf("only %d populated cells", cellsChecked)
+	}
+	// Tables 6/7 shape: the log-normal fails somewhere, and trimming
+	// strictly reduces the failure count.
+	noTrimFails, trimFails := 0, 0
+	for _, r := range rows {
+		for _, b := range trace.AllBuckets {
+			if math.IsNaN(r.LogNoTrim[b]) {
+				continue
+			}
+			if r.LogNoTrim[b] < pass {
+				noTrimFails++
+			}
+			if r.LogTrim[b] < pass {
+				trimFails++
+			}
+		}
+	}
+	if noTrimFails == 0 {
+		t.Error("log-normal without trimming should fail in some cells")
+	}
+	if trimFails > noTrimFails {
+		t.Errorf("trimming increased failures: %d vs %d", trimFails, noTrimFails)
+	}
+}
+
+func TestTable8ProfileShape(t *testing.T) {
+	rows := Table8(Config{})
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13 (the paper samples 13 times)", len(rows))
+	}
+	for i, r := range rows {
+		if math.IsNaN(r.Q25Lower) || math.IsNaN(r.Q95) {
+			t.Fatalf("row %d missing bounds: %+v", i, r)
+		}
+		// Quantile ordering within each row.
+		if !(r.Q25Lower <= r.Q50 && r.Q50 <= r.Q75 && r.Q75 <= r.Q95) {
+			t.Errorf("row %d not ordered: %+v", i, r)
+		}
+		if i > 0 && r.Time-rows[i-1].Time != 7200 {
+			t.Errorf("rows not 2h apart: %d", r.Time-rows[i-1].Time)
+		}
+	}
+}
+
+func TestFigure1SiteGap(t *testing.T) {
+	series := Figure1(Config{})
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	sdsc, tacc := series[0], series[1]
+	if len(sdsc.Values) != 288 || len(tacc.Values) != 288 {
+		t.Fatalf("lengths %d/%d, want 288 five-minute samples", len(sdsc.Values), len(tacc.Values))
+	}
+	// The paper's headline: through most of Feb 24, 2005 a user would
+	// predict a far shorter start on TACC than on SDSC.
+	taccLower := 0
+	for i := range sdsc.Values {
+		if tacc.Values[i] < sdsc.Values[i] {
+			taccLower++
+		}
+	}
+	if frac := float64(taccLower) / 288; frac < 0.75 {
+		t.Errorf("TACC bound below SDSC only %.0f%% of the day", frac*100)
+	}
+	// And the gap is large where it holds (paper: 12 s vs days).
+	ratio := medianOf(sdsc.Values) / math.Max(medianOf(tacc.Values), 1)
+	if ratio < 20 {
+		t.Errorf("site gap ratio %.1f, want > 20x", ratio)
+	}
+}
+
+func TestFigure2LargerJobsFavored(t *testing.T) {
+	series := Figure2(Config{})
+	small, large := series[0], series[1]
+	if len(small.Values) == 0 || len(small.Values) != len(large.Values) {
+		t.Fatal("series lengths")
+	}
+	largeLower := 0
+	for i := range small.Values {
+		if large.Values[i] < small.Values[i] {
+			largeLower++
+		}
+	}
+	// The inversion the paper verified by hand: the 17-64 bound sits
+	// below the 1-4 bound through (essentially all of) June 2004.
+	if frac := float64(largeLower) / float64(len(small.Values)); frac < 0.9 {
+		t.Errorf("large-job bound lower only %.0f%% of the month", frac*100)
+	}
+}
+
+func medianOf(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 42 || c.Quantile != 0.95 || c.Confidence != 0.95 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestGenerateQueueMatchesSuiteSeeding(t *testing.T) {
+	cfg := Config{Seed: 42}
+	p := trace.FindPaperQueue("nersc", "debug")
+	a := cfg.GenerateQueue(p)
+	b := cfg.GenerateQueue(p)
+	if a.Len() != b.Len() || a.Jobs[0] != b.Jobs[0] || a.Jobs[a.Len()-1] != b.Jobs[b.Len()-1] {
+		t.Fatal("GenerateQueue not deterministic")
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Extended comparison — beyond the paper's three methods. The paper's
+// related work motivates two more comparators (Downey's log-uniform model,
+// references [5, 6]) and Section 5 sketches the degenerate
+// "astronomically large guess" strategy; this experiment runs the full
+// field over the same 32 queues so their failure modes are visible side
+// by side:
+//
+//   - bmbp            the paper's method
+//   - logn-notrim     parametric, full history
+//   - logn-trim       parametric with BMBP's change-point trimming
+//   - loguniform      Downey-style log-uniform quantile (point estimate)
+//   - loguniform-trim same, with trimming
+//   - running-max     maximally conservative baseline
+//   - empirical       sample quantile with no confidence margin
+//
+// Correctness alone flatters the conservative methods (running-max is
+// nearly always "correct"); pairing it with the median actual/predicted
+// ratio exposes them, which is precisely the paper's accuracy argument.
+
+// ExtendedMethods lists the method names in output order.
+var ExtendedMethods = []string{
+	"bmbp", "logn-notrim", "logn-trim",
+	"loguniform", "loguniform-trim", "running-max", "empirical",
+}
+
+func extendedPredictors(q, c float64, seed int64) []predictor.Predictor {
+	return []predictor.Predictor{
+		predictor.NewBMBP(q, c, seed),
+		predictor.NewLogNormal(predictor.LogNormalConfig{Quantile: q, Confidence: c}),
+		predictor.NewLogNormal(predictor.LogNormalConfig{Quantile: q, Confidence: c, Trim: true}),
+		predictor.NewLogUniform(predictor.LogUniformConfig{Quantile: q, Confidence: c}),
+		predictor.NewLogUniform(predictor.LogUniformConfig{Quantile: q, Confidence: c, Trim: true}),
+		predictor.NewRunningMax(q, c),
+		predictor.NewEmpirical(q, c, seed),
+	}
+}
+
+// ExtendedRow holds all methods' outcomes on one queue, indexed like
+// ExtendedMethods.
+type ExtendedRow struct {
+	Machine, Queue string
+	Outcomes       []MethodOutcome
+}
+
+// Extended runs the full comparator field over the paper's 32 evaluated
+// queues.
+func Extended(cfg Config) []ExtendedRow {
+	cfg = cfg.withDefaults()
+	queues := trace.Table3Queues()
+	rows := make([]ExtendedRow, len(queues))
+	forEachIndex(len(queues), func(i int) {
+		p := queues[i]
+		t := cfg.GenerateQueue(p)
+		preds := extendedPredictors(cfg.Quantile, cfg.Confidence, cfg.Seed)
+		results := sim.Run(t, preds, cfg.Sim)
+		row := ExtendedRow{Machine: p.Machine, Queue: p.Queue}
+		for _, r := range results {
+			row.Outcomes = append(row.Outcomes, outcome(r))
+		}
+		rows[i] = row
+	})
+	return rows
+}
+
+// ExtendedSummary aggregates each method over the queues: how many queues
+// it was correct on, and the median of its per-queue median ratios (a
+// crude single-number accuracy).
+type ExtendedSummary struct {
+	Method         string
+	QueuesCorrect  int
+	QueuesTotal    int
+	MedianOfRatios float64
+}
+
+// SummarizeExtended reduces Extended's rows to one line per method.
+func SummarizeExtended(rows []ExtendedRow) []ExtendedSummary {
+	out := make([]ExtendedSummary, len(ExtendedMethods))
+	for m := range ExtendedMethods {
+		ratios := make([]float64, 0, len(rows))
+		correct := 0
+		for _, r := range rows {
+			o := r.Outcomes[m]
+			if o.CorrectFraction >= 0.95 {
+				correct++
+			}
+			if o.MedianRatio > 0 {
+				ratios = append(ratios, o.MedianRatio)
+			}
+		}
+		out[m] = ExtendedSummary{
+			Method:         ExtendedMethods[m],
+			QueuesCorrect:  correct,
+			QueuesTotal:    len(rows),
+			MedianOfRatios: medianFloat(ratios),
+		}
+	}
+	return out
+}
+
+func medianFloat(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

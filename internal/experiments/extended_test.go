@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestExtendedComparatorField(t *testing.T) {
+	rows := Extended(Config{})
+	if len(rows) != 32 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Outcomes) != len(ExtendedMethods) {
+			t.Fatalf("%s/%s: %d outcomes", r.Machine, r.Queue, len(r.Outcomes))
+		}
+	}
+	sums := SummarizeExtended(rows)
+	byName := map[string]ExtendedSummary{}
+	for _, s := range sums {
+		byName[s.Method] = s
+	}
+
+	// BMBP is correct on all queues but one (lanl/short).
+	if got := byName["bmbp"].QueuesCorrect; got != 31 {
+		t.Errorf("bmbp correct on %d queues, want 31", got)
+	}
+	// The untrimmed log-normal fails on many.
+	if got := byName["logn-notrim"].QueuesCorrect; got > 24 {
+		t.Errorf("logn-notrim correct on %d queues; effect absent", got)
+	}
+	// Running-max is correct essentially everywhere...
+	if got := byName["running-max"].QueuesCorrect; got < 30 {
+		t.Errorf("running-max correct on only %d queues", got)
+	}
+	// ...but uselessly conservative: its accuracy ratio is far below
+	// BMBP's (the paper's Section 5 argument, quantified).
+	if byName["running-max"].MedianOfRatios*2 > byName["bmbp"].MedianOfRatios {
+		t.Errorf("running-max ratio %.3g should be far below bmbp %.3g",
+			byName["running-max"].MedianOfRatios, byName["bmbp"].MedianOfRatios)
+	}
+	// The empirical quantile (no confidence margin) fails on more queues
+	// than BMBP: the margin is what buys correctness under dependence and
+	// drift.
+	if got := byName["empirical"].QueuesCorrect; got >= byName["bmbp"].QueuesCorrect {
+		t.Errorf("empirical correct on %d queues, bmbp on %d — margin buys nothing?",
+			got, byName["bmbp"].QueuesCorrect)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestSeedRobustness guards against the reproduction being tuned to one
+// lucky seed: under fresh workload seeds, the headline shapes must hold —
+// BMBP correct (or within noise of 0.95) everywhere except the designed
+// LANL/short failure, and the pass/fail pattern agreeing with the paper on
+// the large majority of cells.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, seed := range []int64{7, 123} {
+		rows := Table34(Config{Seed: seed})
+		agree, total := 0, 0
+		borderline := 0
+		for _, r := range rows {
+			check := func(got, want float64) {
+				total++
+				if (got < 0.95) == (want < 0.95) {
+					agree++
+				}
+			}
+			check(r.BMBP.CorrectFraction, r.PaperBMBP)
+			check(r.LogNoTrim.CorrectFraction, r.PaperLogNoTrim)
+			check(r.LogTrim.CorrectFraction, r.PaperLogTrim)
+
+			name := r.Machine + "/" + r.Queue
+			if name == "lanl/short" {
+				continue
+			}
+			switch {
+			case r.BMBP.CorrectFraction >= 0.95:
+			case r.BMBP.CorrectFraction >= 0.94:
+				// Within sampling noise of the target; tolerate one.
+				borderline++
+			default:
+				t.Errorf("seed %d: %s BMBP %.3f well below 0.95", seed, name, r.BMBP.CorrectFraction)
+			}
+		}
+		if borderline > 1 {
+			t.Errorf("seed %d: %d borderline BMBP cells", seed, borderline)
+		}
+		if frac := float64(agree) / float64(total); frac < 0.85 {
+			t.Errorf("seed %d: agreement %.2f (%d/%d)", seed, frac, agree, total)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Quantile/confidence sweep. Section 5 of the paper: "We examine several
+// different combinations of quantile and confidence level as part of this
+// verification" — the correctness property must hold for every (q, C), not
+// just the headline 0.95/0.95. This experiment replays representative
+// queues at a grid of levels and records BMBP's correct fraction for each.
+
+// SweepPoint is one (quantile, confidence, queue) evaluation.
+type SweepPoint struct {
+	Machine, Queue string
+	Quantile       float64
+	Confidence     float64
+	// CorrectFraction is BMBP's fraction of correct upper bounds; the
+	// target is Quantile (not Confidence): over many predictions, at
+	// least q of the per-job bounds should cover.
+	CorrectFraction float64
+	Scored          int
+}
+
+// SweepQueues are the default representative queues: one per workload
+// character (clean, moderate, shifty, spiky).
+var SweepQueues = [][2]string{
+	{"llnl", "all"},    // clean
+	{"nersc", "debug"}, // moderate
+	{"sdsc", "low"},    // shifty
+	{"lanl", "shared"}, // spiky
+}
+
+// SweepLevels are the (quantile, confidence) pairs evaluated.
+var SweepLevels = [][2]float64{
+	{0.50, 0.95},
+	{0.75, 0.95},
+	{0.90, 0.95},
+	{0.95, 0.95},
+	{0.95, 0.80},
+	{0.99, 0.95},
+}
+
+// SweepQC runs BMBP at every level over every representative queue.
+func SweepQC(cfg Config) []SweepPoint {
+	cfg = cfg.withDefaults()
+	points := make([]SweepPoint, len(SweepQueues)*len(SweepLevels))
+	forEachIndex(len(points), func(idx int) {
+		qi, li := idx/len(SweepLevels), idx%len(SweepLevels)
+		name := SweepQueues[qi]
+		level := SweepLevels[li]
+		p := trace.FindPaperQueue(name[0], name[1])
+		t := cfg.GenerateQueue(p)
+		preds := []predictor.Predictor{predictor.NewBMBP(level[0], level[1], cfg.Seed)}
+		res := sim.Run(t, preds, cfg.Sim)
+		points[idx] = SweepPoint{
+			Machine:         name[0],
+			Queue:           name[1],
+			Quantile:        level[0],
+			Confidence:      level[1],
+			CorrectFraction: res[0].CorrectFraction(),
+			Scored:          res[0].Scored,
+		}
+	})
+	return points
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+func TestSweepQuantileConfidenceGrid(t *testing.T) {
+	points := SweepQC(Config{})
+	if len(points) != len(SweepQueues)*len(SweepLevels) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.Scored == 0 {
+			t.Errorf("%s/%s q=%.2f: nothing scored", pt.Machine, pt.Queue, pt.Quantile)
+			continue
+		}
+		// The method's correctness target is the quantile itself. Allow a
+		// small sampling tolerance at low confidence and extreme
+		// quantiles; well below target is a real failure.
+		slack := 0.012
+		if pt.Confidence < 0.9 {
+			slack = 0.025
+		}
+		if pt.CorrectFraction < pt.Quantile-slack {
+			t.Errorf("%s/%s q=%.2f C=%.2f: correct %.3f below quantile",
+				pt.Machine, pt.Queue, pt.Quantile, pt.Confidence, pt.CorrectFraction)
+		}
+		// And it must not be degenerate (everything covered) for the
+		// moderate quantiles, where meaningful bounds leave misses.
+		if pt.Quantile <= 0.9 && pt.CorrectFraction > 0.999 {
+			t.Errorf("%s/%s q=%.2f: suspiciously perfect (%.4f)",
+				pt.Machine, pt.Queue, pt.Quantile, pt.CorrectFraction)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Table1Row pairs a generated trace's summary statistics with the paper's
+// published Table 1 values for the same machine/queue.
+type Table1Row struct {
+	Machine, Queue string
+
+	Generated stats.Summary
+	Paper     struct {
+		JobCount             int
+		Mean, Median, StdDev float64
+	}
+}
+
+// Table1 regenerates the paper's Table 1: it generates all 39 calibrated
+// queue traces and summarizes their queue delays.
+func Table1(cfg Config) []Table1Row {
+	cfg = cfg.withDefaults()
+	rows := make([]Table1Row, len(trace.PaperQueues))
+	forEachIndex(len(trace.PaperQueues), func(i int) {
+		p := &trace.PaperQueues[i]
+		t := cfg.GenerateQueue(p)
+		row := Table1Row{Machine: p.Machine, Queue: p.Queue, Generated: t.Summary()}
+		row.Paper.JobCount = p.JobCount
+		row.Paper.Mean = p.AvgDelay
+		row.Paper.Median = p.MedDelay
+		row.Paper.StdDev = p.StdDelay
+		rows[i] = row
+	})
+	return rows
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func outcome(r sim.Result) MethodOutcome {
+	return MethodOutcome{
+		CorrectFraction: r.CorrectFraction(),
+		MedianRatio:     r.MedianRatio(),
+		Trims:           r.Trims,
+	}
+}
+
+// MethodOutcome is one method's correctness and accuracy on one queue.
+type MethodOutcome struct {
+	CorrectFraction float64
+	MedianRatio     float64
+	Trims           int
+}
+
+// Table34Row holds the reproduced and published Tables 3 and 4 values for
+// one queue: fraction of correct 0.95-quantile/95%-confidence upper bounds
+// (Table 3) and the median actual/predicted ratio (Table 4) for BMBP and
+// the two log-normal variants.
+type Table34Row struct {
+	Machine, Queue string
+	Character      string
+	Jobs           int
+
+	BMBP, LogNoTrim, LogTrim MethodOutcome
+
+	// Published values from the paper for the same queue.
+	PaperBMBP, PaperLogNoTrim, PaperLogTrim          float64
+	PaperBMBPRatio, PaperNoTrimRatio, PaperTrimRatio float64
+}
+
+// Table34 reproduces Tables 3 and 4: each of the paper's 32 evaluated
+// queues is generated, replayed through the evaluation simulator against
+// the three methods, and scored.
+func Table34(cfg Config) []Table34Row {
+	cfg = cfg.withDefaults()
+	queues := trace.Table3Queues()
+	rows := make([]Table34Row, len(queues))
+	forEachIndex(len(queues), func(i int) {
+		p := queues[i]
+		t := cfg.GenerateQueue(p)
+		res := cfg.EvalQueue(t)
+		rows[i] = Table34Row{
+			Machine:   p.Machine,
+			Queue:     p.Queue,
+			Character: workload.CharacterOf(p).String(),
+			Jobs:      t.Len(),
+
+			BMBP:      outcome(res[0]),
+			LogNoTrim: outcome(res[1]),
+			LogTrim:   outcome(res[2]),
+
+			PaperBMBP:      p.BMBPCorrect,
+			PaperLogNoTrim: p.LogNoTrimCorrect,
+			PaperLogTrim:   p.LogTrimCorrect,
+
+			PaperBMBPRatio:   p.BMBPRatio,
+			PaperNoTrimRatio: p.LogNoTrimRatio,
+			PaperTrimRatio:   p.LogTrimRatio,
+		}
+	})
+	return rows
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"repro/internal/trace"
+)
+
+// MinBucketJobs is the paper's reporting threshold for the by-processor-
+// count tables: categories with fewer than 1000 jobs are dropped ("-"),
+// since a year-long trace averaging under ~4 such jobs a day cannot give
+// significant results (Section 6.2).
+const MinBucketJobs = 1000
+
+// Table567Row holds one queue's by-processor-count correctness for all
+// three methods (Tables 5, 6, and 7 in the paper; NaN = dropped cell).
+type Table567Row struct {
+	Machine, Queue string
+
+	// [bucket] correct fractions; NaN where the bucket has < MinBucketJobs.
+	BMBP      [4]float64
+	LogNoTrim [4]float64
+	LogTrim   [4]float64
+	// Jobs per bucket, before thresholding.
+	Jobs [4]int
+
+	// PaperPresent marks the buckets the paper's Table 5 reports.
+	PaperPresent [4]bool
+}
+
+// Table567 reproduces the paper's by-processor-count evaluation: each
+// queue's trace is subdivided by the requested processor count into the
+// four TACC-suggested ranges, and each subdivision with at least 1000 jobs
+// is evaluated independently, exactly as the by-queue runs are.
+func Table567(cfg Config) []Table567Row {
+	cfg = cfg.withDefaults()
+	queues := trace.Table5Queues()
+	rows := make([]Table567Row, len(queues))
+	forEachIndex(len(queues), func(i int) {
+		p := queues[i]
+		full := cfg.GenerateQueue(p)
+		row := Table567Row{Machine: p.Machine, Queue: p.Queue}
+		for _, b := range p.Buckets {
+			row.PaperPresent[b] = true
+		}
+		for _, b := range trace.AllBuckets {
+			sub := full.FilterProcs(b)
+			row.Jobs[b] = sub.Len()
+			if sub.Len() < MinBucketJobs {
+				row.BMBP[b], row.LogNoTrim[b], row.LogTrim[b] = nan, nan, nan
+				continue
+			}
+			res := cfg.EvalQueue(sub)
+			row.BMBP[b] = res[0].CorrectFraction()
+			row.LogNoTrim[b] = res[1].CorrectFraction()
+			row.LogTrim[b] = res[2].CorrectFraction()
+		}
+		rows[i] = row
+	})
+	return rows
+}

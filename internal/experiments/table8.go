@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Table8Row is one sampling instant of the "day in the life" experiment: a
+// 95%-confidence lower bound on the 0.25 quantile and 95%-confidence upper
+// bounds on the 0.5, 0.75, and 0.95 quantiles of the datastar/normal queue
+// delay, regenerated every two hours from the live history (paper
+// Table 8).
+type Table8Row struct {
+	Time int64
+	// Q25Lower, Q50, Q75, Q95 are the bounds in seconds (NaN when the
+	// history is too short, which does not occur past training).
+	Q25Lower, Q50, Q75, Q95 float64
+}
+
+// Table8 replays the datastar/normal trace and samples the full quantile
+// profile every two hours through the paper's chosen day (May 5, 2004,
+// sampled 13 times like the published table).
+func Table8(cfg Config) []Table8Row {
+	return QuantileProfileDay(cfg, "datastar", "normal", time.Date(2004, 5, 5, 0, 0, 0, 0, time.UTC))
+}
+
+// QuantileProfileDay computes the Table 8 experiment for any machine/queue
+// and day: 13 samples at two-hour spacing starting at midnight.
+func QuantileProfileDay(cfg Config, machine, queue string, day time.Time) []Table8Row {
+	cfg = cfg.withDefaults()
+	p := trace.FindPaperQueue(machine, queue)
+	if p == nil {
+		return nil
+	}
+	t := cfg.GenerateQueue(p)
+	bmbp := predictor.NewBMBP(cfg.Quantile, cfg.Confidence, cfg.Seed)
+
+	from := day.Unix()
+	const step = 2 * 3600
+	var rows []Table8Row
+	simCfg := cfg.Sim
+	simCfg.SampleEvery = step
+	simCfg.SampleFrom = from
+	simCfg.SampleTo = from + 13*step
+	simCfg.OnSample = func(ts int64, preds []predictor.Predictor) {
+		b := preds[0].(*core.BMBP)
+		prof := core.ProfileOf(b, core.Table8Specs)
+		row := Table8Row{Time: ts, Q25Lower: nan, Q50: nan, Q75: nan, Q95: nan}
+		vals := []*float64{&row.Q25Lower, &row.Q50, &row.Q75, &row.Q95}
+		for i, e := range prof {
+			if e.OK {
+				*vals[i] = e.Bound
+			}
+		}
+		rows = append(rows, row)
+	}
+	sim.Run(t, []predictor.Predictor{bmbp}, simCfg)
+	return rows
+}

@@ -1,0 +1,199 @@
+// Package mc implements the Monte Carlo simulation the paper uses to
+// calibrate BMBP's nonstationarity detector (Section 4.1): for log-normal
+// series with varying first autocorrelation, it measures how improbable a
+// run of consecutive above-0.95-quantile observations is, and derives the
+// run length that constitutes a "rare event" at each autocorrelation level.
+//
+// The resulting table is shipped precomputed as core.DefaultRareEventTable;
+// this package exists so the table can be regenerated and so tests can
+// verify the shipped values.
+package mc
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the rare-event table build.
+type Config struct {
+	// Phis are the log-space AR(1) coefficients to simulate. Empty uses
+	// DefaultPhis.
+	Phis []float64
+	// Sigma is the log-space standard deviation of the simulated series
+	// (the paper notes queue waits are heavy-tailed; 2.0 in log space is
+	// typical of the Table 1 traces). Zero uses 2.0.
+	Sigma float64
+	// Quantile is the exceedance quantile (zero uses 0.95).
+	Quantile float64
+	// Cutoff is the probability below which a run is deemed a rare event.
+	// Zero uses 0.002, which reproduces the paper's i.i.d. intuition that
+	// three consecutive misses of a 0.95 bound are near-certain evidence
+	// of a change point (two in a row has probability 2.5e-3).
+	Cutoff float64
+	// Steps is the simulated series length per phi (zero uses 2e6).
+	Steps int
+	// MaxRun bounds the search (zero uses 64).
+	MaxRun int
+	// Seed seeds the simulation PRNG.
+	Seed int64
+}
+
+// DefaultPhis spans independence to very strong log-space dependence.
+var DefaultPhis = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+
+func (c Config) withDefaults() Config {
+	if len(c.Phis) == 0 {
+		c.Phis = DefaultPhis
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 2.0
+	}
+	if c.Quantile == 0 {
+		c.Quantile = 0.95
+	}
+	if c.Cutoff == 0 {
+		c.Cutoff = 0.002
+	}
+	if c.Steps == 0 {
+		c.Steps = 2_000_000
+	}
+	if c.MaxRun == 0 {
+		c.MaxRun = 64
+	}
+	return c
+}
+
+// Point is one simulated (autocorrelation, threshold) calibration point.
+type Point struct {
+	Phi       float64 // log-space AR(1) coefficient simulated
+	RawACF    float64 // measured lag-1 autocorrelation of the raw series
+	Threshold int     // rare-event run length at this dependence level
+	RunProbs  []float64
+}
+
+// Build runs the Monte Carlo and returns one calibration point per phi,
+// ordered as given. Each phi's simulation runs on its own goroutine with
+// its own seed-derived PRNG, so results are deterministic regardless of
+// scheduling.
+func Build(cfg Config) []Point {
+	cfg = cfg.withDefaults()
+	points := make([]Point, len(cfg.Phis))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, phi := range cfg.Phis {
+		wg.Add(1)
+		go func(i int, phi float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1_000_003))
+			points[i] = simulate(cfg, phi, rng)
+		}(i, phi)
+	}
+	wg.Wait()
+	return points
+}
+
+func simulate(cfg Config, phi float64, rng *rand.Rand) Point {
+	proc := stats.AR1LogNormal{Phi: phi, Mu: 0, Sigma: cfg.Sigma}
+	series := proc.Generate(rng, make([]float64, 0, cfg.Steps), cfg.Steps)
+	threshold := proc.Quantile(cfg.Quantile)
+
+	// exceed[t] marks observations above the marginal quantile. Runs of
+	// exceedances are what consecutive missed BMBP predictions look like
+	// for a stationary series.
+	runProbs := runStartProbabilities(series, threshold, cfg.MaxRun)
+	rare := cfg.MaxRun
+	for r := 1; r <= cfg.MaxRun; r++ {
+		if runProbs[r-1] < cfg.Cutoff {
+			rare = r
+			break
+		}
+	}
+	return Point{
+		Phi:       phi,
+		RawACF:    robustACF(series),
+		Threshold: rare,
+		RunProbs:  runProbs,
+	}
+}
+
+// robustACF estimates the lag-1 autocorrelation as the median over
+// sub-series. A heavy-tailed series' single-shot ACF is dominated by its
+// few largest values and wobbles wildly between runs; the median of eight
+// window estimates is stable enough to key a lookup table on.
+func robustACF(series []float64) float64 {
+	const windows = 8
+	n := len(series)
+	if n < windows*16 {
+		return stats.Autocorrelation(series, 1)
+	}
+	estimates := make([]float64, 0, windows)
+	size := n / windows
+	for w := 0; w < windows; w++ {
+		estimates = append(estimates, stats.Autocorrelation(series[w*size:(w+1)*size], 1))
+	}
+	return stats.Median(estimates)
+}
+
+// runStartProbabilities returns, for r = 1..maxRun, the probability that a
+// randomly chosen position starts a run of at least r consecutive
+// observations above threshold.
+func runStartProbabilities(series []float64, threshold float64, maxRun int) []float64 {
+	counts := make([]int, maxRun)
+	run := 0
+	for _, x := range series {
+		if x > threshold {
+			run++
+			if run > maxRun {
+				run = maxRun
+			}
+			// A run of current length `run` contributes one new start for
+			// each suffix length 1..run ending here: position t ends runs
+			// of length 1..run that started at t-run+1..t. Equivalent and
+			// simpler: each position with k consecutive exceedances ending
+			// at it is the end of exactly one run of each length <= k, so
+			// count run-length occurrences by the ending position.
+			for r := 1; r <= run; r++ {
+				counts[r-1]++
+			}
+		} else {
+			run = 0
+		}
+	}
+	probs := make([]float64, maxRun)
+	n := float64(len(series))
+	for i, c := range counts {
+		probs[i] = float64(c) / n
+	}
+	return probs
+}
+
+// TableFromPoints converts calibration points into a lookup table keyed by
+// measured raw autocorrelation. Points are ordered by measured ACF first
+// (simulation noise can reorder adjacent phis); bucket edges are midpoints
+// between adjacent measured autocorrelations, with the final bucket
+// open-ended.
+func TableFromPoints(points []Point) core.RareEventTable {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RawACF < sorted[j].RawACF })
+	table := make(core.RareEventTable, 0, len(sorted))
+	for i, p := range sorted {
+		edge := 1.01
+		if i+1 < len(sorted) {
+			edge = (p.RawACF + sorted[i+1].RawACF) / 2
+		}
+		thr := p.Threshold
+		// Keep thresholds monotone in ACF even under residual noise.
+		if i > 0 && thr < table[i-1].Threshold {
+			thr = table[i-1].Threshold
+		}
+		table = append(table, core.RareEventEntry{MaxAutocorr: edge, Threshold: thr})
+	}
+	return table
+}

@@ -1,0 +1,103 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func smallBuild(t *testing.T, phis []float64) []Point {
+	t.Helper()
+	return Build(Config{Phis: phis, Steps: 300_000, Seed: 1})
+}
+
+func TestIndependentSeriesThresholdIsThree(t *testing.T) {
+	// Section 4.1's i.i.d. intuition: three consecutive exceedances of the
+	// 0.95 quantile are a rare event (two in a row has probability 0.0025).
+	pts := smallBuild(t, []float64{0})
+	if pts[0].Threshold != 3 {
+		t.Fatalf("iid threshold = %d, want 3", pts[0].Threshold)
+	}
+	// Exceedance probability itself is ~5%.
+	if p := pts[0].RunProbs[0]; p < 0.045 || p > 0.055 {
+		t.Errorf("P(exceed) = %g, want ~0.05", p)
+	}
+	// Two in a row ~0.0025.
+	if p := pts[0].RunProbs[1]; p < 0.0015 || p > 0.0035 {
+		t.Errorf("P(2-run) = %g, want ~0.0025", p)
+	}
+}
+
+func TestThresholdsMonotoneInDependence(t *testing.T) {
+	pts := smallBuild(t, []float64{0, 0.5, 0.9})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Threshold < pts[i-1].Threshold {
+			t.Errorf("thresholds not monotone: %v -> %v", pts[i-1], pts[i])
+		}
+		if pts[i].RawACF <= pts[i-1].RawACF {
+			t.Errorf("raw ACF not increasing: %g -> %g", pts[i-1].RawACF, pts[i].RawACF)
+		}
+	}
+	if pts[2].Threshold <= pts[0].Threshold {
+		t.Error("strong dependence should raise the threshold")
+	}
+}
+
+func TestRunProbabilitiesDecreasing(t *testing.T) {
+	pts := smallBuild(t, []float64{0.6})
+	probs := pts[0].RunProbs
+	for i := 1; i < 12; i++ {
+		if probs[i] > probs[i-1] {
+			t.Fatalf("run probabilities must decrease: %v", probs[:12])
+		}
+	}
+}
+
+func TestTableFromPoints(t *testing.T) {
+	pts := []Point{
+		{RawACF: 0.0, Threshold: 3},
+		{RawACF: 0.2, Threshold: 4},
+		{RawACF: 0.6, Threshold: 7},
+	}
+	tbl := TableFromPoints(pts)
+	if len(tbl) != 3 {
+		t.Fatalf("len = %d", len(tbl))
+	}
+	if tbl[0].MaxAutocorr != 0.1 || tbl[1].MaxAutocorr != 0.4 {
+		t.Errorf("bucket edges: %+v", tbl)
+	}
+	if tbl[2].MaxAutocorr != 1.01 {
+		t.Errorf("last bucket should be open-ended: %+v", tbl[2])
+	}
+	if tbl.Lookup(0.05) != 3 || tbl.Lookup(0.3) != 4 || tbl.Lookup(0.99) != 7 {
+		t.Error("lookup through generated table")
+	}
+}
+
+func TestDefaultTableMatchesMonteCarlo(t *testing.T) {
+	// The shipped core.DefaultRareEventTable was produced by this builder
+	// (seed 1, 2e6 steps). A smaller rerun must reproduce each bucket's
+	// threshold within ±1 and the overall range.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pts := Build(Config{Steps: 500_000, Seed: 3})
+	for _, p := range pts {
+		want := core.DefaultRareEventTable.Lookup(p.RawACF)
+		diff := p.Threshold - want
+		if diff < -2 || diff > 2 {
+			t.Errorf("phi=%.2f acf=%.3f: threshold %d, shipped table %d", p.Phi, p.RawACF, p.Threshold, want)
+		}
+	}
+	if pts[0].Threshold != 3 {
+		t.Errorf("iid anchor = %d", pts[0].Threshold)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(Config{Phis: []float64{0.3}, Steps: 100_000, Seed: 5})
+	b := Build(Config{Phis: []float64{0.3}, Steps: 100_000, Seed: 5})
+	if a[0].RawACF != b[0].RawACF || a[0].Threshold != b[0].Threshold {
+		t.Fatal("Build not deterministic for a fixed seed")
+	}
+}

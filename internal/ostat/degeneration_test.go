@@ -1,0 +1,48 @@
+package ostat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Regression test: a multiset seeded with the SAME seed as the stream
+// producing its values must not degenerate. (Before the seed-mixing fix,
+// priorities equalled values and the treap collapsed into a linked list,
+// turning inserts O(n).)
+func TestNoDegenerationWithCorrelatedSeeds(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42} {
+		m := New(seed)
+		rng := rand.New(rand.NewSource(seed))
+		start := time.Now()
+		const n = 50000
+		for i := 0; i < n; i++ {
+			m.Insert(rng.Float64())
+		}
+		elapsed := time.Since(start)
+		if m.Len() != n {
+			t.Fatalf("len = %d", m.Len())
+		}
+		// A balanced treap inserts 50k values in well under a second even
+		// on one slow core; a degenerated one takes minutes.
+		if elapsed > 5*time.Second {
+			t.Fatalf("seed %d: %d inserts took %v — treap degenerated", seed, n, elapsed)
+		}
+		// Structural check: both spines should be O(log n), nothing like n.
+		for _, dir := range []bool{true, false} {
+			depth := 0
+			node := m.root
+			for node != nil {
+				depth++
+				if dir {
+					node = node.left
+				} else {
+					node = node.right
+				}
+			}
+			if depth > 200 {
+				t.Fatalf("seed %d: spine depth %d — degenerated", seed, depth)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package ostat provides an order-statistic multiset: a randomized balanced
+// search tree (treap) over float64 values, augmented with subtree sizes so
+// that the k-th smallest element can be selected in O(log n).
+//
+// BMBP needs, at every refit, the k-th order statistic of a sliding history
+// that grows by one wait observation at a time and occasionally shrinks when
+// a change point is detected. A sorted slice would make each insertion O(n);
+// the treap makes insert, delete, and select all O(log n) and keeps full
+// evaluation runs over million-job traces fast.
+package ostat
+
+import "math/rand"
+
+type node struct {
+	value    float64
+	priority uint64
+	size     int
+	count    int // multiplicity of value at this node
+	left     *node
+	right    *node
+}
+
+func (n *node) sz() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() {
+	n.size = n.count + n.left.sz() + n.right.sz()
+}
+
+// Multiset is an order-statistic multiset of float64 values. The zero value
+// is not ready to use; construct with New (it carries its own deterministic
+// PRNG for treap priorities so runs are reproducible).
+type Multiset struct {
+	root *node
+	rng  *rand.Rand
+}
+
+// New returns an empty Multiset whose internal balancing randomness is
+// seeded with seed (any fixed seed yields identical structure across runs).
+//
+// The seed is mixed (splitmix64 finalizer) before use: a treap whose
+// priorities came from rand.NewSource(seed) directly would correlate
+// perfectly with caller values drawn from the same source and seed, and
+// value-ordered priorities degenerate the treap into a linked list.
+func New(seed int64) *Multiset {
+	return &Multiset{rng: rand.New(rand.NewSource(mix(seed)))}
+}
+
+// mix is the splitmix64 finalizer, decorrelating the priority stream from
+// any other stream seeded with the same value.
+func mix(seed int64) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Len returns the number of values in the multiset, counting multiplicity.
+func (m *Multiset) Len() int { return m.root.sz() }
+
+// Insert adds value to the multiset.
+func (m *Multiset) Insert(value float64) {
+	m.root = m.insert(m.root, value)
+}
+
+func (m *Multiset) insert(n *node, value float64) *node {
+	if n == nil {
+		return &node{value: value, priority: m.rng.Uint64(), size: 1, count: 1}
+	}
+	switch {
+	case value == n.value:
+		n.count++
+		n.size++
+		return n
+	case value < n.value:
+		n.left = m.insert(n.left, value)
+		if n.left.priority > n.priority {
+			n = rotateRight(n)
+		} else {
+			n.update()
+		}
+	default:
+		n.right = m.insert(n.right, value)
+		if n.right.priority > n.priority {
+			n = rotateLeft(n)
+		} else {
+			n.update()
+		}
+	}
+	return n
+}
+
+// Delete removes one instance of value from the multiset and reports
+// whether the value was present.
+func (m *Multiset) Delete(value float64) bool {
+	var deleted bool
+	m.root, deleted = m.delete(m.root, value)
+	return deleted
+}
+
+func (m *Multiset) delete(n *node, value float64) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case value < n.value:
+		n.left, deleted = m.delete(n.left, value)
+	case value > n.value:
+		n.right, deleted = m.delete(n.right, value)
+	default:
+		if n.count > 1 {
+			n.count--
+			n.size--
+			return n, true
+		}
+		return merge(n.left, n.right), true
+	}
+	if deleted {
+		n.update()
+	}
+	return n, deleted
+}
+
+// Select returns the k-th smallest value (1-based, counting multiplicity)
+// and ok=false when k is out of range [1, Len()].
+func (m *Multiset) Select(k int) (float64, bool) {
+	if k < 1 || k > m.Len() {
+		return 0, false
+	}
+	n := m.root
+	for n != nil {
+		ls := n.left.sz()
+		switch {
+		case k <= ls:
+			n = n.left
+		case k <= ls+n.count:
+			return n.value, true
+		default:
+			k -= ls + n.count
+			n = n.right
+		}
+	}
+	return 0, false // unreachable when size bookkeeping is correct
+}
+
+// Rank returns the number of values strictly less than value.
+func (m *Multiset) Rank(value float64) int {
+	rank := 0
+	n := m.root
+	for n != nil {
+		if value <= n.value {
+			n = n.left
+		} else {
+			rank += n.left.sz() + n.count
+			n = n.right
+		}
+	}
+	return rank
+}
+
+// Min returns the smallest value; ok is false when empty.
+func (m *Multiset) Min() (float64, bool) { return m.Select(1) }
+
+// Max returns the largest value; ok is false when empty.
+func (m *Multiset) Max() (float64, bool) { return m.Select(m.Len()) }
+
+// Clear empties the multiset, retaining the PRNG state.
+func (m *Multiset) Clear() { m.root = nil }
+
+// InOrder calls fn for each value in ascending order (repeated values are
+// visited once per multiplicity); fn returning false stops the walk early.
+func (m *Multiset) InOrder(fn func(v float64) bool) {
+	inOrder(m.root, fn)
+}
+
+func inOrder(n *node, fn func(v float64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !inOrder(n.left, fn) {
+		return false
+	}
+	for i := 0; i < n.count; i++ {
+		if !fn(n.value) {
+			return false
+		}
+	}
+	return inOrder(n.right, fn)
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+// merge joins two treaps where every value in a is <= every value in b.
+func merge(a, b *node) *node {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.priority > b.priority:
+		a.right = merge(a.right, b)
+		a.update()
+		return a
+	default:
+		b.left = merge(a, b.left)
+		b.update()
+		return b
+	}
+}

@@ -1,0 +1,77 @@
+package plot
+
+import (
+	"image"
+	"image/color"
+	"strings"
+)
+
+// A minimal 3x5 pixel font covering the characters chart labels use.
+// Each glyph is 5 rows of 3 bits, most significant bit leftmost.
+var glyphs = map[rune][5]uint8{
+	'0': {0b111, 0b101, 0b101, 0b101, 0b111},
+	'1': {0b010, 0b110, 0b010, 0b010, 0b111},
+	'2': {0b111, 0b001, 0b111, 0b100, 0b111},
+	'3': {0b111, 0b001, 0b111, 0b001, 0b111},
+	'4': {0b101, 0b101, 0b111, 0b001, 0b001},
+	'5': {0b111, 0b100, 0b111, 0b001, 0b111},
+	'6': {0b111, 0b100, 0b111, 0b101, 0b111},
+	'7': {0b111, 0b001, 0b010, 0b010, 0b010},
+	'8': {0b111, 0b101, 0b111, 0b101, 0b111},
+	'9': {0b111, 0b101, 0b111, 0b001, 0b111},
+	'a': {0b010, 0b101, 0b111, 0b101, 0b101},
+	'b': {0b110, 0b101, 0b110, 0b101, 0b110},
+	'c': {0b011, 0b100, 0b100, 0b100, 0b011},
+	'd': {0b110, 0b101, 0b101, 0b101, 0b110},
+	'e': {0b111, 0b100, 0b110, 0b100, 0b111},
+	'f': {0b111, 0b100, 0b110, 0b100, 0b100},
+	'g': {0b011, 0b100, 0b101, 0b101, 0b011},
+	'h': {0b101, 0b101, 0b111, 0b101, 0b101},
+	'i': {0b111, 0b010, 0b010, 0b010, 0b111},
+	'j': {0b001, 0b001, 0b001, 0b101, 0b010},
+	'k': {0b101, 0b110, 0b100, 0b110, 0b101},
+	'l': {0b100, 0b100, 0b100, 0b100, 0b111},
+	'm': {0b101, 0b111, 0b111, 0b101, 0b101},
+	'n': {0b101, 0b111, 0b111, 0b111, 0b101},
+	'o': {0b010, 0b101, 0b101, 0b101, 0b010},
+	'p': {0b110, 0b101, 0b110, 0b100, 0b100},
+	'q': {0b010, 0b101, 0b101, 0b011, 0b001},
+	'r': {0b110, 0b101, 0b110, 0b101, 0b101},
+	's': {0b011, 0b100, 0b010, 0b001, 0b110},
+	't': {0b111, 0b010, 0b010, 0b010, 0b010},
+	'u': {0b101, 0b101, 0b101, 0b101, 0b111},
+	'v': {0b101, 0b101, 0b101, 0b101, 0b010},
+	'w': {0b101, 0b101, 0b111, 0b111, 0b101},
+	'x': {0b101, 0b101, 0b010, 0b101, 0b101},
+	'y': {0b101, 0b101, 0b010, 0b010, 0b010},
+	'z': {0b111, 0b001, 0b010, 0b100, 0b111},
+	'-': {0b000, 0b000, 0b111, 0b000, 0b000},
+	'+': {0b000, 0b010, 0b111, 0b010, 0b000},
+	'.': {0b000, 0b000, 0b000, 0b000, 0b010},
+	':': {0b000, 0b010, 0b000, 0b010, 0b000},
+	'/': {0b001, 0b001, 0b010, 0b100, 0b100},
+	',': {0b000, 0b000, 0b000, 0b010, 0b100},
+	'(': {0b001, 0b010, 0b010, 0b010, 0b001},
+	')': {0b100, 0b010, 0b010, 0b010, 0b100},
+	'%': {0b101, 0b001, 0b010, 0b100, 0b101},
+	' ': {0, 0, 0, 0, 0},
+}
+
+// drawString renders text at (x, y) in the tiny built-in font. Uppercase
+// maps to lowercase; unknown runes render as blank cells.
+func drawString(img *image.RGBA, x, y int, text string, c color.RGBA) {
+	cx := x
+	for _, r := range strings.ToLower(text) {
+		g, ok := glyphs[r]
+		if ok {
+			for row := 0; row < 5; row++ {
+				for col := 0; col < 3; col++ {
+					if g[row]&(1<<(2-col)) != 0 {
+						img.SetRGBA(cx+col, y+row, c)
+					}
+				}
+			}
+		}
+		cx += 4
+	}
+}

@@ -1,0 +1,276 @@
+// Package plot renders time-series line charts as PNG images using only
+// the standard library's image packages. It exists so the reproduction of
+// the paper's Figure 1 and Figure 2 can be emitted as actual figures —
+// log-scale bound series over a day or a month — not just CSV and
+// terminal sparklines.
+package plot
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Config controls chart geometry.
+type Config struct {
+	Width, Height int  // pixels (defaults 900x420)
+	LogY          bool // log-scale the value axis (the paper's figures do)
+	Title         string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 900
+	}
+	if c.Height == 0 {
+		c.Height = 420
+	}
+	return c
+}
+
+// Chart geometry constants.
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 30
+	marginBottom = 40
+)
+
+var (
+	colBackground = color.RGBA{255, 255, 255, 255}
+	colAxis       = color.RGBA{60, 60, 60, 255}
+	colGrid       = color.RGBA{225, 225, 225, 255}
+	colText       = color.RGBA{40, 40, 40, 255}
+	// Series palette: black then grays, matching the paper's black/gray
+	// two-series figures, extended for more series.
+	palette = []color.RGBA{
+		{0, 0, 0, 255},
+		{150, 150, 150, 255},
+		{200, 60, 60, 255},
+		{60, 60, 200, 255},
+	}
+)
+
+// Render draws the series as a line chart and writes a PNG to w.
+func Render(w io.Writer, cfg Config, series ...report.Series) error {
+	cfg = cfg.withDefaults()
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, cfg.Width, cfg.Height))
+	fill(img, colBackground)
+
+	// Data ranges.
+	tMin, tMax := int64(math.MaxInt64), int64(math.MinInt64)
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i, ts := range s.Times {
+			v := s.Values[i]
+			if math.IsNaN(v) {
+				continue
+			}
+			if cfg.LogY && v <= 0 {
+				continue
+			}
+			if ts < tMin {
+				tMin = ts
+			}
+			if ts > tMax {
+				tMax = ts
+			}
+			if v < vMin {
+				vMin = v
+			}
+			if v > vMax {
+				vMax = v
+			}
+		}
+	}
+	if tMin > tMax || vMin > vMax {
+		return fmt.Errorf("plot: series contain no drawable points")
+	}
+	if tMin == tMax {
+		tMax = tMin + 1
+	}
+	if vMin == vMax {
+		vMax = vMin * 1.1
+		if vMax == vMin {
+			vMax = vMin + 1
+		}
+	}
+	yOf := func(v float64) int {
+		var frac float64
+		if cfg.LogY {
+			frac = (math.Log(v) - math.Log(vMin)) / (math.Log(vMax) - math.Log(vMin))
+		} else {
+			frac = (v - vMin) / (vMax - vMin)
+		}
+		return cfg.Height - marginBottom - int(frac*float64(cfg.Height-marginTop-marginBottom))
+	}
+	xOf := func(ts int64) int {
+		frac := float64(ts-tMin) / float64(tMax-tMin)
+		return marginLeft + int(frac*float64(cfg.Width-marginLeft-marginRight))
+	}
+
+	drawGridAndAxes(img, cfg, vMin, vMax, tMin, tMax, xOf, yOf)
+
+	// Series lines.
+	for si, s := range series {
+		col := palette[si%len(palette)]
+		prevOK := false
+		var px, py int
+		for i, ts := range s.Times {
+			v := s.Values[i]
+			if math.IsNaN(v) || (cfg.LogY && v <= 0) {
+				prevOK = false
+				continue
+			}
+			x, y := xOf(ts), yOf(v)
+			if prevOK {
+				line(img, px, py, x, y, col)
+				line(img, px, py+1, x, y+1, col) // 2px stroke
+			}
+			px, py, prevOK = x, y, true
+		}
+		// Legend swatch + label.
+		lx := marginLeft + 10
+		ly := marginTop + 6 + 14*si
+		for dx := 0; dx < 18; dx++ {
+			img.SetRGBA(lx+dx, ly, col)
+			img.SetRGBA(lx+dx, ly+1, col)
+		}
+		drawString(img, lx+24, ly-3, s.Label, colText)
+	}
+	if cfg.Title != "" {
+		drawString(img, marginLeft, 10, cfg.Title, colText)
+	}
+	return png.Encode(w, img)
+}
+
+// RenderFile renders to a PNG file.
+func RenderFile(path string, cfg Config, series ...report.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Render(f, cfg, series...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func drawGridAndAxes(img *image.RGBA, cfg Config, vMin, vMax float64, tMin, tMax int64, xOf func(int64) int, yOf func(float64) int) {
+	// Horizontal gridlines at decade (log) or even (linear) ticks.
+	ticks := yTicks(cfg.LogY, vMin, vMax)
+	for _, v := range ticks {
+		y := yOf(v)
+		for x := marginLeft; x < cfg.Width-marginRight; x++ {
+			img.SetRGBA(x, y, colGrid)
+		}
+		drawString(img, 4, y-4, formatTick(v), colText)
+	}
+	// Time ticks: 5 evenly spaced timestamps.
+	for i := 0; i <= 4; i++ {
+		ts := tMin + int64(i)*(tMax-tMin)/4
+		x := xOf(ts)
+		for y := marginTop; y < cfg.Height-marginBottom; y++ {
+			img.SetRGBA(x, y, colGrid)
+		}
+		label := time.Unix(ts, 0).UTC().Format("01-02 15:04")
+		drawString(img, x-30, cfg.Height-marginBottom+8, label, colText)
+	}
+	// Axes.
+	for x := marginLeft; x < cfg.Width-marginRight; x++ {
+		img.SetRGBA(x, cfg.Height-marginBottom, colAxis)
+	}
+	for y := marginTop; y <= cfg.Height-marginBottom; y++ {
+		img.SetRGBA(marginLeft, y, colAxis)
+	}
+}
+
+// yTicks picks tick values: powers of ten in log mode, five even steps
+// otherwise.
+func yTicks(logY bool, vMin, vMax float64) []float64 {
+	var out []float64
+	if logY {
+		lo := math.Ceil(math.Log10(vMin))
+		hi := math.Floor(math.Log10(vMax))
+		for e := lo; e <= hi; e++ {
+			out = append(out, math.Pow(10, e))
+		}
+		if len(out) == 0 {
+			out = append(out, vMin, vMax)
+		}
+		return out
+	}
+	for i := 0; i <= 4; i++ {
+		out = append(out, vMin+float64(i)*(vMax-vMin)/4)
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v >= 86400:
+		return fmt.Sprintf("%.1fd", v/86400)
+	case v >= 3600:
+		return fmt.Sprintf("%.0fh", v/3600)
+	case v >= 60:
+		return fmt.Sprintf("%.0fm", v/60)
+	default:
+		return fmt.Sprintf("%.0fs", v)
+	}
+}
+
+func fill(img *image.RGBA, c color.RGBA) {
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+}
+
+// line draws with Bresenham's algorithm.
+func line(img *image.RGBA, x0, y0, x1, y1 int, c color.RGBA) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		img.SetRGBA(x0, y0, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

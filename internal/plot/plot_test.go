@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func twoSeries() []report.Series {
+	a := report.Series{Label: "fast-site"}
+	b := report.Series{Label: "slow-site"}
+	for i := 0; i < 100; i++ {
+		ts := int64(1_100_000_000 + i*300)
+		a.Times = append(a.Times, ts)
+		a.Values = append(a.Values, 10+float64(i%7))
+		b.Times = append(b.Times, ts)
+		b.Values = append(b.Values, 100000+1000*float64(i))
+	}
+	return []report.Series{a, b}
+}
+
+func TestRenderProducesValidPNG(t *testing.T) {
+	var buf bytes.Buffer
+	s := twoSeries()
+	if err := Render(&buf, Config{LogY: true, Title: "figure 1"}, s...); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := img.Bounds()
+	if bounds.Dx() != 900 || bounds.Dy() != 420 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// The image is not blank: count non-background pixels.
+	nonWhite := 0
+	for y := bounds.Min.Y; y < bounds.Max.Y; y++ {
+		for x := bounds.Min.X; x < bounds.Max.X; x++ {
+			r, g, b, _ := img.At(x, y).RGBA()
+			if r != 0xffff || g != 0xffff || b != 0xffff {
+				nonWhite++
+			}
+		}
+	}
+	if nonWhite < 2000 {
+		t.Errorf("only %d drawn pixels", nonWhite)
+	}
+}
+
+func TestRenderFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig.png")
+	if err := RenderFile(path, Config{Width: 300, Height: 200}, twoSeries()...); err != nil {
+		t.Fatal(err)
+	}
+	// Re-render to a bad path fails cleanly.
+	if err := RenderFile(filepath.Join(t.TempDir(), "no/such/dir/x.png"), Config{}, twoSeries()...); err == nil {
+		t.Error("bad path should fail")
+	}
+}
+
+func TestRenderDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Config{}); err == nil {
+		t.Error("no series should fail")
+	}
+	empty := report.Series{Label: "x", Times: []int64{1}, Values: []float64{math.NaN()}}
+	if err := Render(&buf, Config{}, empty); err == nil {
+		t.Error("all-NaN series should fail")
+	}
+	// A single point and a constant series still render.
+	one := report.Series{Label: "p", Times: []int64{5}, Values: []float64{3}}
+	if err := Render(&buf, Config{}, one); err != nil {
+		t.Errorf("single point: %v", err)
+	}
+	flat := report.Series{Label: "f", Times: []int64{1, 2, 3}, Values: []float64{7, 7, 7}}
+	if err := Render(&buf, Config{LogY: true}, flat); err != nil {
+		t.Errorf("constant series: %v", err)
+	}
+	// Non-positive values under LogY are skipped, not fatal, as long as
+	// something remains drawable.
+	mixed := report.Series{Label: "m", Times: []int64{1, 2, 3}, Values: []float64{0, 5, 50}}
+	if err := Render(&buf, Config{LogY: true}, mixed); err != nil {
+		t.Errorf("mixed series: %v", err)
+	}
+}
+
+func TestYTicks(t *testing.T) {
+	log := yTicks(true, 5, 50000)
+	if len(log) != 4 { // 10, 100, 1000, 10000
+		t.Errorf("log ticks = %v", log)
+	}
+	lin := yTicks(false, 0, 100)
+	if len(lin) != 5 || lin[0] != 0 || lin[4] != 100 {
+		t.Errorf("linear ticks = %v", lin)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		30:     "30s",
+		120:    "2m",
+		7200:   "2h",
+		172800: "2.0d",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

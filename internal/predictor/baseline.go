@@ -1,0 +1,111 @@
+package predictor
+
+import (
+	"repro/internal/core"
+	"repro/internal/ostat"
+)
+
+// RunningMax is the degenerate "astronomically conservative" baseline the
+// paper's Section 5 discusses: it predicts the maximum wait ever observed.
+// It is correct nearly always and nearly useless, which is what the
+// accuracy (median-ratio) metric exists to expose.
+type RunningMax struct {
+	max   float64
+	seen  int
+	minOK int
+}
+
+// NewRunningMax returns a running-max baseline that starts quoting bounds
+// after the same minimum history as BMBP at (q, c), so its correctness is
+// scored over the same jobs.
+func NewRunningMax(q, c float64) *RunningMax {
+	return &RunningMax{minOK: core.MinSampleSize(q, c)}
+}
+
+// Name identifies the method in result tables.
+func (r *RunningMax) Name() string { return "running-max" }
+
+// Observe records a released job's wait.
+func (r *RunningMax) Observe(wait float64, missed bool) {
+	r.seen++
+	if wait > r.max {
+		r.max = wait
+	}
+}
+
+// FinishTraining is a no-op.
+func (r *RunningMax) FinishTraining() {}
+
+// Refit is a no-op; the running max is always current.
+func (r *RunningMax) Refit() {}
+
+// Bound returns the maximum wait observed so far.
+func (r *RunningMax) Bound() (float64, bool) {
+	return r.max, r.seen >= r.minOK
+}
+
+// Empirical predicts the plain sample q quantile with no confidence
+// margin. Comparing it with BMBP isolates the value of the binomial
+// confidence machinery: the empirical quantile is correct only about q of
+// the time on stationary data and degrades badly under nonstationarity.
+type Empirical struct {
+	q     float64
+	set   *ostat.Multiset
+	minOK int
+	bound float64
+	ok    bool
+	stale bool
+}
+
+// NewEmpirical returns an empirical-quantile baseline for quantile q,
+// quoting bounds after the same minimum history as BMBP at (q, c).
+func NewEmpirical(q, c float64, seed int64) *Empirical {
+	return &Empirical{
+		q:     q,
+		set:   ostat.New(seed + 17),
+		minOK: core.MinSampleSize(q, c),
+		stale: true,
+	}
+}
+
+// Name identifies the method in result tables.
+func (e *Empirical) Name() string { return "empirical" }
+
+// Observe records a released job's wait.
+func (e *Empirical) Observe(wait float64, missed bool) {
+	e.set.Insert(wait)
+	e.stale = true
+}
+
+// FinishTraining is a no-op.
+func (e *Empirical) FinishTraining() {}
+
+// Refit recomputes the sample quantile.
+func (e *Empirical) Refit() {
+	if !e.stale {
+		return
+	}
+	n := e.set.Len()
+	if n < e.minOK {
+		e.ok = false
+		e.stale = false
+		return
+	}
+	k := int(float64(n)*e.q + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	e.bound, e.ok = e.set.Select(k)
+	e.stale = false
+}
+
+// Bound returns the current sample quantile.
+func (e *Empirical) Bound() (float64, bool) {
+	if e.stale {
+		e.Refit()
+	}
+	return e.bound, e.ok
+}

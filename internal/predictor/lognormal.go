@@ -1,0 +1,186 @@
+package predictor
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// LogNormalConfig parameterizes the parametric comparator.
+type LogNormalConfig struct {
+	// Quantile is the population quantile to bound (default 0.95).
+	Quantile float64
+	// Confidence is the bound's confidence level (default 0.95).
+	Confidence float64
+	// Trim enables BMBP's history-trimming scheme (the paper's third
+	// column); false reproduces the full-history variant.
+	Trim bool
+	// RareTable overrides the rare-event lookup used when Trim is set.
+	RareTable core.RareEventTable
+	// FixedRareThreshold, when positive, bypasses the autocorrelation
+	// lookup (ablation).
+	FixedRareThreshold int
+}
+
+func (c LogNormalConfig) withDefaults() LogNormalConfig {
+	if c.Quantile == 0 {
+		c.Quantile = 0.95
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	if c.RareTable == nil {
+		c.RareTable = core.DefaultRareEventTable
+	}
+	return c
+}
+
+// LogNormal implements the paper's Section 4.2 comparator: it assumes
+// waits are log-normal, fits a normal to the log-waits by maximum
+// likelihood, and produces a level-C upper confidence bound on the q
+// quantile using the K' tolerance-factor machinery for normal populations
+// (Guttman Table 4.6, computed from the noncentral t rather than looked
+// up). With Trim set it additionally adopts BMBP's change-point detection
+// and history truncation.
+type LogNormal struct {
+	cfg        LogNormalConfig
+	minHistory int
+
+	hist    []float64 // raw waits in observation order (trim + ACF need them)
+	moments stats.RunningMoments
+
+	rareThreshold int
+	consecMisses  int
+	trims         int
+
+	// tolCache memoizes exact tolerance factors by sample size; beyond
+	// the exact regime the Natrella approximation is O(1) and uncached.
+	tolCache map[int]float64
+
+	bound   float64
+	boundOK bool
+	stale   bool
+}
+
+// NewLogNormal returns a log-normal comparator predictor.
+func NewLogNormal(cfg LogNormalConfig) *LogNormal {
+	cfg = cfg.withDefaults()
+	return &LogNormal{
+		cfg: cfg,
+		// Use the same minimum history as BMBP so the two methods quote
+		// bounds for exactly the same jobs, keeping the comparison
+		// apples-to-apples.
+		minHistory: core.MinSampleSize(cfg.Quantile, cfg.Confidence),
+		tolCache:   make(map[int]float64),
+		stale:      true,
+	}
+}
+
+// Name identifies the method in result tables.
+func (l *LogNormal) Name() string {
+	if l.cfg.Trim {
+		return "logn-trim"
+	}
+	return "logn-notrim"
+}
+
+// Trims returns how many change points the predictor has acted on.
+func (l *LogNormal) Trims() int { return l.trims }
+
+// HistoryLen returns the current history length.
+func (l *LogNormal) HistoryLen() int { return len(l.hist) }
+
+// Observe records a released job's wait.
+func (l *LogNormal) Observe(wait float64, missed bool) {
+	l.hist = append(l.hist, wait)
+	l.moments.Add(stats.SafeLog(wait))
+	l.stale = true
+	if !l.cfg.Trim {
+		return
+	}
+	if missed {
+		l.consecMisses++
+	} else {
+		l.consecMisses = 0
+	}
+	if l.rareThreshold == 0 && len(l.hist) >= l.minHistory {
+		l.calibrate()
+	}
+	if l.rareThreshold > 0 && l.consecMisses >= l.rareThreshold {
+		l.trim()
+	}
+}
+
+// FinishTraining calibrates the rare-event threshold from the training
+// history (no-op for the untrimmed variant).
+func (l *LogNormal) FinishTraining() {
+	if l.cfg.Trim {
+		l.calibrate()
+	}
+}
+
+func (l *LogNormal) calibrate() {
+	if l.cfg.FixedRareThreshold > 0 {
+		l.rareThreshold = l.cfg.FixedRareThreshold
+		return
+	}
+	l.rareThreshold = l.cfg.RareTable.Lookup(stats.Autocorrelation(l.hist, 1))
+}
+
+func (l *LogNormal) trim() {
+	if len(l.hist) <= l.minHistory {
+		l.consecMisses = 0
+		return
+	}
+	keep := l.hist[len(l.hist)-l.minHistory:]
+	l.hist = append(make([]float64, 0, l.minHistory*2), keep...)
+	l.moments.Reset()
+	for _, w := range l.hist {
+		l.moments.Add(stats.SafeLog(w))
+	}
+	l.consecMisses = 0
+	l.trims++
+	l.stale = true
+}
+
+// Refit recomputes the bound from the current MLE fit.
+func (l *LogNormal) Refit() {
+	if !l.stale {
+		return
+	}
+	n := l.moments.N()
+	if n < l.minHistory {
+		l.boundOK = false
+		l.stale = false
+		return
+	}
+	mean := l.moments.Mean()
+	sd := l.moments.StdDev()
+	k := l.toleranceFactor(n)
+	l.bound = math.Exp(mean + k*sd)
+	l.boundOK = true
+	l.stale = false
+}
+
+// Bound returns the current upper confidence bound.
+func (l *LogNormal) Bound() (float64, bool) {
+	if l.stale {
+		l.Refit()
+	}
+	return l.bound, l.boundOK
+}
+
+// toleranceFactor returns the one-sided normal tolerance factor for sample
+// size n, memoizing the exact small-sample computations.
+func (l *LogNormal) toleranceFactor(n int) float64 {
+	if k, ok := l.tolCache[n]; ok {
+		return k
+	}
+	k := stats.ToleranceFactor(n, l.cfg.Quantile, l.cfg.Confidence)
+	// Only the exact regime is worth caching; the approximation is O(1).
+	if len(l.tolCache) < 1<<16 {
+		l.tolCache[n] = k
+	}
+	return k
+}

@@ -1,0 +1,158 @@
+package predictor
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// LogUniform implements the related-work baseline from Downey (paper
+// references [5, 6]): model waits as log-uniform — ln W uniform on
+// [lo, hi] — and predict the q quantile of the fitted distribution,
+// exp(lo + q·(hi − lo)). Downey used the model for head-of-queue delay;
+// the paper cites it as the principal prior attempt at quantitative queue
+// prediction. Unlike BMBP it carries no confidence machinery (the natural
+// endpoint estimators are the sample extremes), which is exactly the
+// contrast the paper draws: a point estimate of a quantile versus a bound
+// with a stated confidence.
+type LogUniform struct {
+	quantile   float64
+	minHistory int
+
+	hist []float64
+	lo   float64
+	hi   float64
+
+	trim          bool
+	rareTable     core.RareEventTable
+	rareThreshold int
+	consecMisses  int
+	trims         int
+
+	bound   float64
+	boundOK bool
+	stale   bool
+}
+
+// LogUniformConfig parameterizes the baseline.
+type LogUniformConfig struct {
+	// Quantile is the quantile to predict (default 0.95).
+	Quantile float64
+	// Confidence only sets the minimum-history threshold so the baseline
+	// quotes bounds for the same jobs as BMBP (default 0.95).
+	Confidence float64
+	// Trim enables BMBP's history-trimming scheme.
+	Trim bool
+}
+
+// NewLogUniform returns a log-uniform quantile predictor.
+func NewLogUniform(cfg LogUniformConfig) *LogUniform {
+	if cfg.Quantile == 0 {
+		cfg.Quantile = 0.95
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.95
+	}
+	return &LogUniform{
+		quantile:   cfg.Quantile,
+		minHistory: core.MinSampleSize(cfg.Quantile, cfg.Confidence),
+		lo:         math.Inf(1),
+		hi:         math.Inf(-1),
+		trim:       cfg.Trim,
+		rareTable:  core.DefaultRareEventTable,
+		stale:      true,
+	}
+}
+
+// Name identifies the method in result tables.
+func (l *LogUniform) Name() string {
+	if l.trim {
+		return "loguniform-trim"
+	}
+	return "loguniform"
+}
+
+// Trims returns how many change points the predictor acted on.
+func (l *LogUniform) Trims() int { return l.trims }
+
+// Observe records a released job's wait.
+func (l *LogUniform) Observe(wait float64, missed bool) {
+	l.hist = append(l.hist, wait)
+	lw := stats.SafeLog(wait)
+	if lw < l.lo {
+		l.lo = lw
+	}
+	if lw > l.hi {
+		l.hi = lw
+	}
+	l.stale = true
+	if !l.trim {
+		return
+	}
+	if missed {
+		l.consecMisses++
+	} else {
+		l.consecMisses = 0
+	}
+	if l.rareThreshold == 0 && len(l.hist) >= l.minHistory {
+		l.rareThreshold = l.rareTable.Lookup(stats.Autocorrelation(l.hist, 1))
+	}
+	if l.rareThreshold > 0 && l.consecMisses >= l.rareThreshold {
+		l.doTrim()
+	}
+}
+
+func (l *LogUniform) doTrim() {
+	if len(l.hist) <= l.minHistory {
+		l.consecMisses = 0
+		return
+	}
+	keep := l.hist[len(l.hist)-l.minHistory:]
+	l.hist = append(make([]float64, 0, l.minHistory*2), keep...)
+	l.lo, l.hi = math.Inf(1), math.Inf(-1)
+	for _, w := range l.hist {
+		lw := stats.SafeLog(w)
+		if lw < l.lo {
+			l.lo = lw
+		}
+		if lw > l.hi {
+			l.hi = lw
+		}
+	}
+	l.consecMisses = 0
+	l.trims++
+	l.stale = true
+}
+
+// FinishTraining calibrates the rare-event threshold (trimming variant).
+func (l *LogUniform) FinishTraining() {
+	if l.trim && len(l.hist) > 2 {
+		l.rareThreshold = l.rareTable.Lookup(stats.Autocorrelation(l.hist, 1))
+	}
+}
+
+// Refit recomputes the fitted quantile.
+func (l *LogUniform) Refit() {
+	if !l.stale {
+		return
+	}
+	if len(l.hist) < l.minHistory {
+		l.boundOK = false
+		l.stale = false
+		return
+	}
+	l.bound = math.Exp(l.lo + l.quantile*(l.hi-l.lo))
+	l.boundOK = true
+	l.stale = false
+}
+
+// Bound returns the fitted log-uniform quantile.
+func (l *LogUniform) Bound() (float64, bool) {
+	if l.stale {
+		l.Refit()
+	}
+	return l.bound, l.boundOK
+}
+
+var _ Predictor = (*LogUniform)(nil)

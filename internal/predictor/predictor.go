@@ -1,0 +1,60 @@
+// Package predictor defines the prediction interface the evaluation
+// simulator drives, and implements the paper's comparator methods: the
+// parametric log-normal MLE predictor (Section 4.2), with and without
+// BMBP's history-trimming scheme, plus two naive baselines used in
+// ablation benchmarks. BMBP itself lives in internal/core and satisfies
+// the same interface.
+package predictor
+
+import (
+	"repro/internal/core"
+)
+
+// Predictor is a queue-delay bound predictor driven by the evaluation
+// simulator (or a live deployment feeding it scheduler-log dumps).
+//
+// Observations arrive in the order waits become visible (job release
+// order). missed reports whether the bound this predictor quoted for that
+// job at submission turned out to be below the actual wait; predictors that
+// adapt to change points use it to count consecutive misses.
+type Predictor interface {
+	// Name identifies the method in result tables.
+	Name() string
+	// Observe records a released job's wait.
+	Observe(wait float64, missed bool)
+	// FinishTraining is called once when the warm-up fraction of a trace
+	// has been replayed, letting the method calibrate anything it derives
+	// from the training period (BMBP's rare-event threshold).
+	FinishTraining()
+	// Refit recomputes the quoted bound from current history; the
+	// simulator calls it on epoch boundaries.
+	Refit()
+	// Bound returns the current upper bound on the configured quantile.
+	// ok is false while the history is too short to support the bound.
+	Bound() (bound float64, ok bool)
+}
+
+// Interface conformance checks.
+var (
+	_ Predictor = (*core.BMBP)(nil)
+	_ Predictor = (*LogNormal)(nil)
+	_ Predictor = (*RunningMax)(nil)
+	_ Predictor = (*Empirical)(nil)
+)
+
+// NewBMBP returns the paper's predictor configured for quantile q at
+// confidence c.
+func NewBMBP(q, c float64, seed int64) *core.BMBP {
+	return core.New(core.Config{Quantile: q, Confidence: c, Seed: seed})
+}
+
+// Standard constructs the three methods the paper compares in Tables 3-7,
+// in table column order: BMBP, log-normal without trimming, log-normal with
+// trimming.
+func Standard(q, c float64, seed int64) []Predictor {
+	return []Predictor{
+		NewBMBP(q, c, seed),
+		NewLogNormal(LogNormalConfig{Quantile: q, Confidence: c, Trim: false}),
+		NewLogNormal(LogNormalConfig{Quantile: q, Confidence: c, Trim: true}),
+	}
+}

@@ -1,0 +1,214 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestStandardOrderAndNames(t *testing.T) {
+	preds := Standard(0.95, 0.95, 1)
+	if len(preds) != 3 {
+		t.Fatalf("len = %d", len(preds))
+	}
+	want := []string{"bmbp", "logn-notrim", "logn-trim"}
+	for i, p := range preds {
+		if p.Name() != want[i] {
+			t.Errorf("preds[%d] = %q, want %q", i, p.Name(), want[i])
+		}
+	}
+}
+
+func TestLogNormalBoundOnTrueLogNormalData(t *testing.T) {
+	// On genuinely log-normal data the parametric bound should sit just
+	// above the true 0.95 quantile — and be tighter than wildly above it.
+	ln := NewLogNormal(LogNormalConfig{})
+	rng := rand.New(rand.NewSource(6))
+	const mu, sigma = 3.0, 1.5
+	for i := 0; i < 20000; i++ {
+		ln.Observe(math.Exp(mu+sigma*rng.NormFloat64()), false)
+	}
+	ln.Refit()
+	bound, ok := ln.Bound()
+	if !ok {
+		t.Fatal("no bound")
+	}
+	trueQ := math.Exp(mu + sigma*stats.StdNormalQuantile(0.95))
+	// A single large sample pins the bound near the true quantile (the
+	// guarantee is 95% coverage over repeated samples, so allow sampling
+	// slack on one draw).
+	if bound < trueQ*0.97 {
+		t.Errorf("bound %g far below true q95 %g", bound, trueQ)
+	}
+	if bound > trueQ*1.25 {
+		t.Errorf("bound %g too conservative vs true q95 %g", bound, trueQ)
+	}
+}
+
+func TestLogNormalCoverageOverRepeatedSamples(t *testing.T) {
+	// The defining K' property on genuinely log-normal data: the bound
+	// exceeds the true quantile in about 95% of repeated size-n samples.
+	// The population stays above one second so the log transform's
+	// 1-second clamp (shared with the evaluation pipeline) is inert.
+	rng := rand.New(rand.NewSource(77))
+	const n, trials = 200, 1500
+	trueQ := math.Exp(6 + 1.5*stats.StdNormalQuantile(0.95))
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		ln := NewLogNormal(LogNormalConfig{})
+		for i := 0; i < n; i++ {
+			ln.Observe(math.Exp(6+1.5*rng.NormFloat64()), false)
+		}
+		ln.Refit()
+		if b, ok := ln.Bound(); ok && b >= trueQ {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.93 || frac > 0.985 {
+		t.Errorf("coverage %.3f, want ~0.95", frac)
+	}
+}
+
+func TestLogNormalNoBoundBeforeMinHistory(t *testing.T) {
+	ln := NewLogNormal(LogNormalConfig{})
+	for i := 0; i < 58; i++ {
+		ln.Observe(float64(i+1), false)
+	}
+	if _, ok := ln.Bound(); ok {
+		t.Fatal("bound before 59 observations")
+	}
+	ln.Observe(60, false)
+	if _, ok := ln.Bound(); !ok {
+		t.Fatal("bound unavailable at 59")
+	}
+}
+
+func TestLogNormalTrimBehaviour(t *testing.T) {
+	ln := NewLogNormal(LogNormalConfig{Trim: true, FixedRareThreshold: 3})
+	for i := 0; i < 300; i++ {
+		ln.Observe(10, false)
+	}
+	ln.Observe(1e6, true)
+	ln.Observe(1e6, true)
+	ln.Observe(1e6, true)
+	if ln.Trims() != 1 {
+		t.Fatalf("Trims = %d, want 1", ln.Trims())
+	}
+	if got := ln.HistoryLen(); got != 59 {
+		t.Fatalf("history = %d, want 59", got)
+	}
+	// The untrimmed variant never trims.
+	nt := NewLogNormal(LogNormalConfig{Trim: false, FixedRareThreshold: 3})
+	for i := 0; i < 300; i++ {
+		nt.Observe(10, false)
+	}
+	for i := 0; i < 10; i++ {
+		nt.Observe(1e6, true)
+	}
+	if nt.Trims() != 0 {
+		t.Fatal("NoTrim variant trimmed")
+	}
+}
+
+func TestLogNormalTrimRecomputesMoments(t *testing.T) {
+	ln := NewLogNormal(LogNormalConfig{Trim: true, FixedRareThreshold: 2})
+	for i := 0; i < 500; i++ {
+		ln.Observe(1, false)
+	}
+	ln.Observe(math.Exp(10), true)
+	ln.Observe(math.Exp(10), true)
+	if ln.Trims() != 1 {
+		t.Fatal("no trim")
+	}
+	// After the trim the window is 57 ones and two huge values: the fitted
+	// mean must reflect the window, not the full history.
+	ln.Refit()
+	bound, _ := ln.Bound()
+	// Window logs: 57 zeros, two tens -> mean ~0.339, sd ~1.86.
+	wantMean := 20.0 / 59
+	k := stats.ToleranceFactor(59, 0.95, 0.95)
+	sd := math.Sqrt((2*(10-wantMean)*(10-wantMean) + 57*wantMean*wantMean) / 58)
+	want := math.Exp(wantMean + k*sd)
+	if math.Abs(math.Log(bound)-math.Log(want)) > 1e-6 {
+		t.Errorf("post-trim bound %g, want %g", bound, want)
+	}
+}
+
+func TestLogNormalUndercoversOnBimodalData(t *testing.T) {
+	// The paper's central negative result: a log-normal fit undercovers
+	// when the data has a separated high mode (episode contamination).
+	// 7% of mass sits at e^10, the body at e^0; the fitted bound lands
+	// between the modes, below the true 0.95 quantile.
+	ln := NewLogNormal(LogNormalConfig{})
+	rng := rand.New(rand.NewSource(30))
+	var data []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(0.3 * rng.NormFloat64())
+		if rng.Float64() < 0.07 {
+			v = math.Exp(10 + 0.3*rng.NormFloat64())
+		}
+		ln.Observe(v, false)
+		data = append(data, v)
+	}
+	ln.Refit()
+	bound, _ := ln.Bound()
+	sort.Float64s(data)
+	empQ95 := stats.QuantileSorted(data, 0.95)
+	if bound >= empQ95 {
+		t.Errorf("expected undercoverage: bound %g >= empirical q95 %g", bound, empQ95)
+	}
+}
+
+func TestRunningMaxBaseline(t *testing.T) {
+	rm := NewRunningMax(0.95, 0.95)
+	if rm.Name() != "running-max" {
+		t.Error("name")
+	}
+	for i := 1; i <= 58; i++ {
+		rm.Observe(float64(i), false)
+	}
+	if _, ok := rm.Bound(); ok {
+		t.Error("bound before min history")
+	}
+	rm.Observe(1000, false)
+	rm.Observe(5, false)
+	b, ok := rm.Bound()
+	if !ok || b != 1000 {
+		t.Errorf("bound = %g ok=%v", b, ok)
+	}
+	rm.FinishTraining()
+	rm.Refit() // no-ops
+}
+
+func TestEmpiricalBaseline(t *testing.T) {
+	e := NewEmpirical(0.95, 0.95, 1)
+	if e.Name() != "empirical" {
+		t.Error("name")
+	}
+	for i := 1; i <= 100; i++ {
+		e.Observe(float64(i), false)
+	}
+	e.Refit()
+	b, ok := e.Bound()
+	if !ok {
+		t.Fatal("no bound")
+	}
+	// Sample 0.95 quantile of 1..100 is the 95th value.
+	if b != 95 {
+		t.Errorf("bound = %g, want 95", b)
+	}
+	// The empirical baseline is less conservative than BMBP by
+	// construction: same history, no confidence margin.
+	bm := NewBMBP(0.95, 0.95, 1)
+	for i := 1; i <= 100; i++ {
+		bm.Observe(float64(i), false)
+	}
+	bb, _ := bm.Bound()
+	if bb <= b {
+		t.Errorf("BMBP bound %g should exceed empirical %g", bb, b)
+	}
+}

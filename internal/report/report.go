@@ -1,0 +1,187 @@
+// Package report renders evaluation results as fixed-width text tables and
+// simple time-series listings, matching the layout of the paper's tables so
+// reproduced output can be compared against the published values at a
+// glance.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows for fixed-width rendering.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v unless already strings.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Frac formats a correctness fraction the way the paper prints it: two
+// decimals, with a trailing '*' marking failure to reach the target level.
+func Frac(v, target float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	if v < target {
+		s += "*"
+	}
+	return s
+}
+
+// FracOrDash is Frac, with NaN rendered as the paper's "-" (cell dropped for
+// insufficient jobs).
+func FracOrDash(v, target float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return Frac(v, target)
+}
+
+// Sci formats a ratio in the paper's scientific notation (e.g. 4.55e-02).
+func Sci(v float64) string {
+	if math.IsNaN(v) || v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2e", v)
+}
+
+// Seconds formats a duration in seconds the way Table 8 prints quantile
+// bounds: integral seconds.
+func Seconds(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// Series is a labeled time series (Figures 1 and 2).
+type Series struct {
+	Label  string
+	Times  []int64
+	Values []float64
+}
+
+// RenderSeries writes aligned columns: timestamp then one value column per
+// series (values matched by index; series must be sampled on the same
+// grid). Missing values (NaN) render as "-".
+func RenderSeries(w io.Writer, title string, series ...Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	b.WriteString("unix_time")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", s.Label)
+	}
+	b.WriteByte('\n')
+	for i, ts := range series[0].Times {
+		fmt.Fprintf(&b, "%d", ts)
+		for _, s := range series {
+			if i < len(s.Values) && !math.IsNaN(s.Values[i]) {
+				fmt.Fprintf(&b, ",%.0f", s.Values[i])
+			} else {
+				b.WriteString(",-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Sparkline renders values as a one-line unicode sparkline on a log scale,
+// used to eyeball the Figure 1/2 series in terminal output.
+func Sparkline(values []float64) string {
+	const ticks = "▁▂▃▄▅▆▇█"
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || v <= 0 {
+			continue
+		}
+		l := math.Log(v)
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) || v <= 0 {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := int((math.Log(v) - lo) / span * 7)
+		if idx > 7 {
+			idx = 7
+		}
+		b.WriteRune([]rune(ticks)[idx])
+	}
+	return b.String()
+}

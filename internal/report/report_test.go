@@ -1,0 +1,112 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("title", "a", "bb", "ccc")
+	tbl.AddRow("1", "2", "3")
+	tbl.AddRow("longer", "x", "y")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a ") || !strings.Contains(lines[1], "bb") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns align: "2" starts where "bb" starts.
+	if strings.Index(lines[3], "2") != strings.Index(lines[1], "bb") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestFracFormats(t *testing.T) {
+	if got := Frac(0.97, 0.95); got != "0.97" {
+		t.Errorf("Frac = %q", got)
+	}
+	if got := Frac(0.9349, 0.95); got != "0.93*" {
+		t.Errorf("Frac failing = %q", got)
+	}
+	if got := FracOrDash(math.NaN(), 0.95); got != "-" {
+		t.Errorf("FracOrDash NaN = %q", got)
+	}
+	if got := FracOrDash(0.96, 0.95); got != "0.96" {
+		t.Errorf("FracOrDash = %q", got)
+	}
+}
+
+func TestSciAndSeconds(t *testing.T) {
+	if got := Sci(0.0455); got != "4.55e-02" {
+		t.Errorf("Sci = %q", got)
+	}
+	if Sci(0) != "-" || Sci(math.NaN()) != "-" {
+		t.Error("Sci degenerate")
+	}
+	if got := Seconds(159844.4); got != "159844" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if Seconds(math.NaN()) != "-" {
+		t.Error("Seconds NaN")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s1 := Series{Label: "a", Times: []int64{10, 20}, Values: []float64{1, 2}}
+	s2 := Series{Label: "b", Times: []int64{10, 20}, Values: []float64{3, math.NaN()}}
+	var sb strings.Builder
+	if err := RenderSeries(&sb, "t", s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	want := "t\nunix_time,a,b\n10,1,3\n20,2,-\n"
+	if sb.String() != want {
+		t.Errorf("got %q, want %q", sb.String(), want)
+	}
+	// Empty input is a no-op.
+	var sb2 strings.Builder
+	if err := RenderSeries(&sb2, "t"); err != nil || sb2.Len() != 0 {
+		t.Error("empty series")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]float64{1, 10, 100, 1000})
+	if len([]rune(out)) != 4 {
+		t.Fatalf("len = %d", len([]rune(out)))
+	}
+	runes := []rune(out)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline = %q", out)
+	}
+	// Log scale: equal ratios get equal steps.
+	if runes[1] == runes[0] || runes[2] == runes[1] {
+		t.Errorf("log steps collapsed: %q", out)
+	}
+	// NaN and non-positive values render as spaces.
+	out2 := Sparkline([]float64{math.NaN(), 5, -1})
+	r2 := []rune(out2)
+	if r2[0] != ' ' || r2[2] != ' ' {
+		t.Errorf("degenerate cells: %q", out2)
+	}
+	// All-invalid input.
+	if got := Sparkline([]float64{0, -1}); got != "  " {
+		t.Errorf("all-invalid = %q", got)
+	}
+	// Constant series does not divide by zero.
+	if got := Sparkline([]float64{7, 7, 7}); len([]rune(got)) != 3 {
+		t.Errorf("constant = %q", got)
+	}
+}

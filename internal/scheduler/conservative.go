@@ -1,0 +1,157 @@
+package scheduler
+
+import "sort"
+
+// Conservative backfilling: every waiting job gets a reservation in
+// priority order against a profile of future processor availability
+// (running jobs are assumed to end at their estimates); a job starts now
+// exactly when its reservation lands at the current time. No job's start
+// can be delayed by a later-ranked job, which is the discipline's defining
+// guarantee.
+
+// profile tracks free processor counts over future time as a step
+// function. steps[i] holds the free count from steps[i].t (inclusive)
+// until steps[i+1].t; the last step extends to infinity.
+type profile struct {
+	steps []profileStep
+}
+
+type profileStep struct {
+	t    int64
+	free int
+}
+
+// newProfile builds the availability step function at time now from the
+// running set (estimated ends) and the currently free processors.
+func newProfile(now int64, freeNow, totalProcs int, run []running) *profile {
+	// Collect release events at estimated completion times.
+	type rel struct {
+		t     int64
+		procs int
+	}
+	rels := make([]rel, 0, len(run))
+	for _, r := range run {
+		t := r.est
+		if t < now {
+			// Overrunning its estimate: it can end any moment; treat as
+			// releasing now+1 so reservations stay feasible.
+			t = now + 1
+		}
+		rels = append(rels, rel{t, r.procs})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].t < rels[j].t })
+	p := &profile{steps: []profileStep{{t: now, free: freeNow}}}
+	free := freeNow
+	for _, r := range rels {
+		free += r.procs
+		last := &p.steps[len(p.steps)-1]
+		if last.t == r.t {
+			last.free = free
+		} else {
+			p.steps = append(p.steps, profileStep{t: r.t, free: free})
+		}
+	}
+	return p
+}
+
+// earliestFit returns the earliest start time >= now at which procs
+// processors stay free for duration seconds.
+func (p *profile) earliestFit(now int64, procs int, duration int64) int64 {
+	if duration < 1 {
+		duration = 1
+	}
+	for i := 0; i < len(p.steps); i++ {
+		start := p.steps[i].t
+		if start < now {
+			start = now
+		}
+		end := start + duration
+		if p.minFreeBetween(start, end) >= procs {
+			return start
+		}
+	}
+	// Unreachable when procs <= machine size: the final step always has
+	// everything free.
+	return p.steps[len(p.steps)-1].t
+}
+
+// minFreeBetween returns the minimum free count over [from, to).
+func (p *profile) minFreeBetween(from, to int64) int {
+	min := int(^uint(0) >> 1)
+	for i, s := range p.steps {
+		segEnd := int64(1<<62 - 1)
+		if i+1 < len(p.steps) {
+			segEnd = p.steps[i+1].t
+		}
+		if segEnd <= from || s.t >= to {
+			continue
+		}
+		if s.free < min {
+			min = s.free
+		}
+	}
+	return min
+}
+
+// reserve subtracts procs processors over [from, to), splitting steps as
+// needed.
+func (p *profile) reserve(from, to int64, procs int) {
+	p.splitAt(from)
+	p.splitAt(to)
+	for i := range p.steps {
+		if p.steps[i].t >= from && p.steps[i].t < to {
+			p.steps[i].free -= procs
+		}
+	}
+}
+
+// splitAt inserts a step boundary at t if one does not exist (no-op past
+// the final step, whose value extends to infinity anyway).
+func (p *profile) splitAt(t int64) {
+	for i, s := range p.steps {
+		if s.t == t {
+			return
+		}
+		if s.t > t {
+			if i == 0 {
+				return // before the profile start: nothing to split
+			}
+			p.steps = append(p.steps, profileStep{})
+			copy(p.steps[i+1:], p.steps[i:])
+			// The segment containing t belongs to the previous step.
+			p.steps[i] = profileStep{t: t, free: p.steps[i-1].free}
+			return
+		}
+	}
+	// t is beyond the last boundary: the last step's value extends there.
+	p.steps = append(p.steps, profileStep{t: t, free: p.steps[len(p.steps)-1].free})
+}
+
+// backfillConservative plans a reservation for every pending job in
+// priority order and starts those whose reservation is immediate. The
+// caller (schedule) has already started everything that fits strictly in
+// order, so the head job here never fits now.
+func (s *state) backfillConservative(now int64) []*Job {
+	p := newProfile(now, s.available(), s.cfg.Procs, s.run)
+	var started []*Job
+	kept := s.pending[:0]
+	for i, j := range s.pending {
+		est := int64(j.Estimate)
+		if est < 1 {
+			est = 1
+		}
+		at := p.earliestFit(now, j.Procs, est)
+		p.reserve(at, at+est, j.Procs)
+		if at == now {
+			s.start(j, now)
+			started = append(started, j)
+			if i > 0 {
+				s.backfilled++
+			}
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	s.pending = kept
+	return started
+}

@@ -1,0 +1,168 @@
+package scheduler
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestProfileBasics(t *testing.T) {
+	// 4-proc machine, 1 free now; 1 proc back at t=50, 2 more at t=100.
+	run := []running{
+		{procs: 1, end: 50, est: 50},
+		{procs: 2, end: 100, est: 100},
+	}
+	p := newProfile(10, 1, 4, run)
+	if got := p.minFreeBetween(10, 50); got != 1 {
+		t.Errorf("minFree [10,50) = %d", got)
+	}
+	if got := p.minFreeBetween(10, 60); got != 1 {
+		t.Errorf("minFree [10,60) = %d", got)
+	}
+	if got := p.minFreeBetween(50, 100); got != 2 {
+		t.Errorf("minFree [50,100) = %d", got)
+	}
+	if got := p.minFreeBetween(100, 200); got != 4 {
+		t.Errorf("minFree [100,200) = %d", got)
+	}
+	// Earliest fits.
+	if got := p.earliestFit(10, 1, 1000); got != 10 {
+		t.Errorf("1-proc fit = %d", got)
+	}
+	if got := p.earliestFit(10, 2, 1000); got != 50 {
+		t.Errorf("2-proc fit = %d", got)
+	}
+	if got := p.earliestFit(10, 4, 1000); got != 100 {
+		t.Errorf("4-proc fit = %d", got)
+	}
+}
+
+func TestProfileReserve(t *testing.T) {
+	p := newProfile(0, 4, 4, nil)
+	p.reserve(10, 20, 3)
+	if got := p.minFreeBetween(10, 20); got != 1 {
+		t.Errorf("reserved window free = %d", got)
+	}
+	if got := p.minFreeBetween(0, 10); got != 4 {
+		t.Errorf("pre-window free = %d", got)
+	}
+	if got := p.minFreeBetween(20, 30); got != 4 {
+		t.Errorf("post-window free = %d", got)
+	}
+	// A 2-proc job for duration 15 cannot start before the window ends
+	// unless it finishes first.
+	if got := p.earliestFit(0, 2, 15); got != 20 {
+		t.Errorf("2x15 fit = %d", got)
+	}
+	if got := p.earliestFit(0, 1, 100); got != 0 {
+		t.Errorf("1x100 fit = %d", got)
+	}
+}
+
+func TestConservativeBackfillNeverDelaysAnyReservation(t *testing.T) {
+	// Under EASY, a backfill job may delay the SECOND waiting job (only
+	// the head is protected). Under conservative it may not.
+	//
+	// Machine of 4. Job0 holds 3 procs until t=100 (1 idle).
+	// Job1 wants 4 (reserved at t=100). Job2 wants 2 for 100s: its
+	// earliest conservative reservation is t=200 (after job1), and it
+	// must NOT grab the idle processor in a way that delays job1 — it
+	// cannot run now anyway (needs 2, only 1 free).
+	// Job3 wants 1 for 40s: under both policies it can run now; under
+	// conservative only because it fits before/alongside every earlier
+	// reservation.
+	jobs := []*Job{
+		{ID: 0, Queue: "q", Procs: 3, Submit: 0, Runtime: 100, Estimate: 100},
+		{ID: 1, Queue: "q", Procs: 4, Submit: 1, Runtime: 50, Estimate: 50},
+		{ID: 2, Queue: "q", Procs: 2, Submit: 2, Runtime: 100, Estimate: 100},
+		{ID: 3, Queue: "q", Procs: 1, Submit: 3, Runtime: 40, Estimate: 40},
+	}
+	if _, err := Run(oneQueuePolicy(4, Conservative), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[1].Start() != 100 {
+		t.Errorf("job1 start = %d, want 100 (reservation kept)", jobs[1].Start())
+	}
+	if jobs[3].Start() != 3 {
+		t.Errorf("job3 start = %d, want 3 (conservative backfill)", jobs[3].Start())
+	}
+	if jobs[2].Start() < 150 {
+		t.Errorf("job2 start = %d, must follow job1", jobs[2].Start())
+	}
+}
+
+func TestConservativeVsEASYAggressiveness(t *testing.T) {
+	// EASY backfills at least as much as conservative on the same stream,
+	// and both strictly beat FCFS on mean wait under contention.
+	gen := func() []*Job {
+		return GenerateJobs(WorkloadConfig{Jobs: 4000, Seed: 11, MeanInterarrival: 300})
+	}
+	meanWait := func(policy Policy) (float64, int) {
+		jobs := gen()
+		cfg := DefaultMachine()
+		cfg.Policy = policy
+		res, err := Run(cfg, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits := make([]float64, len(jobs))
+		for i, j := range jobs {
+			waits[i] = j.Wait()
+		}
+		return stats.Mean(waits), res.Backfilled
+	}
+	fcfs, bf0 := meanWait(FCFS)
+	easy, bf1 := meanWait(EASY)
+	cons, bf2 := meanWait(Conservative)
+	if bf0 != 0 {
+		t.Errorf("FCFS backfilled %d", bf0)
+	}
+	if bf1 == 0 || bf2 == 0 {
+		t.Errorf("backfill counts: easy=%d conservative=%d", bf1, bf2)
+	}
+	if easy >= fcfs {
+		t.Errorf("EASY mean wait %.0f should beat FCFS %.0f", easy, fcfs)
+	}
+	if cons >= fcfs {
+		t.Errorf("conservative mean wait %.0f should beat FCFS %.0f", cons, fcfs)
+	}
+	t.Logf("mean waits: fcfs=%.0f easy=%.0f conservative=%.0f (backfilled %d/%d)", fcfs, easy, cons, bf1, bf2)
+}
+
+func TestConservativeCorrectness(t *testing.T) {
+	// Every job eventually starts, none before submission, and processor
+	// capacity is never exceeded at any start instant.
+	jobs := GenerateJobs(WorkloadConfig{Jobs: 3000, Seed: 5})
+	cfg := DefaultMachine()
+	cfg.Policy = Conservative
+	if _, err := Run(cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		t int64
+		d int
+	}
+	var evs []ev
+	for _, j := range jobs {
+		if j.Start() < j.Submit {
+			t.Fatalf("job %d started before submission", j.ID)
+		}
+		evs = append(evs, ev{j.Start(), j.Procs}, ev{j.Start() + int64(j.Runtime), -j.Procs})
+	}
+	// Sweep capacity: releases (negative deltas) before starts at equal
+	// times.
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].d < evs[j].d
+	})
+	inUse := 0
+	for _, e := range evs {
+		inUse += e.d
+		if inUse > cfg.Procs {
+			t.Fatalf("capacity exceeded: %d > %d at t=%d", inUse, cfg.Procs, e.t)
+		}
+	}
+}

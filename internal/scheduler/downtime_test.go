@@ -1,0 +1,161 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDowntimeBlocksNewStarts(t *testing.T) {
+	// 4-proc machine, all 4 offline during [100, 200): a job arriving at
+	// 150 waits until 200 even though nothing is running.
+	cfg := oneQueue(4, false)
+	cfg.Downtimes = []Downtime{{From: 100, To: 200, Procs: 4}}
+	jobs := []*Job{
+		{ID: 0, Queue: "q", Procs: 2, Submit: 150, Runtime: 10, Estimate: 10},
+	}
+	if _, err := Run(cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	// The cap clamps offline to Procs-1, so 1 processor stays usable: a
+	// 2-proc job still cannot start until 200.
+	if jobs[0].Start() != 200 {
+		t.Errorf("start = %d, want 200", jobs[0].Start())
+	}
+}
+
+func TestDowntimeDrainSemantics(t *testing.T) {
+	// A running job keeps running through the downtime (drain), and the
+	// downtime window does not pause its completion.
+	cfg := oneQueue(4, false)
+	cfg.Downtimes = []Downtime{{From: 10, To: 1000, Procs: 3}}
+	jobs := []*Job{
+		{ID: 0, Queue: "q", Procs: 4, Submit: 0, Runtime: 50, Estimate: 50},
+		// Arrives during downtime; 3 of 4 procs offline, and the running
+		// job holds all 4 until t=50; thereafter only 1 proc is usable.
+		{ID: 1, Queue: "q", Procs: 1, Submit: 20, Runtime: 10, Estimate: 10},
+		{ID: 2, Queue: "q", Procs: 2, Submit: 20, Runtime: 10, Estimate: 10},
+	}
+	if _, err := Run(cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Start() != 0 {
+		t.Errorf("running job start = %d", jobs[0].Start())
+	}
+	if jobs[1].Start() != 50 {
+		t.Errorf("1-proc job start = %d, want 50 (one usable proc after drain)", jobs[1].Start())
+	}
+	if jobs[2].Start() != 1000 {
+		t.Errorf("2-proc job start = %d, want 1000 (needs the window to end)", jobs[2].Start())
+	}
+}
+
+func TestDowntimeCreatesCongestionEpisode(t *testing.T) {
+	// On a loaded machine, a half-capacity maintenance window produces
+	// the wait-time signature the paper's logs show: waits during and
+	// just after the window dwarf the background.
+	jobs := GenerateJobs(WorkloadConfig{Jobs: 8000, Seed: 21})
+	span := jobs[len(jobs)-1].Submit - jobs[0].Submit
+	winFrom := jobs[0].Submit + span/2
+	winTo := winFrom + span/10
+
+	base := GenerateJobs(WorkloadConfig{Jobs: 8000, Seed: 21})
+	cfg := DefaultMachine()
+	if _, err := Run(cfg, base); err != nil {
+		t.Fatal(err)
+	}
+	cfgDown := DefaultMachine()
+	cfgDown.Downtimes = []Downtime{{From: winFrom, To: winTo, Procs: 96}}
+	if _, err := Run(cfgDown, jobs); err != nil {
+		t.Fatal(err)
+	}
+	inWindow := func(list []*Job) []float64 {
+		var out []float64
+		for _, j := range list {
+			if j.Submit >= winFrom && j.Submit < winTo {
+				out = append(out, j.Wait())
+			}
+		}
+		return out
+	}
+	baseMean := stats.Mean(inWindow(base))
+	downMean := stats.Mean(inWindow(jobs))
+	if downMean < 3*baseMean+600 {
+		t.Errorf("downtime window waits %g, base %g: no episode", downMean, baseMean)
+	}
+}
+
+func TestQueueConstraintEnforcement(t *testing.T) {
+	cfg := Config{
+		Procs: 16,
+		Queues: []QueueClass{
+			{Name: "short", Priority: 1, MaxRuntime: 100, MaxProcs: 8},
+		},
+	}
+	// Oversized request rejected.
+	if _, err := Run(cfg, []*Job{{ID: 0, Queue: "short", Procs: 12, Runtime: 10, Estimate: 10}}); err == nil {
+		t.Error("over-cap processor request should be rejected")
+	}
+	// Overrunning job killed at the ceiling; estimate clamped too.
+	jobs := []*Job{
+		{ID: 0, Queue: "short", Procs: 2, Submit: 0, Runtime: 500, Estimate: 900},
+		{ID: 1, Queue: "short", Procs: 8, Submit: 1, Runtime: 10, Estimate: 10},
+	}
+	if _, err := Run(cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !jobs[0].Killed || jobs[0].Runtime != 100 {
+		t.Errorf("overrun not killed: killed=%v runtime=%g", jobs[0].Killed, jobs[0].Runtime)
+	}
+	if jobs[0].Estimate != 100 {
+		t.Errorf("estimate not clamped: %g", jobs[0].Estimate)
+	}
+	if jobs[1].Killed {
+		t.Error("compliant job marked killed")
+	}
+	// Zero ceilings mean unlimited.
+	open := Config{Procs: 4, Queues: []QueueClass{{Name: "q", Priority: 1}}}
+	free := []*Job{{ID: 0, Queue: "q", Procs: 4, Runtime: 1e6, Estimate: 1e6}}
+	if _, err := Run(open, free); err != nil {
+		t.Fatal(err)
+	}
+	if free[0].Killed {
+		t.Error("unlimited queue killed a job")
+	}
+}
+
+func TestGeneratedJobsRespectQueueCaps(t *testing.T) {
+	jobs := GenerateJobs(WorkloadConfig{Jobs: 5000, Seed: 13})
+	for _, j := range jobs {
+		if j.Queue == "low" && j.Procs > 64 {
+			t.Fatalf("low-queue job with %d procs", j.Procs)
+		}
+	}
+	// And the default machine accepts the default workload.
+	if _, err := Run(DefaultMachine(), jobs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfflineAtOverlapAndClamp(t *testing.T) {
+	cfg := Config{Procs: 8, Downtimes: []Downtime{
+		{From: 0, To: 100, Procs: 5},
+		{From: 50, To: 150, Procs: 5},
+	}}
+	if got := cfg.offlineAt(25); got != 5 {
+		t.Errorf("offline(25) = %d", got)
+	}
+	if got := cfg.offlineAt(75); got != 7 { // 10 clamped to Procs-1
+		t.Errorf("offline(75) = %d, want 7", got)
+	}
+	if got := cfg.offlineAt(125); got != 5 {
+		t.Errorf("offline(125) = %d", got)
+	}
+	if got := cfg.offlineAt(500); got != 0 {
+		t.Errorf("offline(500) = %d", got)
+	}
+	b := cfg.downtimeBoundaries()
+	if len(b) != 4 || b[0] != 0 || b[3] != 150 {
+		t.Errorf("boundaries = %v", b)
+	}
+}

@@ -1,0 +1,193 @@
+package scheduler
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WorkloadConfig parameterizes the synthetic job stream offered to the
+// simulated machine. Defaults (zero values) give a moderately loaded
+// 128-processor machine with three priority queues.
+type WorkloadConfig struct {
+	// Jobs is the number of submissions to generate (default 20000).
+	Jobs int
+	// Start is the first submission timestamp.
+	Start int64
+	// MeanInterarrival is the mean seconds between submissions
+	// (default 180, exponential with diurnal modulation).
+	MeanInterarrival float64
+	// RuntimeMu and RuntimeSigma are log-space runtime parameters
+	// (defaults ln(1800) and 1.4 — minutes to many hours, heavy-tailed).
+	RuntimeMu, RuntimeSigma float64
+	// OverestimateMax bounds the user runtime over-estimation factor;
+	// estimates are runtime times Uniform(1, OverestimateMax), the
+	// well-documented sloppiness backfill schedulers live with
+	// (default 5).
+	OverestimateMax float64
+	// MaxProcs caps generated processor requests (default: machine size
+	// is the natural cap; the generator favors small powers of two).
+	MaxProcs int
+	// QueueNames and QueueWeights give the submission mix across queues
+	// (defaults: the three-queue Default machine below, weighted toward
+	// "normal").
+	QueueNames   []string
+	QueueWeights []float64
+	// QueueMaxProcs caps processor requests per queue, matching the
+	// advertised constraints users submit within (defaults to the
+	// DefaultMachine caps).
+	QueueMaxProcs map[string]int
+	// QueueMaxRuntime holds the advertised runtime ceilings. Users route
+	// around them: a job too long for its drawn queue is submitted to the
+	// next queue down that accommodates it (defaults to the
+	// DefaultMachine ceilings).
+	QueueMaxRuntime map[string]float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// DefaultMachine is a 128-processor machine with the three-tier queue
+// structure most of the paper's sites advertise.
+func DefaultMachine() Config {
+	return Config{
+		Procs: 128,
+		Queues: []QueueClass{
+			{Name: "high", Priority: 3, MaxRuntime: 12 * 3600, MaxProcs: 128},
+			{Name: "normal", Priority: 2, MaxRuntime: 48 * 3600, MaxProcs: 128},
+			{Name: "low", Priority: 1, MaxRuntime: 96 * 3600, MaxProcs: 64},
+		},
+		Policy: EASY,
+	}
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Jobs == 0 {
+		c.Jobs = 20000
+	}
+	if c.MeanInterarrival == 0 {
+		c.MeanInterarrival = 180
+	}
+	if c.RuntimeMu == 0 {
+		c.RuntimeMu = math.Log(1800)
+	}
+	if c.RuntimeSigma == 0 {
+		c.RuntimeSigma = 1.4
+	}
+	if c.OverestimateMax == 0 {
+		c.OverestimateMax = 5
+	}
+	if c.MaxProcs == 0 {
+		c.MaxProcs = 128
+	}
+	if len(c.QueueNames) == 0 {
+		c.QueueNames = []string{"high", "normal", "low"}
+		c.QueueWeights = []float64{0.15, 0.6, 0.25}
+	}
+	if c.QueueMaxProcs == nil || c.QueueMaxRuntime == nil {
+		procs := map[string]int{}
+		rt := map[string]float64{}
+		for _, q := range DefaultMachine().Queues {
+			procs[q.Name] = q.MaxProcs
+			rt[q.Name] = q.MaxRuntime
+		}
+		if c.QueueMaxProcs == nil {
+			c.QueueMaxProcs = procs
+		}
+		if c.QueueMaxRuntime == nil {
+			c.QueueMaxRuntime = rt
+		}
+	}
+	return c
+}
+
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// GenerateJobs produces a synthetic submission stream for Run.
+func GenerateJobs(cfg WorkloadConfig) []*Job {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]*Job, 0, cfg.Jobs)
+	t := float64(cfg.Start)
+	var wsum float64
+	for _, w := range cfg.QueueWeights {
+		wsum += w
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		// Diurnal modulation: submissions cluster in "working hours" of a
+		// 24h cycle, like every published workload study observes.
+		hour := math.Mod(t/3600, 24)
+		rate := 1.0
+		if hour >= 8 && hour < 20 {
+			rate = 0.6 // busier: shorter interarrivals
+		} else {
+			rate = 1.8
+		}
+		t += rng.ExpFloat64() * cfg.MeanInterarrival * rate
+
+		// Processor counts: powers of two, heavily weighted small.
+		exp := 0
+		for exp < 10 && rng.Float64() < 0.45 {
+			exp++
+		}
+		procs := 1 << exp
+		if procs > cfg.MaxProcs {
+			procs = cfg.MaxProcs
+		}
+
+		runtime := math.Exp(cfg.RuntimeMu + cfg.RuntimeSigma*rng.NormFloat64())
+		if runtime < 10 {
+			runtime = 10
+		}
+		estimate := runtime * (1 + rng.Float64()*(cfg.OverestimateMax-1))
+
+		u := rng.Float64() * wsum
+		queue := cfg.QueueNames[len(cfg.QueueNames)-1]
+		for qi, w := range cfg.QueueWeights {
+			if u <= w {
+				queue = cfg.QueueNames[qi]
+				break
+			}
+			u -= w
+		}
+		// Users route around advertised constraints: a job too long for
+		// its drawn queue goes to the next queue down that accommodates
+		// it; a job still too long for the last queue is shortened to fit
+		// (checkpoint-and-resubmit behavior).
+		for qi := indexOf(cfg.QueueNames, queue); qi < len(cfg.QueueNames); qi++ {
+			queue = cfg.QueueNames[qi]
+			ceil := cfg.QueueMaxRuntime[queue]
+			if ceil <= 0 || runtime <= ceil {
+				break
+			}
+			if qi == len(cfg.QueueNames)-1 {
+				runtime = ceil * 0.95
+			}
+		}
+		if ceil := cfg.QueueMaxRuntime[queue]; ceil > 0 && estimate > ceil {
+			estimate = ceil
+		}
+		if estimate < runtime {
+			estimate = runtime
+		}
+		// And within the queue's advertised processor cap.
+		if cap, ok := cfg.QueueMaxProcs[queue]; ok && cap > 0 && procs > cap {
+			procs = cap
+		}
+
+		jobs = append(jobs, &Job{
+			ID:       i,
+			Queue:    queue,
+			Procs:    procs,
+			Submit:   int64(t),
+			Estimate: estimate,
+			Runtime:  runtime,
+		})
+	}
+	return jobs
+}

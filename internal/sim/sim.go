@@ -1,0 +1,253 @@
+// Package sim implements the paper's trace-driven evaluation simulator
+// (Section 5.1). It replays a job trace against one or more predictors
+// under the paper's visibility rules:
+//
+//   - a job's wait time becomes visible to the predictors only when the job
+//     leaves the queue (submit + wait), never at submission;
+//   - predictors see history in 5-minute dumps: the bound quoted to a job
+//     submitted at time t reflects only waits released at or before the
+//     last epoch boundary preceding t (the paper's case 3; set
+//     InstantUpdates to reproduce its epoch-length-0 experiment);
+//   - the first TrainFraction of each trace warms the predictors up without
+//     being scored;
+//   - each scored job records a success (actual wait <= quoted bound) or
+//     failure, plus the ratio of actual to predicted wait, whose median is
+//     the paper's accuracy metric (Table 4).
+package sim
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Config controls a simulation run. The zero value reproduces the paper's
+// settings: 300-second epochs and a 10% training prefix.
+type Config struct {
+	// EpochSeconds is the interval between predictor state dumps
+	// (default 300).
+	EpochSeconds int64
+	// InstantUpdates simulates the epoch-length-0 deployment in which the
+	// predictor state is updated for every job (the paper reports the
+	// effect is minimal).
+	InstantUpdates bool
+	// TrainFraction is the warm-up prefix of the trace (default 0.10).
+	TrainFraction float64
+	// SampleEvery, when positive, invokes OnSample at every multiple of
+	// SampleEvery seconds within [SampleFrom, SampleTo), with predictor
+	// state exactly as a live system would have had it at that moment.
+	SampleEvery          int64
+	SampleFrom, SampleTo int64
+	// OnSample receives the sampling callbacks.
+	OnSample func(ts int64, preds []predictor.Predictor)
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochSeconds == 0 {
+		c.EpochSeconds = 300
+	}
+	if c.TrainFraction == 0 {
+		c.TrainFraction = 0.10
+	}
+	return c
+}
+
+// Result aggregates one predictor's performance over one trace.
+type Result struct {
+	Machine string
+	Queue   string
+	Method  string
+
+	// Scored is the number of post-training jobs for which a bound was
+	// quoted; Correct of them waited no longer than the bound.
+	Scored  int
+	Correct int
+	// Unbounded counts post-training jobs submitted while the predictor
+	// had too little history to quote a bound.
+	Unbounded int
+	// Ratios holds actual/predicted for every scored job with a positive
+	// predicted bound, in submission order.
+	Ratios []float64
+	// Trims is how many change points the predictor acted on (0 for
+	// methods without trimming).
+	Trims int
+}
+
+// CorrectFraction returns Correct/Scored (1 when nothing was scored, since
+// no prediction was wrong).
+func (r *Result) CorrectFraction() float64 {
+	if r.Scored == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Scored)
+}
+
+// MedianRatio returns the median of actual/predicted ratios, the paper's
+// Table 4 accuracy metric. Zero when no ratios were recorded.
+func (r *Result) MedianRatio() float64 {
+	if len(r.Ratios) == 0 {
+		return 0
+	}
+	s := make([]float64, len(r.Ratios))
+	copy(s, r.Ratios)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// pendingJob is a submitted job whose wait is not yet visible.
+type pendingJob struct {
+	release int64
+	seq     int // submission order, to break release ties deterministically
+	wait    float64
+	bounds  []float64
+	boundOK []bool
+	scored  bool
+}
+
+type pendingHeap []*pendingJob
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].release != h[j].release {
+		return h[i].release < h[j].release
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(*pendingJob)) }
+func (h *pendingHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Run replays the trace against the predictors and returns one Result per
+// predictor, in the same order. The trace must be (or will be) ordered by
+// submission time; Run sorts a copy if needed.
+func Run(t *trace.Trace, preds []predictor.Predictor, cfg Config) []Result {
+	cfg = cfg.withDefaults()
+	jobs := t.Jobs
+	if !sort.SliceIsSorted(jobs, func(i, j int) bool { return jobs[i].Submit < jobs[j].Submit }) {
+		jobs = append([]trace.Job(nil), jobs...)
+		sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Submit < jobs[j].Submit })
+	}
+
+	results := make([]Result, len(preds))
+	for i, p := range preds {
+		results[i] = Result{Machine: t.Machine, Queue: t.Queue, Method: p.Name()}
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+
+	trainCount := int(cfg.TrainFraction * float64(len(jobs)))
+	pending := &pendingHeap{}
+	heap.Init(pending)
+
+	epochFloor := func(ts int64) int64 {
+		if cfg.InstantUpdates {
+			return ts
+		}
+		return ts - ts%cfg.EpochSeconds
+	}
+
+	// advance makes all waits released at or before cutoff visible, in
+	// release order, and refits.
+	advance := func(cutoff int64) {
+		changed := false
+		for pending.Len() > 0 && (*pending)[0].release <= cutoff {
+			e := heap.Pop(pending).(*pendingJob)
+			for j, p := range preds {
+				missed := e.boundOK[j] && e.wait > e.bounds[j]
+				p.Observe(e.wait, missed)
+			}
+			changed = true
+		}
+		if changed {
+			for _, p := range preds {
+				p.Refit()
+			}
+		}
+	}
+
+	nextSample := int64(0)
+	sampling := cfg.SampleEvery > 0 && cfg.OnSample != nil
+	if sampling {
+		nextSample = cfg.SampleFrom - cfg.SampleFrom%cfg.SampleEvery
+		if nextSample < cfg.SampleFrom {
+			nextSample += cfg.SampleEvery
+		}
+	}
+	emitSamplesUpTo := func(ts int64) {
+		if !sampling {
+			return
+		}
+		for nextSample < ts && nextSample < cfg.SampleTo {
+			advance(epochFloor(nextSample))
+			cfg.OnSample(nextSample, preds)
+			nextSample += cfg.SampleEvery
+		}
+	}
+
+	trained := false
+	for i, job := range jobs {
+		if i >= trainCount && !trained {
+			for _, p := range preds {
+				p.FinishTraining()
+			}
+			trained = true
+		}
+		emitSamplesUpTo(job.Submit)
+		advance(epochFloor(job.Submit))
+
+		entry := &pendingJob{
+			release: job.Release(),
+			seq:     i,
+			wait:    job.Wait,
+			bounds:  make([]float64, len(preds)),
+			boundOK: make([]bool, len(preds)),
+			scored:  i >= trainCount,
+		}
+		for j, p := range preds {
+			b, ok := p.Bound()
+			entry.bounds[j] = b
+			entry.boundOK[j] = ok
+			if !entry.scored {
+				continue
+			}
+			r := &results[j]
+			if !ok {
+				r.Unbounded++
+				continue
+			}
+			r.Scored++
+			if job.Wait <= b {
+				r.Correct++
+			}
+			if b > 0 {
+				r.Ratios = append(r.Ratios, job.Wait/b)
+			}
+		}
+		heap.Push(pending, entry)
+	}
+	// Flush any samples that fall after the last arrival.
+	if sampling {
+		emitSamplesUpTo(cfg.SampleTo)
+	}
+
+	for j, p := range preds {
+		if tr, ok := p.(interface{ Trims() int }); ok {
+			results[j].Trims = tr.Trims()
+		}
+	}
+	return results
+}

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// scripted is a test predictor that quotes a fixed bound and records what
+// it observes.
+type scripted struct {
+	bound    float64
+	ok       bool
+	observed []float64
+	missed   []bool
+	refits   int
+	trained  int
+}
+
+func (s *scripted) Name() string { return "scripted" }
+func (s *scripted) Observe(w float64, missed bool) {
+	s.observed = append(s.observed, w)
+	s.missed = append(s.missed, missed)
+}
+func (s *scripted) FinishTraining() { s.trained++ }
+func (s *scripted) Refit()          { s.refits++ }
+func (s *scripted) Bound() (float64, bool) {
+	return s.bound, s.ok
+}
+
+func mkTrace(jobs ...trace.Job) *trace.Trace {
+	return &trace.Trace{Machine: "m", Queue: "q", Jobs: jobs}
+}
+
+func TestVisibilityRespectsReleaseTimes(t *testing.T) {
+	// Job A (submit 0, wait 10000) releases long after jobs B and C are
+	// submitted: B and C must be quoted bounds computed WITHOUT A's wait.
+	p := &scripted{bound: 100, ok: true}
+	tr := mkTrace(
+		trace.Job{Submit: 0, Wait: 10000, Procs: 1},
+		trace.Job{Submit: 600, Wait: 5, Procs: 1},
+		trace.Job{Submit: 1200, Wait: 5, Procs: 1},
+		trace.Job{Submit: 20000, Wait: 5, Procs: 1},
+	)
+	Run(tr, []predictor.Predictor{p}, Config{TrainFraction: 0.01})
+	// Observation order: B (rel 605), C (rel 1205), then A (rel 10000).
+	want := []float64{5, 5, 10000}
+	if len(p.observed) != 3 { // the last job's release never passes a later cutoff
+		t.Fatalf("observed %v", p.observed)
+	}
+	for i, w := range want {
+		if p.observed[i] != w {
+			t.Fatalf("observed %v, want %v", p.observed, want)
+		}
+	}
+}
+
+func TestEpochGranularityDelaysVisibility(t *testing.T) {
+	// A wait released at t=290 is invisible to a job submitted at t=299
+	// (same epoch) but visible at t=300.
+	base := mkTrace(
+		trace.Job{Submit: 0, Wait: 290, Procs: 1},  // releases at 290
+		trace.Job{Submit: 299, Wait: 50, Procs: 1}, // same epoch: invisible
+		trace.Job{Submit: 300, Wait: 50, Procs: 1}, // next epoch: sees the first
+		trace.Job{Submit: 9999, Wait: 1, Procs: 1}, // flush
+	)
+	p := &scripted{bound: 1, ok: true}
+	seen := map[int64]int{}
+	// Track how many observations have arrived before each submission by
+	// instrumenting through a wrapper predictor.
+	wrap := &countingPredictor{inner: p, seen: seen}
+	Run(base, []predictor.Predictor{wrap}, Config{TrainFraction: 0.01})
+	if seen[299] != 0 {
+		t.Errorf("job at 299 saw %d observations, want 0", seen[299])
+	}
+	if seen[300] != 1 {
+		t.Errorf("job at 300 saw %d observations, want 1", seen[300])
+	}
+
+	// With InstantUpdates the 299 job sees it too.
+	p2 := &scripted{bound: 1, ok: true}
+	seen2 := map[int64]int{}
+	Run(base, []predictor.Predictor{&countingPredictor{inner: p2, seen: seen2}}, Config{TrainFraction: 0.01, InstantUpdates: true})
+	if seen2[299] != 1 {
+		t.Errorf("instant updates: job at 299 saw %d, want 1", seen2[299])
+	}
+}
+
+// countingPredictor records how many observations preceded each Bound call.
+type countingPredictor struct {
+	inner    *scripted
+	pending  int64
+	seen     map[int64]int
+	nextTime []int64
+}
+
+func (c *countingPredictor) Name() string { return "counting" }
+func (c *countingPredictor) Observe(w float64, missed bool) {
+	c.inner.Observe(w, missed)
+}
+func (c *countingPredictor) FinishTraining() {}
+func (c *countingPredictor) Refit()          {}
+func (c *countingPredictor) Bound() (float64, bool) {
+	// Bound is called once per arriving job in submission order; match
+	// them up via the recorded submits.
+	if len(c.nextTime) == 0 {
+		// Lazily populated by the test harness pattern below: the tests
+		// use fixed traces, so infer from call count.
+		c.nextTime = []int64{0, 299, 300, 9999}
+	}
+	idx := c.pending
+	c.pending++
+	if int(idx) < len(c.nextTime) {
+		c.seen[c.nextTime[idx]] = len(c.inner.observed)
+	}
+	return c.inner.Bound()
+}
+
+func TestTrainingFractionExcludedFromScoring(t *testing.T) {
+	jobs := make([]trace.Job, 100)
+	for i := range jobs {
+		jobs[i] = trace.Job{Submit: int64(i * 1000), Wait: 1, Procs: 1}
+	}
+	p := &scripted{bound: 10, ok: true}
+	res := Run(mkTrace(jobs...), []predictor.Predictor{p}, Config{})
+	if res[0].Scored != 90 {
+		t.Errorf("scored = %d, want 90 (10%% training)", res[0].Scored)
+	}
+	if p.trained != 1 {
+		t.Errorf("FinishTraining calls = %d", p.trained)
+	}
+	if res[0].Correct != 90 {
+		t.Errorf("correct = %d", res[0].Correct)
+	}
+}
+
+func TestSuccessFailureAndRatios(t *testing.T) {
+	// Fixed bound 10; waits alternate 5 and 20: half correct, ratios
+	// {0.5, 2.0} alternating -> median 1.25 over pairs.
+	jobs := make([]trace.Job, 40)
+	for i := range jobs {
+		w := 5.0
+		if i%2 == 1 {
+			w = 20
+		}
+		jobs[i] = trace.Job{Submit: int64(i * 1000), Wait: w, Procs: 1}
+	}
+	p := &scripted{bound: 10, ok: true}
+	res := Run(mkTrace(jobs...), []predictor.Predictor{p}, Config{})
+	r := res[0]
+	if r.Scored != 36 {
+		t.Fatalf("scored = %d", r.Scored)
+	}
+	if got := r.CorrectFraction(); got != 0.5 {
+		t.Errorf("correct fraction = %g", got)
+	}
+	if got := r.MedianRatio(); got != 1.25 {
+		t.Errorf("median ratio = %g", got)
+	}
+}
+
+func TestUnboundedJobsCounted(t *testing.T) {
+	jobs := make([]trace.Job, 50)
+	for i := range jobs {
+		jobs[i] = trace.Job{Submit: int64(i * 1000), Wait: 1, Procs: 1}
+	}
+	p := &scripted{bound: 0, ok: false}
+	res := Run(mkTrace(jobs...), []predictor.Predictor{p}, Config{})
+	if res[0].Scored != 0 {
+		t.Errorf("scored = %d", res[0].Scored)
+	}
+	if res[0].Unbounded != 45 {
+		t.Errorf("unbounded = %d, want 45", res[0].Unbounded)
+	}
+	if res[0].CorrectFraction() != 1 {
+		t.Error("empty scoring should report 1")
+	}
+	if res[0].MedianRatio() != 0 {
+		t.Error("no ratios -> 0")
+	}
+}
+
+func TestMissSignalFeedsPredictor(t *testing.T) {
+	// The predictor's own quoted bound determines the missed flag it is
+	// handed at observation time.
+	jobs := []trace.Job{
+		{Submit: 0, Wait: 5, Procs: 1},     // covered (5 <= 10)
+		{Submit: 1000, Wait: 50, Procs: 1}, // missed (50 > 10)
+		{Submit: 2000, Wait: 10, Procs: 1}, // covered (10 <= 10, inclusive)
+		{Submit: 99999, Wait: 1, Procs: 1}, // flush
+	}
+	p := &scripted{bound: 10, ok: true}
+	Run(mkTrace(jobs...), []predictor.Predictor{p}, Config{TrainFraction: 0.01})
+	wantMissed := []bool{false, true, false}
+	if len(p.missed) != 3 {
+		t.Fatalf("missed = %v", p.missed)
+	}
+	for i, m := range wantMissed {
+		if p.missed[i] != m {
+			t.Fatalf("missed = %v, want %v", p.missed, wantMissed)
+		}
+	}
+}
+
+func TestRunSortsUnsortedTrace(t *testing.T) {
+	tr := mkTrace(
+		trace.Job{Submit: 5000, Wait: 1, Procs: 1},
+		trace.Job{Submit: 0, Wait: 1, Procs: 1},
+		trace.Job{Submit: 2500, Wait: 1, Procs: 1},
+	)
+	p := &scripted{bound: 10, ok: true}
+	res := Run(tr, []predictor.Predictor{p}, Config{TrainFraction: 0.01})
+	if res[0].Scored == 0 {
+		t.Fatal("nothing scored")
+	}
+	// The input trace itself must be untouched.
+	if tr.Jobs[0].Submit != 5000 {
+		t.Error("Run mutated the caller's trace order")
+	}
+}
+
+func TestSamplingGrid(t *testing.T) {
+	jobs := make([]trace.Job, 200)
+	for i := range jobs {
+		jobs[i] = trace.Job{Submit: int64(i * 100), Wait: 3, Procs: 1}
+	}
+	var times []int64
+	cfg := Config{
+		SampleEvery: 600,
+		SampleFrom:  5_000,
+		SampleTo:    8_000,
+		OnSample: func(ts int64, preds []predictor.Predictor) {
+			times = append(times, ts)
+			if len(preds) != 1 {
+				t.Fatal("preds")
+			}
+		},
+	}
+	p := &scripted{bound: 10, ok: true}
+	Run(mkTrace(jobs...), []predictor.Predictor{p}, cfg)
+	want := []int64{5400, 6000, 6600, 7200, 7800}
+	if len(times) != len(want) {
+		t.Fatalf("sample times %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("sample times %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	p := &scripted{}
+	res := Run(mkTrace(), []predictor.Predictor{p}, Config{})
+	if len(res) != 1 || res[0].Scored != 0 {
+		t.Fatal("empty trace result")
+	}
+}
+
+func TestMedianRatioOddEven(t *testing.T) {
+	r := Result{Ratios: []float64{3, 1, 2}}
+	if r.MedianRatio() != 2 {
+		t.Error("odd median")
+	}
+	r2 := Result{Ratios: []float64{4, 1, 3, 2}}
+	if r2.MedianRatio() != 2.5 {
+		t.Error("even median")
+	}
+}
+
+func TestZeroBoundSkipsRatioOnly(t *testing.T) {
+	jobs := []trace.Job{
+		{Submit: 0, Wait: 0, Procs: 1},
+		{Submit: 1000, Wait: 0, Procs: 1},
+		{Submit: 2000, Wait: 0, Procs: 1},
+	}
+	p := &scripted{bound: 0, ok: true} // legitimate zero bound
+	res := Run(mkTrace(jobs...), []predictor.Predictor{p}, Config{TrainFraction: 0.01})
+	r := res[0]
+	// 1% of 3 jobs rounds to zero training jobs: all three are scored.
+	if r.Scored != 3 || r.Correct != 3 {
+		t.Fatalf("scored=%d correct=%d", r.Scored, r.Correct)
+	}
+	if len(r.Ratios) != 0 {
+		t.Error("zero bounds cannot produce ratios")
+	}
+	if r.MedianRatio() != 0 {
+		t.Error("MedianRatio over no ratios is 0 by contract")
+	}
+}
+
+func TestEpochInsensitivity(t *testing.T) {
+	// The paper: epoch length 0 vs 300 s barely changes results. Verify
+	// on a real predictor stack over a synthetic stream.
+	jobs := make([]trace.Job, 4000)
+	x := 100.0
+	for i := range jobs {
+		x = 0.7*x + 30*float64(i%17)
+		jobs[i] = trace.Job{Submit: int64(i * 120), Wait: math.Mod(x, 5000), Procs: 1}
+	}
+	tr := mkTrace(jobs...)
+	a := Run(tr, predictor.Standard(0.95, 0.95, 1), Config{})
+	b := Run(tr, predictor.Standard(0.95, 0.95, 1), Config{InstantUpdates: true})
+	for i := range a {
+		da := a[i].CorrectFraction()
+		db := b[i].CorrectFraction()
+		if math.Abs(da-db) > 0.02 {
+			t.Errorf("%s: epoch sensitivity %g vs %g", a[i].Method, da, db)
+		}
+	}
+}

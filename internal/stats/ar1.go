@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AR1LogNormal generates stationary log-normal series with first-order
+// autocorrelation, the process the paper's Monte Carlo uses to calibrate
+// its "rare event" run-length thresholds (Section 4.1). The log of the
+// series follows a Gaussian AR(1):
+//
+//	y_t = Mu + Phi·(y_{t-1} − Mu) + sqrt(1−Phi²)·Sigma·ε_t,  x_t = exp(y_t)
+//
+// so the log-series has stationary mean Mu, stationary standard deviation
+// Sigma, and lag-1 autocorrelation Phi. The raw (exponentiated) series has a
+// somewhat smaller lag-1 autocorrelation; internal/mc measures it
+// empirically when building the lookup table.
+type AR1LogNormal struct {
+	Phi   float64 // log-space lag-1 autocorrelation, in [0, 1)
+	Mu    float64 // log-space stationary mean
+	Sigma float64 // log-space stationary standard deviation
+}
+
+// Generate appends n values of the process to dst and returns the extended
+// slice. The chain is started from its stationary distribution.
+func (a AR1LogNormal) Generate(rng *rand.Rand, dst []float64, n int) []float64 {
+	innov := a.Sigma * math.Sqrt(1-a.Phi*a.Phi)
+	y := a.Mu + a.Sigma*rng.NormFloat64()
+	for i := 0; i < n; i++ {
+		dst = append(dst, math.Exp(y))
+		y = a.Mu + a.Phi*(y-a.Mu) + innov*rng.NormFloat64()
+	}
+	return dst
+}
+
+// Quantile returns the q quantile of the stationary marginal distribution
+// (a plain log-normal; the AR dependence does not change the marginal).
+func (a AR1LogNormal) Quantile(q float64) float64 {
+	return LogNormal{Mu: a.Mu, Sigma: a.Sigma}.Quantile(q)
+}

@@ -1,0 +1,98 @@
+package stats
+
+import "math"
+
+// Binomial is a binomial distribution with N trials and per-trial success
+// probability P.
+type Binomial struct {
+	N int
+	P float64
+}
+
+// PMF returns P(X = k).
+func (b Binomial) PMF(k int) float64 {
+	if k < 0 || k > b.N {
+		return 0
+	}
+	if b.P <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if b.P >= 1 {
+		if k == b.N {
+			return 1
+		}
+		return 0
+	}
+	logp := LogChoose(b.N, k) + float64(k)*math.Log(b.P) + float64(b.N-k)*math.Log1p(-b.P)
+	return math.Exp(logp)
+}
+
+// CDF returns P(X <= k), computed exactly through the regularized incomplete
+// beta function: P(X <= k) = I_{1-p}(n-k, k+1). This identity is valid for
+// all n and avoids catastrophic cancellation for the extreme tails BMBP
+// probes.
+func (b Binomial) CDF(k int) float64 {
+	switch {
+	case k < 0:
+		return 0
+	case k >= b.N:
+		return 1
+	case b.P <= 0:
+		return 1
+	case b.P >= 1:
+		return 0
+	}
+	return RegIncBeta(float64(b.N-k), float64(k+1), 1-b.P)
+}
+
+// Survival returns P(X > k) = 1 - CDF(k) with full precision in the upper
+// tail: P(X > k) = I_p(k+1, n-k).
+func (b Binomial) Survival(k int) float64 {
+	switch {
+	case k < 0:
+		return 1
+	case k >= b.N:
+		return 0
+	case b.P <= 0:
+		return 0
+	case b.P >= 1:
+		return 1
+	}
+	return RegIncBeta(float64(k+1), float64(b.N-k), b.P)
+}
+
+// CDFDirect returns P(X <= k) by direct summation of the PMF. It is O(k) and
+// exists to cross-check CDF in tests; use CDF in production code.
+func (b Binomial) CDFDirect(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= b.N {
+		return 1
+	}
+	sum := 0.0
+	for j := 0; j <= k; j++ {
+		sum += b.PMF(j)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Mean returns n·p.
+func (b Binomial) Mean() float64 { return float64(b.N) * b.P }
+
+// Variance returns n·p·(1-p).
+func (b Binomial) Variance() float64 { return float64(b.N) * b.P * (1 - b.P) }
+
+// NormalApproxOK reports whether the usual rule of thumb for approximating
+// this binomial by a normal holds: both the expected number of successes and
+// the expected number of failures are at least 10 (the paper's Appendix uses
+// exactly this criterion).
+func (b Binomial) NormalApproxOK() bool {
+	return b.Mean() >= 10 && float64(b.N)*(1-b.P) >= 10
+}

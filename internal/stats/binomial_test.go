@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, b := range []Binomial{{N: 1, P: 0.5}, {N: 10, P: 0.3}, {N: 59, P: 0.95}, {N: 200, P: 0.05}} {
+		sum := 0.0
+		for k := 0; k <= b.N; k++ {
+			sum += b.PMF(k)
+		}
+		if !almostEqual(sum, 1, 1e-10) {
+			t.Errorf("PMF sum for %+v = %g", b, sum)
+		}
+	}
+}
+
+func TestBinomialCDFMatchesDirectSum(t *testing.T) {
+	f := func(n8 uint8, k8 uint8, p16 uint16) bool {
+		n := int(n8)%150 + 1
+		k := int(k8) % (n + 1)
+		p := (float64(p16) + 0.5) / 65536
+		return almostEqual(Binomial{N: n, P: p}.CDF(k), Binomial{N: n, P: p}.CDFDirect(k), 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialCDFSurvivalComplement(t *testing.T) {
+	b := Binomial{N: 100, P: 0.95}
+	for k := -1; k <= 101; k++ {
+		if got := b.CDF(k) + b.Survival(k); !almostEqual(got, 1, 1e-10) {
+			t.Errorf("CDF+Survival at k=%d = %g", k, got)
+		}
+	}
+}
+
+func TestBinomialCDFEdges(t *testing.T) {
+	b := Binomial{N: 10, P: 0.4}
+	if b.CDF(-1) != 0 {
+		t.Error("CDF(-1) should be 0")
+	}
+	if b.CDF(10) != 1 || b.CDF(99) != 1 {
+		t.Error("CDF(n) should be 1")
+	}
+	if got := (Binomial{N: 5, P: 0}).CDF(0); got != 1 {
+		t.Errorf("p=0 CDF(0) = %g, want 1", got)
+	}
+	if got := (Binomial{N: 5, P: 1}).CDF(4); got != 0 {
+		t.Errorf("p=1 CDF(4) = %g, want 0", got)
+	}
+}
+
+func TestBinomialPaperMinimumHistory(t *testing.T) {
+	// Section 4.1: the smallest n for which a 95%-confidence bound on the
+	// .95 quantile exists is 59: P(Bin(n, .95) <= n-1) = 1 - .95^n >= .95.
+	for n := 1; n < 59; n++ {
+		if got := (Binomial{N: n, P: 0.95}).CDF(n - 1); got >= 0.95 {
+			t.Fatalf("n=%d should not support the bound, CDF(n-1)=%g", n, got)
+		}
+	}
+	if got := (Binomial{N: 59, P: 0.95}).CDF(58); got < 0.95 {
+		t.Fatalf("n=59 should support the bound, CDF(58)=%g", got)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	b := Binomial{N: 40, P: 0.25}
+	if got := b.Mean(); got != 10 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := b.Variance(); got != 7.5 {
+		t.Errorf("Variance = %g", got)
+	}
+	if !b.NormalApproxOK() {
+		t.Error("40 trials at p=.25: 10 successes, 30 failures -> approx OK")
+	}
+	if (Binomial{N: 100, P: 0.95}).NormalApproxOK() {
+		t.Error("only 5 expected failures -> approx not OK")
+	}
+}
+
+func TestBinomialCDFMatchesNormalApproxForLargeN(t *testing.T) {
+	// With n*p and n*(1-p) large, CDF(k) ~ Phi((k+0.5-np)/sqrt(np(1-p))).
+	b := Binomial{N: 100000, P: 0.5}
+	sd := math.Sqrt(b.Variance())
+	for _, dev := range []float64{-2, -1, 0, 1, 2} {
+		k := int(b.Mean() + dev*sd)
+		want := StdNormal.CDF((float64(k) + 0.5 - b.Mean()) / sd)
+		if got := b.CDF(k); math.Abs(got-want) > 1e-3 {
+			t.Errorf("CDF(%d) = %g, normal approx %g", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of data, or NaN for empty input.
+func Mean(data []float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range data {
+		sum += x
+	}
+	return sum / float64(len(data))
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance, or NaN
+// for fewer than two observations.
+func Variance(data []float64) float64 {
+	n := len(data)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(data)
+	var ss float64
+	for _, x := range data {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(data []float64) float64 {
+	return math.Sqrt(Variance(data))
+}
+
+// PopulationVariance returns the MLE (n denominator) variance, or NaN for
+// empty input.
+func PopulationVariance(data []float64) float64 {
+	n := len(data)
+	if n == 0 {
+		return math.NaN()
+	}
+	m := Mean(data)
+	var ss float64
+	for _, x := range data {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// Median returns the sample median (average of the two central order
+// statistics for even n), or NaN for empty input.
+func Median(data []float64) float64 {
+	return Quantile(data, 0.5)
+}
+
+// Quantile returns the empirical p-quantile of data using linear
+// interpolation between order statistics (type 7, the R/NumPy default).
+// It copies and sorts its input; use QuantileSorted when the data is already
+// sorted.
+func Quantile(data []float64, p float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile for data that is already in ascending order.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of data, or (NaN, NaN) for empty
+// input.
+func MinMax(data []float64) (min, max float64) {
+	if len(data) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = data[0], data[0]
+	for _, x := range data[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Autocorrelation returns the sample autocorrelation of data at the given
+// lag, using the standard biased estimator
+//
+//	r(k) = Σ_{t=1..n-k} (x_t - x̄)(x_{t+k} - x̄) / Σ_t (x_t - x̄)²
+//
+// It returns 0 when the series is constant or shorter than lag+2
+// observations, which is the safe neutral value for BMBP's rare-event table
+// lookup.
+func Autocorrelation(data []float64, lag int) float64 {
+	n := len(data)
+	if lag < 1 || n < lag+2 {
+		return 0
+	}
+	m := Mean(data)
+	var num, den float64
+	for t := 0; t < n; t++ {
+		d := data[t] - m
+		den += d * d
+		if t+lag < n {
+			num += d * (data[t+lag] - m)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Summary holds the descriptive statistics the paper's Table 1 reports for
+// each trace.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Median float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of data.
+func Summarize(data []float64) Summary {
+	if len(data) == 0 {
+		return Summary{}
+	}
+	min, max := MinMax(data)
+	return Summary{
+		Count:  len(data),
+		Mean:   Mean(data),
+		Median: Median(data),
+		StdDev: StdDev(data),
+		Min:    min,
+		Max:    max,
+	}
+}

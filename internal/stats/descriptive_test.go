@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceKnown(t *testing.T) {
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(data); got != 5 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := PopulationVariance(data); got != 4 {
+		t.Errorf("PopulationVariance = %g", got)
+	}
+	if got := Variance(data); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := StdDev(data); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %g", got)
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("degenerate inputs should be NaN")
+	}
+	min, max := MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("MinMax(nil) should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %g", got)
+	}
+}
+
+func TestQuantileAgainstSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float64, 1001)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	// With n = 1001, the p-quantile at p = k/1000 is exactly sorted[k].
+	for _, k := range []int{0, 100, 500, 950, 1000} {
+		p := float64(k) / 1000
+		if got := Quantile(data, p); got != sorted[k] {
+			t.Errorf("Quantile(%g) = %g, want %g", p, got, sorted[k])
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	data := []float64{5, 1, 4}
+	Quantile(data, 0.5)
+	if data[0] != 5 || data[1] != 1 || data[2] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			data[i] = v
+		}
+		min, max := MinMax(data)
+		q0 := Quantile(data, 0)
+		q1 := Quantile(data, 1)
+		qm := Quantile(data, 0.5)
+		return q0 == min && q1 == max && qm >= min && qm <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A constant series has zero (defined) autocorrelation.
+	if got := Autocorrelation([]float64{5, 5, 5, 5, 5}, 1); got != 0 {
+		t.Errorf("constant series ACF = %g", got)
+	}
+	// A strongly alternating series has ACF near -1.
+	alt := make([]float64, 1000)
+	for i := range alt {
+		alt[i] = float64(i%2*2 - 1)
+	}
+	if got := Autocorrelation(alt, 1); got > -0.9 {
+		t.Errorf("alternating ACF = %g, want near -1", got)
+	}
+	// An AR(1) series with phi=0.8 has lag-1 ACF near 0.8.
+	rng := rand.New(rand.NewSource(3))
+	x := 0.0
+	ar := make([]float64, 200000)
+	for i := range ar {
+		x = 0.8*x + rng.NormFloat64()
+		ar[i] = x
+	}
+	if got := Autocorrelation(ar, 1); math.Abs(got-0.8) > 0.02 {
+		t.Errorf("AR(1) phi=0.8 measured ACF = %g", got)
+	}
+	// Lag-2 ACF of the same process is near 0.64.
+	if got := Autocorrelation(ar, 2); math.Abs(got-0.64) > 0.03 {
+		t.Errorf("AR(1) phi=0.8 lag-2 ACF = %g", got)
+	}
+	// Short series fall back to zero.
+	if got := Autocorrelation([]float64{1, 2}, 1); got != 0 {
+		t.Errorf("too-short series ACF = %g", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.Count != 5 || s.Median != 3 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("bad summary %+v", s)
+	}
+	if s.Mean != 22 {
+		t.Errorf("Mean = %g", s.Mean)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestRunningMomentsMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var rm RunningMoments
+	data := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		v := math.Exp(rng.NormFloat64() * 3)
+		rm.Add(v)
+		data = append(data, v)
+	}
+	if rm.N() != 5000 {
+		t.Fatalf("N = %d", rm.N())
+	}
+	if !almostEqual(rm.Mean(), Mean(data), 1e-10) {
+		t.Errorf("Mean %g vs %g", rm.Mean(), Mean(data))
+	}
+	if !almostEqual(rm.Variance(), Variance(data), 1e-9) {
+		t.Errorf("Variance %g vs %g", rm.Variance(), Variance(data))
+	}
+	if !almostEqual(rm.PopulationVariance(), PopulationVariance(data), 1e-9) {
+		t.Errorf("PopulationVariance %g vs %g", rm.PopulationVariance(), PopulationVariance(data))
+	}
+	rm.Reset()
+	if rm.N() != 0 || !math.IsNaN(rm.Mean()) {
+		t.Error("Reset did not clear state")
+	}
+}

@@ -1,0 +1,11 @@
+// Package stats provides the statistical machinery BMBP is built on:
+// special functions (regularized incomplete beta and gamma), the normal,
+// log-normal, binomial, Student t and noncentral t distributions, one-sided
+// tolerance factors for normal populations (the K' machinery of Guttman,
+// "Statistical Tolerance Regions", Table 4.6), descriptive statistics,
+// autocorrelation, empirical quantiles, and root finding.
+//
+// Everything is implemented from scratch on top of the Go standard library
+// (math only); there are no external dependencies. All functions are pure and
+// safe for concurrent use.
+package stats

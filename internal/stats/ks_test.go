@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSStatisticExactSmallCase(t *testing.T) {
+	// Data {0.25, 0.75} against U[0,1]: ECDF jumps at .25 (0→.5) and .75
+	// (.5→1). D = max(|.25-0|, |.5-.25|, |.75-.5|, |1-.75|) = 0.25.
+	d := KSStatistic([]float64{0.75, 0.25}, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("D = %g, want 0.25", d)
+	}
+}
+
+func TestKSStatisticGoodAndBadFits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	// Correct CDF: D small, p large.
+	d := KSStatistic(data, StdNormal.CDF)
+	p := KSPValue(d, n)
+	if d > 0.03 {
+		t.Errorf("D = %g for the true distribution", d)
+	}
+	if p < 0.05 {
+		t.Errorf("p = %g should not reject the true distribution", p)
+	}
+	// Wrong CDF (shifted): D large, p ~ 0.
+	dBad := KSStatistic(data, Normal{Mu: 1, Sigma: 1}.CDF)
+	pBad := KSPValue(dBad, n)
+	if dBad < 0.3 {
+		t.Errorf("D = %g for a shifted distribution", dBad)
+	}
+	if pBad > 1e-6 {
+		t.Errorf("p = %g should reject decisively", pBad)
+	}
+}
+
+func TestKSPValueEdges(t *testing.T) {
+	if KSPValue(0, 100) != 1 {
+		t.Error("D=0 -> p=1")
+	}
+	if KSPValue(1, 100) != 0 {
+		t.Error("D=1 -> p=0")
+	}
+	if !math.IsNaN(KSPValue(math.NaN(), 100)) {
+		t.Error("NaN D")
+	}
+	if !math.IsNaN(KSStatistic(nil, StdNormal.CDF)) {
+		t.Error("empty data")
+	}
+	// Monotone: bigger D, smaller p.
+	prev := 1.1
+	for _, d := range []float64{0.01, 0.05, 0.1, 0.2, 0.4} {
+		p := KSPValue(d, 200)
+		if p > prev {
+			t.Errorf("p not monotone at D=%g", d)
+		}
+		prev = p
+	}
+}
+
+func TestKSPValueCriticalValue(t *testing.T) {
+	// Classic large-sample critical value: D = 1.358/sqrt(n) has p ~ 0.05.
+	n := 10000
+	d := 1.358 / math.Sqrt(float64(n))
+	p := KSPValue(d, n)
+	if math.Abs(p-0.05) > 0.01 {
+		t.Errorf("p at the 5%% critical value = %g", p)
+	}
+}
+
+func TestKSTestLogNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// True log-normal (kept above the 1-second clamp): good fit.
+	good := make([]float64, 4000)
+	for i := range good {
+		good[i] = math.Exp(5 + rng.NormFloat64())
+	}
+	d, p := KSTestLogNormal(good)
+	if d > 0.03 || p < 0.01 {
+		t.Errorf("true log-normal rejected: D=%g p=%g", d, p)
+	}
+	// Bimodal mixture (the episode shape): decisively rejected.
+	bad := make([]float64, 4000)
+	for i := range bad {
+		if i%10 == 0 {
+			bad[i] = math.Exp(12 + 0.1*rng.NormFloat64())
+		} else {
+			bad[i] = math.Exp(3 + 0.1*rng.NormFloat64())
+		}
+	}
+	dB, pB := KSTestLogNormal(bad)
+	if dB < 0.1 || pB > 1e-6 {
+		t.Errorf("bimodal accepted: D=%g p=%g", dB, pB)
+	}
+	// Degenerate inputs.
+	if d, _ := KSTestLogNormal([]float64{1}); !math.IsNaN(d) {
+		t.Error("single point should be NaN")
+	}
+	if _, p := KSTestLogNormal([]float64{5, 5, 5}); p != 0 {
+		t.Error("constant data is never log-normal")
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LogNormal is a log-normal distribution: X is log-normal with parameters
+// (Mu, Sigma) when ln X ~ N(Mu, Sigma). Mu and Sigma are the mean and
+// standard deviation of the underlying normal, not of X itself.
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// ErrInsufficientData is returned by estimators that need more observations
+// than they were given.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// PDF returns the probability density at x (zero for x <= 0).
+func (ln LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{ln.Mu, ln.Sigma}.PDF(math.Log(x)) / x
+}
+
+// CDF returns P(X <= x).
+func (ln LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{ln.Mu, ln.Sigma}.CDF(math.Log(x))
+}
+
+// Quantile returns the p-th quantile of the distribution.
+func (ln LogNormal) Quantile(p float64) float64 {
+	return math.Exp(Normal{ln.Mu, ln.Sigma}.Quantile(p))
+}
+
+// Mean returns E[X] = exp(Mu + Sigma²/2).
+func (ln LogNormal) Mean() float64 {
+	return math.Exp(ln.Mu + ln.Sigma*ln.Sigma/2)
+}
+
+// Median returns exp(Mu).
+func (ln LogNormal) Median() float64 {
+	return math.Exp(ln.Mu)
+}
+
+// Variance returns Var[X] = (exp(Sigma²) - 1)·exp(2Mu + Sigma²).
+func (ln LogNormal) Variance() float64 {
+	s2 := ln.Sigma * ln.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*ln.Mu+s2)
+}
+
+// FitLogNormalMLE fits a log-normal to strictly positive data by maximum
+// likelihood: Mu and Sigma are the sample mean and the (MLE, i.e. divide by
+// n) standard deviation of the logs. Observations <= 0 are clamped to
+// minPositiveWait before the log transform, mirroring how the evaluation
+// treats zero-second queue waits.
+func FitLogNormalMLE(data []float64) (LogNormal, error) {
+	if len(data) < 2 {
+		return LogNormal{}, ErrInsufficientData
+	}
+	var sum, sumSq float64
+	for _, x := range data {
+		l := SafeLog(x)
+		sum += l
+		sumSq += l * l
+	}
+	n := float64(len(data))
+	mu := sum / n
+	variance := sumSq/n - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	return LogNormal{Mu: mu, Sigma: math.Sqrt(variance)}, nil
+}
+
+// minPositiveWait is the smallest wait (in seconds) the log transform will
+// see. Scheduler logs round waits to whole seconds, so zero waits occur;
+// one second is the natural floor used by the paper's log-normal comparator.
+const minPositiveWait = 1.0
+
+// SafeLog returns ln(max(x, minPositiveWait)) so that zero and sub-second
+// waits do not produce -Inf under the log transform.
+func SafeLog(x float64) float64 {
+	if x < minPositiveWait {
+		x = minPositiveWait
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,103 @@
+package stats
+
+import "math"
+
+// NoncentralT is a noncentral t distribution with DF degrees of freedom and
+// noncentrality parameter Delta. It arises as the sampling distribution of
+// normal one-sided tolerance bounds: if Z ~ N(δ, 1) and W ~ χ²_ν are
+// independent, then T = Z / sqrt(W/ν) is noncentral t with (ν, δ).
+type NoncentralT struct {
+	DF    float64
+	Delta float64
+}
+
+// CDF returns P(T <= x). It evaluates the mixture representation
+//
+//	P(T <= x) = E_W[ Φ(x·sqrt(W/ν) − δ) ],  W ~ χ²_ν
+//
+// by adaptive Simpson quadrature over s = sqrt(W/ν), whose density is
+// f_S(s) = 2·ν·s·f_{χ²_ν}(ν·s²). This is numerically robust for the degrees
+// of freedom that queue-wait histories produce (from 2 up to hundreds of
+// thousands) and needs no series bookkeeping.
+func (nt NoncentralT) CDF(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	if math.IsInf(x, 1) {
+		return 1
+	}
+	if math.IsInf(x, -1) {
+		return 0
+	}
+	v := nt.DF
+	chi := ChiSquared{DF: v}
+	// Integrate s over the region where χ²_ν has essentially all its mass.
+	wLo := chi.QuantileApprox(1e-13)
+	wHi := chi.QuantileApprox(1 - 1e-13)
+	sLo := math.Sqrt(wLo / v)
+	sHi := math.Sqrt(wHi / v)
+	if sLo < 1e-8 {
+		sLo = 1e-8
+	}
+	f := func(s float64) float64 {
+		w := v * s * s
+		logDens := math.Log(2*v*s) + chi.LogPDF(w)
+		return math.Exp(logDens) * StdNormal.CDF(x*s-nt.Delta)
+	}
+	p := adaptiveSimpson(f, sLo, sHi, 1e-9, 28)
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Quantile returns the p-th quantile of the noncentral t by bracketed root
+// finding on the CDF.
+func (nt NoncentralT) Quantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p):
+		return math.NaN()
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	}
+	// Seed with the normal approximation T ≈ N(δ, 1 + δ²/(2ν)).
+	sd := math.Sqrt(1 + nt.Delta*nt.Delta/(2*nt.DF))
+	seed := nt.Delta + sd*StdNormalQuantile(p)
+	lo, hi := seed-2*sd-1, seed+2*sd+1
+	for nt.CDF(lo) > p {
+		lo -= math.Max(1, math.Abs(lo)/2)
+	}
+	for nt.CDF(hi) < p {
+		hi += math.Max(1, math.Abs(hi)/2)
+	}
+	root, _ := Brent(func(x float64) float64 { return nt.CDF(x) - p }, lo, hi, 1e-10, 200)
+	return root
+}
+
+// adaptiveSimpson integrates f over [a, b] with the classic recursive
+// error-halving rule.
+func adaptiveSimpson(f func(float64) float64, a, b, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	fa, fb, fc := f(a), f(b), f(c)
+	whole := (b - a) / 6 * (fa + 4*fc + fb)
+	return simpsonStep(f, a, b, fa, fb, fc, whole, tol, depth)
+}
+
+func simpsonStep(f func(float64) float64, a, b, fa, fb, fc, whole, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	d := (a + c) / 2
+	e := (c + b) / 2
+	fd, fe := f(d), f(e)
+	left := (c - a) / 6 * (fa + 4*fd + fc)
+	right := (b - c) / 6 * (fc + 4*fe + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return simpsonStep(f, a, c, fa, fc, fd, left, tol/2, depth-1) +
+		simpsonStep(f, c, b, fc, fb, fe, right, tol/2, depth-1)
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNoncentralTReducesToCentral(t *testing.T) {
+	for _, df := range []float64{3, 15, 80} {
+		nct := NoncentralT{DF: df, Delta: 0}
+		st := StudentT{DF: df}
+		for _, x := range []float64{-2, -0.5, 0, 1, 3} {
+			if got, want := nct.CDF(x), st.CDF(x); math.Abs(got-want) > 1e-6 {
+				t.Errorf("df=%g x=%g: nct %g vs t %g", df, x, got, want)
+			}
+		}
+	}
+}
+
+func TestNoncentralTMonotone(t *testing.T) {
+	nct := NoncentralT{DF: 10, Delta: 2.5}
+	prev := -1.0
+	for x := -2.0; x < 12; x += 0.5 {
+		v := nct.CDF(x)
+		if v < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %g: %g < %g", x, v, prev)
+		}
+		prev = v
+	}
+	// Shifting delta up shifts the distribution right: CDF decreases.
+	lo := NoncentralT{DF: 10, Delta: 1}.CDF(2)
+	hi := NoncentralT{DF: 10, Delta: 3}.CDF(2)
+	if hi >= lo {
+		t.Errorf("CDF should decrease in delta: %g vs %g", lo, hi)
+	}
+}
+
+func TestNoncentralTQuantileRoundTrip(t *testing.T) {
+	for _, cfg := range []NoncentralT{
+		{DF: 5, Delta: 1.2},
+		{DF: 58, Delta: 12.6}, // the paper's n=59 tolerance-factor case
+		{DF: 400, Delta: 33},
+	} {
+		for _, p := range []float64{0.05, 0.5, 0.95, 0.99} {
+			x := cfg.Quantile(p)
+			if got := cfg.CDF(x); math.Abs(got-p) > 1e-6 {
+				t.Errorf("%+v roundtrip p=%g got %g", cfg, p, got)
+			}
+		}
+	}
+}
+
+func TestNoncentralTAgainstMonteCarlo(t *testing.T) {
+	// T = (Z + delta) / sqrt(W/df) with Z std normal, W chi-squared(df).
+	nct := NoncentralT{DF: 8, Delta: 2}
+	rng := rand.New(rand.NewSource(5))
+	const n = 400000
+	x := 3.0
+	count := 0
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64() + nct.Delta
+		w := 0.0
+		for j := 0; j < 8; j++ {
+			g := rng.NormFloat64()
+			w += g * g
+		}
+		if z/math.Sqrt(w/nct.DF) <= x {
+			count++
+		}
+	}
+	mc := float64(count) / n
+	got := nct.CDF(x)
+	// MC standard error ~ sqrt(p(1-p)/n) ~ 8e-4; allow 4 sigma.
+	if math.Abs(got-mc) > 4*8e-4 {
+		t.Errorf("CDF(%g) = %g, Monte Carlo %g", x, got, mc)
+	}
+}
+
+func TestNoncentralTEdges(t *testing.T) {
+	nct := NoncentralT{DF: 6, Delta: 1}
+	if nct.CDF(math.Inf(1)) != 1 || nct.CDF(math.Inf(-1)) != 0 {
+		t.Error("infinite arguments")
+	}
+	if !math.IsNaN(nct.CDF(math.NaN())) {
+		t.Error("NaN argument")
+	}
+	if !math.IsInf(nct.Quantile(0), -1) || !math.IsInf(nct.Quantile(1), 1) {
+		t.Error("edge quantiles")
+	}
+}

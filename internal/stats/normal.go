@@ -1,0 +1,161 @@
+package stats
+
+import "math"
+
+// Normal is a normal (Gaussian) distribution with mean Mu and standard
+// deviation Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// StdNormal is the standard normal distribution N(0, 1).
+var StdNormal = Normal{Mu: 0, Sigma: 1}
+
+// PDF returns the probability density at x.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// LogPDF returns the natural log of the density at x.
+func (n Normal) LogPDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return -0.5*z*z - math.Log(n.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 {
+	z := (x - n.Mu) / (n.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(-z)
+}
+
+// Survival returns P(X > x) with full precision in the upper tail.
+func (n Normal) Survival(x float64) float64 {
+	z := (x - n.Mu) / (n.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(z)
+}
+
+// Quantile returns the p-th quantile (inverse CDF) for p in (0, 1).
+// It returns -Inf for p <= 0 and +Inf for p >= 1.
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*StdNormalQuantile(p)
+}
+
+// StdNormalQuantile returns Φ⁻¹(p), the standard normal quantile, using
+// Wichura's algorithm AS 241 (PPND16), accurate to about 1e-16 over the full
+// range of p.
+func StdNormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p):
+		return math.NaN()
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	}
+	q := p - 0.5
+	if math.Abs(q) <= 0.425 {
+		r := 0.180625 - q*q
+		return q * rationalAS241(r, as241a[:], as241b[:])
+	}
+	r := p
+	if q > 0 {
+		r = 1 - p
+	}
+	r = math.Sqrt(-math.Log(r))
+	var v float64
+	if r <= 5 {
+		r -= 1.6
+		v = rationalAS241(r, as241c[:], as241d[:])
+	} else {
+		r -= 5
+		v = rationalAS241(r, as241e[:], as241f[:])
+	}
+	if q < 0 {
+		return -v
+	}
+	return v
+}
+
+// rationalAS241 evaluates the degree-7/degree-7 rational approximations used
+// by AS 241 with Horner's rule.
+func rationalAS241(r float64, num, den []float64) float64 {
+	var n, d float64
+	for i := len(num) - 1; i >= 0; i-- {
+		n = n*r + num[i]
+	}
+	for i := len(den) - 1; i >= 0; i-- {
+		d = d*r + den[i]
+	}
+	return n / d
+}
+
+// AS 241 (PPND16) coefficients, central region.
+var as241a = [8]float64{
+	3.3871328727963666080e0,
+	1.3314166789178437745e2,
+	1.9715909503065514427e3,
+	1.3731693765509461125e4,
+	4.5921953931549871457e4,
+	6.7265770927008700853e4,
+	3.3430575583588128105e4,
+	2.5090809287301226727e3,
+}
+
+var as241b = [8]float64{
+	1.0,
+	4.2313330701600911252e1,
+	6.8718700749205790830e2,
+	5.3941960214247511077e3,
+	2.1213794301586595867e4,
+	3.9307895800092710610e4,
+	2.8729085735721942674e4,
+	5.2264952788528545610e3,
+}
+
+// AS 241 coefficients, intermediate tail region.
+var as241c = [8]float64{
+	1.42343711074968357734e0,
+	4.63033784615654529590e0,
+	5.76949722146069140550e0,
+	3.64784832476320460504e0,
+	1.27045825245236838258e0,
+	2.41780725177450611770e-1,
+	2.27238449892691845833e-2,
+	7.74545014278341407640e-4,
+}
+
+var as241d = [8]float64{
+	1.0,
+	2.05319162663775882187e0,
+	1.67638483018380384940e0,
+	6.89767334985100004550e-1,
+	1.48103976427480074590e-1,
+	1.51986665636164571966e-2,
+	5.47593808499534494600e-4,
+	1.05075007164441684324e-9,
+}
+
+// AS 241 coefficients, far tail region.
+var as241e = [8]float64{
+	6.65790464350110377720e0,
+	5.46378491116411436990e0,
+	1.78482653991729133580e0,
+	2.96560571828504891230e-1,
+	2.65321895265761230930e-2,
+	1.24266094738807843860e-3,
+	2.71155556874348757815e-5,
+	2.01033439929228813265e-7,
+}
+
+var as241f = [8]float64{
+	1.0,
+	5.99832206555887937690e-1,
+	1.36929880922735805310e-1,
+	1.48753612908506148525e-2,
+	7.86869131145613259100e-4,
+	1.84631831751005468180e-5,
+	1.42151175831644588870e-7,
+	2.04426310338993978564e-15,
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.05, -1.6448536269514722},
+		{0.9, 1.2815515655446004},
+		{0.99, 2.3263478740408408},
+		{0.999, 3.090232306167813},
+		{1e-10, -6.361340902404056},
+	}
+	for _, c := range cases {
+		if got := StdNormalQuantile(c.p); !almostEqual(got, c.want, 1e-12) && math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("StdNormalQuantile(%g) = %.15g, want %.15g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestStdNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(StdNormalQuantile(0), -1) {
+		t.Error("p=0 should be -Inf")
+	}
+	if !math.IsInf(StdNormalQuantile(1), 1) {
+		t.Error("p=1 should be +Inf")
+	}
+	if !math.IsNaN(StdNormalQuantile(math.NaN())) {
+		t.Error("p=NaN should be NaN")
+	}
+}
+
+func TestNormalCDFQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2.5}
+	f := func(p16 uint16) bool {
+		p := (float64(p16) + 0.5) / 65536
+		x := n.Quantile(p)
+		return almostEqual(n.CDF(x), p, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDFSurvivalComplement(t *testing.T) {
+	n := StdNormal
+	for _, x := range []float64{-8, -2, -0.5, 0, 0.5, 2, 8} {
+		if got := n.CDF(x) + n.Survival(x); !almostEqual(got, 1, 1e-12) {
+			t.Errorf("CDF+Survival at %g = %g", x, got)
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	n := StdNormal
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.96, 0.9750021048517795},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := n.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Phi(%g) = %.16g, want %.16g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid integration of the PDF should match CDF differences.
+	n := Normal{Mu: -1, Sigma: 0.7}
+	lo, hi := -3.0, 1.0
+	const steps = 20000
+	h := (hi - lo) / steps
+	sum := 0.0
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * n.PDF(lo+float64(i)*h)
+	}
+	sum *= h
+	want := n.CDF(hi) - n.CDF(lo)
+	if !almostEqual(sum, want, 1e-6) {
+		t.Errorf("integral %g, want %g", sum, want)
+	}
+}
+
+func TestNormalLogPDFConsistent(t *testing.T) {
+	n := Normal{Mu: 2, Sigma: 3}
+	for _, x := range []float64{-5, 0, 2, 10} {
+		if got, want := n.LogPDF(x), math.Log(n.PDF(x)); !almostEqual(got, want, 1e-10) {
+			t.Errorf("LogPDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestLogNormalBasics(t *testing.T) {
+	ln := LogNormal{Mu: 1, Sigma: 0.5}
+	if got, want := ln.Median(), math.E; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Median = %g, want %g", got, want)
+	}
+	if got, want := ln.Mean(), math.Exp(1.125); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+	// CDF at median is 0.5.
+	if got := ln.CDF(ln.Median()); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(median) = %g", got)
+	}
+	// Quantile/CDF round trip.
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.999} {
+		if got := ln.CDF(ln.Quantile(p)); !almostEqual(got, p, 1e-9) {
+			t.Errorf("roundtrip p=%g got %g", p, got)
+		}
+	}
+	if ln.PDF(-1) != 0 || ln.CDF(-1) != 0 {
+		t.Error("negative support should be zero")
+	}
+	// Variance identity.
+	wantVar := (math.Exp(0.25) - 1) * math.Exp(2+0.25)
+	if got := ln.Variance(); !almostEqual(got, wantVar, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, wantVar)
+	}
+}
+
+func TestFitLogNormalMLE(t *testing.T) {
+	// Exact fit on synthetic data: logs are {0, 2, 4} -> mu=2, sigma=sqrt(8/3).
+	data := []float64{math.Exp(0), math.Exp(2), math.Exp(4)}
+	ln, err := FitLogNormalMLE(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ln.Mu, 2, 1e-12) {
+		t.Errorf("Mu = %g, want 2", ln.Mu)
+	}
+	if !almostEqual(ln.Sigma, math.Sqrt(8.0/3.0), 1e-12) {
+		t.Errorf("Sigma = %g, want %g", ln.Sigma, math.Sqrt(8.0/3.0))
+	}
+	if _, err := FitLogNormalMLE([]float64{1}); err == nil {
+		t.Error("want error for single observation")
+	}
+}
+
+func TestSafeLogClampsZeros(t *testing.T) {
+	if got := SafeLog(0); got != 0 {
+		t.Errorf("SafeLog(0) = %g, want 0 (= ln 1)", got)
+	}
+	if got := SafeLog(0.25); got != 0 {
+		t.Errorf("SafeLog(0.25) = %g, want 0", got)
+	}
+	if got := SafeLog(math.E); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("SafeLog(e) = %g, want 1", got)
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import "math"
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs; ok is false otherwise. The search stops when the bracket
+// is narrower than tol or after maxIter halvings.
+func Bisect(f func(float64) float64, a, b, tol float64, maxIter int) (root float64, ok bool) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, true
+	}
+	if fb == 0 {
+		return b, true
+	}
+	if fa*fb > 0 {
+		return math.NaN(), false
+	}
+	for i := 0; i < maxIter && b-a > tol; i++ {
+		m := a + (b-a)/2
+		fm := f(m)
+		if fm == 0 {
+			return m, true
+		}
+		if fa*fm < 0 {
+			b, fb = m, fm
+		} else {
+			a, fa = m, fm
+		}
+	}
+	_ = fb
+	return a + (b-a)/2, true
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must bracket a root;
+// ok is false otherwise.
+func Brent(f func(float64) float64, a, b, tol float64, maxIter int) (root float64, ok bool) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, true
+	}
+	if fb == 0 {
+		return b, true
+	}
+	if fa*fb > 0 {
+		return math.NaN(), false
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < maxIter && fb != 0 && math.Abs(b-a) > tol; i++ {
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if fa*fs < 0 {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, true
+}

@@ -1,0 +1,60 @@
+package stats
+
+import "math"
+
+// RunningMoments accumulates the count, mean, and variance of a stream in
+// O(1) per observation using Welford's algorithm. The log-normal predictors
+// refit every epoch over histories of up to hundreds of thousands of waits;
+// recomputing moments from scratch each refit would be quadratic overall,
+// so they maintain a RunningMoments instead.
+type RunningMoments struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates x.
+func (r *RunningMoments) Add(x float64) {
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// Reset discards all state.
+func (r *RunningMoments) Reset() {
+	*r = RunningMoments{}
+}
+
+// N returns the number of observations.
+func (r *RunningMoments) N() int { return r.n }
+
+// Mean returns the running mean, or NaN if empty.
+func (r *RunningMoments) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the unbiased (n−1) sample variance, or NaN for n < 2.
+func (r *RunningMoments) Variance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (r *RunningMoments) StdDev() float64 {
+	return math.Sqrt(r.Variance())
+}
+
+// PopulationVariance returns the MLE (n denominator) variance, or NaN if
+// empty.
+func (r *RunningMoments) PopulationVariance() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestLogGammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+	}
+	for _, c := range cases {
+		if got := LogGamma(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("LogGamma(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogBetaSymmetry(t *testing.T) {
+	for _, ab := range [][2]float64{{1, 1}, {2, 5}, {0.5, 3}, {100, 7}} {
+		if got, want := LogBeta(ab[0], ab[1]), LogBeta(ab[1], ab[0]); !almostEqual(got, want, 1e-12) {
+			t.Errorf("LogBeta not symmetric at %v: %g vs %g", ab, got, want)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := LogChoose(c.n, c.k); !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("LogChoose(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) || !math.IsInf(LogChoose(5, -1), -1) {
+		t.Error("LogChoose out of range should be -Inf")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1, 1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almostEqual(got, x, 1e-12) {
+			t.Errorf("I_%g(1,1) = %g, want %g", x, got, x)
+		}
+	}
+	// I_x(1, b) = 1 - (1-x)^b.
+	for _, x := range []float64{0.2, 0.7} {
+		want := 1 - math.Pow(1-x, 4)
+		if got := RegIncBeta(1, 4, x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("I_%g(1,4) = %g, want %g", x, got, want)
+		}
+	}
+	// Symmetric case: I_{0.5}(a, a) = 0.5.
+	for _, a := range []float64{0.5, 1, 3, 17, 250} {
+		if got := RegIncBeta(a, a, 0.5); !almostEqual(got, 0.5, 1e-10) {
+			t.Errorf("I_0.5(%g,%g) = %g, want 0.5", a, a, got)
+		}
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %g, want 0", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %g, want 1", got)
+	}
+	if !math.IsNaN(RegIncBeta(-1, 3, 0.5)) {
+		t.Error("negative a should return NaN")
+	}
+	if !math.IsNaN(RegIncBeta(2, 3, math.NaN())) {
+		t.Error("NaN x should return NaN")
+	}
+}
+
+func TestRegIncBetaReflection(t *testing.T) {
+	// I_x(a, b) + I_{1-x}(b, a) = 1.
+	f := func(a8, b8, x8 uint8) bool {
+		a := 0.5 + float64(a8)/4
+		b := 0.5 + float64(b8)/4
+		x := (float64(x8) + 0.5) / 256
+		return almostEqual(RegIncBeta(a, b, x)+RegIncBeta(b, a, 1-x), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaMonotoneInX(t *testing.T) {
+	a, b := 3.5, 7.25
+	prev := -1.0
+	for x := 0.01; x < 1; x += 0.01 {
+		v := RegIncBeta(a, b, x)
+		if v < prev {
+			t.Fatalf("I_x(%g,%g) not monotone at x=%g: %g < %g", a, b, x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRegIncGammaComplementarity(t *testing.T) {
+	f := func(a8, x8 uint8) bool {
+		a := 0.5 + float64(a8)/8
+		x := float64(x8) / 4
+		p, q := RegIncGammaP(a, x), RegIncGammaQ(a, x)
+		return almostEqual(p+q, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x} (exponential CDF).
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegIncGammaP(1, x); !almostEqual(got, want, 1e-10) {
+			t.Errorf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Chi-squared with 2 df: CDF(x) = 1 - e^{-x/2} = P(1, x/2).
+	chi := ChiSquared{DF: 2}
+	for _, x := range []float64{0.5, 2, 5} {
+		want := 1 - math.Exp(-x/2)
+		if got := chi.CDF(x); !almostEqual(got, want, 1e-10) {
+			t.Errorf("chi2_2 CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+}

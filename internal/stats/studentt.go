@@ -1,0 +1,94 @@
+package stats
+
+import "math"
+
+// StudentT is a (central) Student t distribution with DF degrees of freedom.
+type StudentT struct {
+	DF float64
+}
+
+// PDF returns the probability density at x.
+func (t StudentT) PDF(x float64) float64 {
+	v := t.DF
+	lg := LogGamma((v+1)/2) - LogGamma(v/2) - 0.5*math.Log(v*math.Pi)
+	return math.Exp(lg - (v+1)/2*math.Log1p(x*x/v))
+}
+
+// CDF returns P(T <= x) through the incomplete beta identity
+// P(T <= x) = 1 - I_{v/(v+x²)}(v/2, 1/2)/2 for x >= 0.
+func (t StudentT) CDF(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	v := t.DF
+	if x == 0 {
+		return 0.5
+	}
+	ib := RegIncBeta(v/2, 0.5, v/(v+x*x))
+	if x > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// Quantile returns the p-th quantile by bisection on the CDF, seeded with
+// the normal quantile (which the t converges to for large DF).
+func (t StudentT) Quantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p):
+		return math.NaN()
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	case p == 0.5:
+		return 0
+	}
+	z := StdNormalQuantile(p)
+	// The t quantile has the same sign as z and heavier tails; expand a
+	// bracket around the normal seed.
+	lo, hi := z-1, z+1
+	for t.CDF(lo) > p {
+		lo -= math.Max(1, math.Abs(lo))
+	}
+	for t.CDF(hi) < p {
+		hi += math.Max(1, math.Abs(hi))
+	}
+	root, _ := Brent(func(x float64) float64 { return t.CDF(x) - p }, lo, hi, 1e-12, 200)
+	return root
+}
+
+// ChiSquared is a chi-squared distribution with DF degrees of freedom.
+type ChiSquared struct {
+	DF float64
+}
+
+// CDF returns P(X <= x).
+func (c ChiSquared) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegIncGammaP(c.DF/2, x/2)
+}
+
+// LogPDF returns the natural log of the density at x (for x > 0).
+func (c ChiSquared) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	k := c.DF / 2
+	return (k-1)*math.Log(x) - x/2 - k*math.Ln2 - LogGamma(k)
+}
+
+// QuantileApprox returns an approximate p-th quantile using the
+// Wilson–Hilferty cube transformation. It is used only to pick integration
+// ranges, where a few percent of error is irrelevant.
+func (c ChiSquared) QuantileApprox(p float64) float64 {
+	z := StdNormalQuantile(p)
+	v := c.DF
+	t := 1 - 2/(9*v) + z*math.Sqrt(2/(9*v))
+	if t < 0 {
+		return 0
+	}
+	return v * t * t * t
+}

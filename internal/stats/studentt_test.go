@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStudentTSymmetry(t *testing.T) {
+	st := StudentT{DF: 7}
+	for _, x := range []float64{0.3, 1.5, 4} {
+		if got := st.CDF(x) + st.CDF(-x); !almostEqual(got, 1, 1e-10) {
+			t.Errorf("CDF(%g)+CDF(-%g) = %g", x, x, got)
+		}
+	}
+	if st.CDF(0) != 0.5 {
+		t.Error("CDF(0) != 0.5")
+	}
+}
+
+func TestStudentTKnownQuantiles(t *testing.T) {
+	// Classic t-table values.
+	cases := []struct {
+		df   float64
+		p    float64
+		want float64
+	}{
+		{1, 0.975, 12.706},
+		{5, 0.95, 2.015},
+		{10, 0.99, 2.764},
+		{30, 0.975, 2.042},
+		{120, 0.95, 1.658},
+	}
+	for _, c := range cases {
+		got := StudentT{DF: c.df}.Quantile(c.p)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("t(%g).Quantile(%g) = %.4f, want %.3f", c.df, c.p, got, c.want)
+		}
+	}
+}
+
+func TestStudentTConvergesToNormal(t *testing.T) {
+	st := StudentT{DF: 1e6}
+	for _, p := range []float64{0.9, 0.95, 0.99} {
+		if got, want := st.Quantile(p), StdNormalQuantile(p); math.Abs(got-want) > 1e-4 {
+			t.Errorf("t quantile %g = %g, normal %g", p, got, want)
+		}
+	}
+	for _, x := range []float64{-2, 0.5, 1.96} {
+		if got, want := st.CDF(x), StdNormal.CDF(x); math.Abs(got-want) > 1e-5 {
+			t.Errorf("t CDF %g = %g, normal %g", x, got, want)
+		}
+	}
+}
+
+func TestStudentTPDFIntegratesToCDF(t *testing.T) {
+	st := StudentT{DF: 4}
+	lo, hi := -2.0, 3.0
+	const steps = 40000
+	h := (hi - lo) / steps
+	sum := 0.0
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * st.PDF(lo+float64(i)*h)
+	}
+	sum *= h
+	if want := st.CDF(hi) - st.CDF(lo); !almostEqual(sum, want, 1e-6) {
+		t.Errorf("integral %g, want %g", sum, want)
+	}
+}
+
+func TestChiSquaredKnownValues(t *testing.T) {
+	// Median of chi2 with k df is about k(1-2/(9k))^3.
+	for _, df := range []float64{1, 4, 10, 100} {
+		c := ChiSquared{DF: df}
+		med := c.QuantileApprox(0.5)
+		got := c.CDF(med)
+		if math.Abs(got-0.5) > 0.02 {
+			t.Errorf("chi2(%g) CDF(approx median) = %g", df, got)
+		}
+	}
+	if got := (ChiSquared{DF: 3}).CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %g", got)
+	}
+}
+
+func TestChiSquaredLogPDFIntegrates(t *testing.T) {
+	c := ChiSquared{DF: 5}
+	lo, hi := 0.01, 20.0
+	const steps = 40000
+	h := (hi - lo) / steps
+	sum := 0.0
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * math.Exp(c.LogPDF(lo+float64(i)*h))
+	}
+	sum *= h
+	if want := c.CDF(hi) - c.CDF(lo); !almostEqual(sum, want, 1e-5) {
+		t.Errorf("integral %g, want %g", sum, want)
+	}
+}

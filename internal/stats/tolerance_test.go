@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestToleranceFactorKnownValues(t *testing.T) {
+	// Published one-sided (q=0.95, C=0.95) normal tolerance factors
+	// (Guttman's K'; also NIST/ISO 16269-6 tables).
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{10, 2.911},
+		{15, 2.566},
+		{20, 2.396},
+		{30, 2.220},
+		{50, 2.065},
+		{100, 1.927},
+	}
+	for _, c := range cases {
+		got := ToleranceFactorExact(c.n, 0.95, 0.95)
+		if math.Abs(got-c.want) > 0.005 {
+			t.Errorf("K(n=%d) = %.4f, want %.3f", c.n, got, c.want)
+		}
+	}
+}
+
+func TestToleranceFactorApproxMatchesExact(t *testing.T) {
+	for _, n := range []int{20, 59, 120, 300, 500} {
+		for _, q := range []float64{0.9, 0.95} {
+			exact := ToleranceFactorExact(n, q, 0.95)
+			approx := ToleranceFactorApprox(n, q, 0.95)
+			if rel := math.Abs(exact-approx) / exact; rel > 0.01 {
+				t.Errorf("n=%d q=%g: exact %.4f approx %.4f (rel %.3g)", n, q, exact, approx, rel)
+			}
+		}
+	}
+}
+
+func TestToleranceFactorConvergesToZ(t *testing.T) {
+	// As n grows, the factor converges to the plain normal quantile.
+	k := ToleranceFactor(5_000_000, 0.95, 0.95)
+	z := StdNormalQuantile(0.95)
+	if math.Abs(k-z) > 0.005 {
+		t.Errorf("K(n=5e6) = %g, want near %g", k, z)
+	}
+	// And it decreases in n.
+	prev := math.Inf(1)
+	for _, n := range []int{5, 10, 50, 500, 5000} {
+		k := ToleranceFactor(n, 0.95, 0.95)
+		if k >= prev {
+			t.Errorf("K not decreasing at n=%d: %g >= %g", n, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestToleranceFactorInvalidInputs(t *testing.T) {
+	if !math.IsNaN(ToleranceFactorExact(1, 0.95, 0.95)) {
+		t.Error("n=1 should be NaN")
+	}
+	if !math.IsNaN(ToleranceFactorApprox(10, 0, 0.95)) {
+		t.Error("q=0 should be NaN")
+	}
+	if !math.IsNaN(ToleranceFactorApprox(10, 0.95, 1)) {
+		t.Error("c=1 should be NaN")
+	}
+}
+
+func TestUpperToleranceBoundCoverage(t *testing.T) {
+	// The defining property: across repeated samples of size n from a
+	// normal population, the bound mean + K·sd exceeds the true q quantile
+	// in about a fraction C of samples.
+	const (
+		n      = 30
+		trials = 4000
+		q, c   = 0.9, 0.9
+	)
+	trueQ := StdNormalQuantile(q)
+	rng := rand.New(rand.NewSource(9))
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var rm RunningMoments
+		for j := 0; j < n; j++ {
+			rm.Add(rng.NormFloat64())
+		}
+		if NormalUpperToleranceBound(rm.Mean(), rm.StdDev(), n, q, c) >= trueQ {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	// Binomial SE ~ 0.005; allow a generous band around 0.9.
+	if frac < 0.88 || frac > 0.92 {
+		t.Errorf("coverage = %.3f, want ~%.2f", frac, c)
+	}
+}
+
+func TestLowerToleranceBoundCoverage(t *testing.T) {
+	const (
+		n      = 40
+		trials = 3000
+		q, c   = 0.25, 0.9
+	)
+	trueQ := StdNormalQuantile(q)
+	rng := rand.New(rand.NewSource(10))
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var rm RunningMoments
+		for j := 0; j < n; j++ {
+			rm.Add(rng.NormFloat64())
+		}
+		if NormalLowerToleranceBound(rm.Mean(), rm.StdDev(), n, q, c) <= trueQ {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.88 || frac > 0.93 {
+		t.Errorf("lower coverage = %.3f, want ~%.2f", frac, c)
+	}
+}
+
+func TestRootFinders(t *testing.T) {
+	// Roots of x^3 - 2x - 5 (classic Brent test): root near 2.0945515.
+	f := func(x float64) float64 { return x*x*x - 2*x - 5 }
+	const want = 2.0945514815423265
+	if root, ok := Brent(f, 2, 3, 1e-12, 200); !ok || math.Abs(root-want) > 1e-9 {
+		t.Errorf("Brent root = %.12g ok=%v", root, ok)
+	}
+	if root, ok := Bisect(f, 2, 3, 1e-10, 200); !ok || math.Abs(root-want) > 1e-8 {
+		t.Errorf("Bisect root = %.12g ok=%v", root, ok)
+	}
+	// Non-bracketing interval fails.
+	if _, ok := Brent(f, 3, 4, 1e-10, 100); ok {
+		t.Error("Brent should fail without a bracket")
+	}
+	if _, ok := Bisect(f, 3, 4, 1e-10, 100); ok {
+		t.Error("Bisect should fail without a bracket")
+	}
+	// Exact endpoints.
+	g := func(x float64) float64 { return x }
+	if root, ok := Brent(g, 0, 1, 1e-12, 100); !ok || root != 0 {
+		t.Errorf("Brent endpoint root = %g", root)
+	}
+}
+
+func TestAR1LogNormalStationaryStats(t *testing.T) {
+	proc := AR1LogNormal{Phi: 0.6, Mu: 1, Sigma: 0.5}
+	rng := rand.New(rand.NewSource(2))
+	series := proc.Generate(rng, nil, 200000)
+	logs := make([]float64, len(series))
+	for i, v := range series {
+		logs[i] = math.Log(v)
+	}
+	if got := Mean(logs); math.Abs(got-1) > 0.02 {
+		t.Errorf("log mean = %g, want 1", got)
+	}
+	if got := StdDev(logs); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("log sd = %g, want 0.5", got)
+	}
+	if got := Autocorrelation(logs, 1); math.Abs(got-0.6) > 0.03 {
+		t.Errorf("log ACF = %g, want 0.6", got)
+	}
+	// Marginal quantile matches the analytic log-normal quantile.
+	sort.Float64s(series)
+	q95 := QuantileSorted(series, 0.95)
+	if want := proc.Quantile(0.95); math.Abs(q95-want)/want > 0.03 {
+		t.Errorf("empirical q95 = %g, analytic %g", q95, want)
+	}
+}

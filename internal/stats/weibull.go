@@ -1,0 +1,52 @@
+package stats
+
+import "math"
+
+// Weibull is a Weibull distribution with shape K and scale Lambda. The
+// workload generator offers it as an alternative wait-time body to check
+// that the reproduction's conclusions do not hinge on the log-normal
+// choice (BMBP is distribution-free; nothing should change).
+type Weibull struct {
+	K      float64
+	Lambda float64
+}
+
+// CDF returns P(X <= x).
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.Lambda, w.K))
+}
+
+// Quantile returns the p-th quantile.
+func (w Weibull) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return w.Lambda * math.Pow(-math.Log(1-p), 1/w.K)
+}
+
+// Median returns the distribution's median.
+func (w Weibull) Median() float64 {
+	return w.Lambda * math.Pow(math.Ln2, 1/w.K)
+}
+
+// WeibullFromMedianRatio builds the Weibull whose median is median and
+// whose q95/median ratio matches ratio (> 1). This lets the generator
+// swap distribution families while preserving the two landmarks the
+// calibration cares about.
+func WeibullFromMedianRatio(median, ratio float64) Weibull {
+	if median <= 0 {
+		median = 1
+	}
+	if ratio <= 1 {
+		ratio = 1.01
+	}
+	// q95/q50 = (ln 20 / ln 2)^{1/k}  =>  k = ln(ln20/ln2) / ln(ratio).
+	k := math.Log(math.Log(20)/math.Ln2) / math.Log(ratio)
+	return Weibull{K: k, Lambda: median / math.Pow(math.Ln2, 1/k)}
+}

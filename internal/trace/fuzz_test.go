@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic on hostile input, and
+// anything they accept must round-trip consistently.
+
+func FuzzRead(f *testing.F) {
+	f.Add("# machine=m queue=q\n100 5 2\n")
+	f.Add("100 5 2 3600\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("-1 -2 -3\n")
+	f.Add("9223372036854775807 1e308 2147483647\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input: invariants hold.
+		for _, j := range tr.Jobs {
+			if j.Wait < 0 {
+				t.Fatalf("accepted negative wait %g", j.Wait)
+			}
+		}
+		// And a write/read round trip preserves the jobs.
+		var sb strings.Builder
+		if err := Write(&sb, tr); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip lost jobs: %d vs %d", back.Len(), tr.Len())
+		}
+	})
+}
+
+func FuzzReadSWF(f *testing.F) {
+	f.Add(sampleSWF)
+	f.Add("; UnixStartTime: notanumber\n1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n")
+	f.Add("1 2 3\n")
+	f.Add(strings.Repeat("0 ", 18) + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		traces, _, err := ReadSWF(strings.NewReader(input), SWFOptions{})
+		if err != nil {
+			return
+		}
+		for _, tr := range traces {
+			for _, j := range tr.Jobs {
+				if j.Wait < 0 || j.Procs < 1 {
+					t.Fatalf("accepted bad job %+v", j)
+				}
+			}
+		}
+	})
+}

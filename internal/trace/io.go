@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text encoding mirrors the "parsed data files" of Section 5.1: one job
+// per line, whitespace-separated fields
+//
+//	<submit-unix-seconds> <wait-seconds> <procs> [runtime-seconds]
+//
+// with '#' comment lines. Machine and queue are carried in the file header
+// comment written by Write and may also be supplied by the caller of Read.
+
+// Write encodes the trace to w.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# machine=%s queue=%s jobs=%d\n", t.Machine, t.Queue, len(t.Jobs)); err != nil {
+		return err
+	}
+	for _, j := range t.Jobs {
+		if _, err := fmt.Fprintf(bw, "%d %g %d %g\n", j.Submit, j.Wait, j.Procs, j.Runtime); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile encodes the trace to the named file.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a trace from r. Header comments of the form
+// "# machine=X queue=Y ..." populate the Machine and Queue fields.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parseHeader(line, t)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: want at least 3 fields, got %d", lineNo, len(fields))
+		}
+		submit, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad submit time %q: %v", lineNo, fields[0], err)
+		}
+		wait, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad wait %q: %v", lineNo, fields[1], err)
+		}
+		if wait < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative wait %g", lineNo, wait)
+		}
+		procs, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad procs %q: %v", lineNo, fields[2], err)
+		}
+		job := Job{Submit: submit, Wait: wait, Procs: procs}
+		if len(fields) >= 4 {
+			rt, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad runtime %q: %v", lineNo, fields[3], err)
+			}
+			job.Runtime = rt
+		}
+		t.Jobs = append(t.Jobs, job)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	return t, nil
+}
+
+// ReadFile decodes a trace from the named file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func parseHeader(line string, t *Trace) {
+	for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "machine":
+			t.Machine = v
+		case "queue":
+			t.Queue = v
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	orig.Jobs[0].Runtime = 3600
+
+	var sb strings.Builder
+	if err := Write(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != "m" || got.Queue != "q" {
+		t.Errorf("header lost: %q %q", got.Machine, got.Queue)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("job count %d vs %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Jobs {
+		if got.Jobs[i] != orig.Jobs[i] {
+			t.Errorf("job %d: %+v vs %+v", i, got.Jobs[i], orig.Jobs[i])
+		}
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	orig := sampleTrace()
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatal("length mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestReadToleratesCommentsAndBlankLines(t *testing.T) {
+	in := `# machine=x queue=y
+# free-form comment
+
+100 5 2
+200 7.5 16 120
+`
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Machine != "x" || tr.Queue != "y" || tr.Len() != 2 {
+		t.Fatalf("%+v", tr)
+	}
+	if tr.Jobs[1].Wait != 7.5 || tr.Jobs[1].Runtime != 120 {
+		t.Errorf("job 1 = %+v", tr.Jobs[1])
+	}
+}
+
+func TestReadRejectsMalformedLines(t *testing.T) {
+	cases := []string{
+		"100 5",           // too few fields
+		"abc 5 2",         // bad submit
+		"100 xyz 2",       // bad wait
+		"100 5 q",         // bad procs
+		"100 -3 2",        // negative wait
+		"100 5 2 notanum", // bad runtime
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}

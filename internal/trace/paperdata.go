@@ -1,0 +1,277 @@
+package trace
+
+import "time"
+
+// This file embeds the paper's published per-queue data: the Table 1 trace
+// summaries (the calibration targets for the synthetic workload generator)
+// and the Tables 3/4 evaluation results (the comparison targets recorded in
+// EXPERIMENTS.md, and the source of each queue's workload "character" — see
+// internal/workload).
+
+// PaperQueue is one row of the paper's Table 1, joined with that queue's
+// rows from Tables 3 and 4 when present.
+type PaperQueue struct {
+	Machine string // paper's machine key (datastar, lanl, llnl, nersc, paragon, sdsc, tacc2)
+	Queue   string
+
+	// Trace span, by month granularity as printed in Table 1.
+	StartYear, StartMonth int
+	EndYear, EndMonth     int
+
+	// Table 1 summary statistics (seconds).
+	JobCount int
+	AvgDelay float64
+	MedDelay float64
+	StdDelay float64
+
+	// Table 3: fraction of correct 0.95-quantile/95%-confidence upper
+	// bounds per method. Zero means the queue does not appear in Table 3.
+	BMBPCorrect      float64
+	LogNoTrimCorrect float64
+	LogTrimCorrect   float64
+
+	// Table 4: median ratio of actual over predicted wait per method.
+	BMBPRatio      float64
+	LogNoTrimRatio float64
+	LogTrimRatio   float64
+
+	// Buckets lists the processor-count categories for which Table 5 shows
+	// a value (cells with at least 1000 jobs). Nil means the queue does
+	// not appear in Tables 5-7.
+	Buckets []ProcBucket
+}
+
+// Start returns the trace start as a time.Time (first of the month, UTC).
+func (p *PaperQueue) Start() time.Time {
+	return time.Date(p.StartYear, time.Month(p.StartMonth), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// End returns the trace end as a time.Time (first of the end month, UTC).
+func (p *PaperQueue) End() time.Time {
+	return time.Date(p.EndYear, time.Month(p.EndMonth), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// SpanSeconds returns the trace duration implied by the Table 1 dates.
+func (p *PaperQueue) SpanSeconds() int64 {
+	return int64(p.End().Sub(p.Start()) / time.Second)
+}
+
+// InTable3 reports whether the paper evaluated this queue in Tables 3-4.
+func (p *PaperQueue) InTable3() bool { return p.BMBPCorrect != 0 }
+
+// Name returns "machine/queue".
+func (p *PaperQueue) Name() string { return p.Machine + "/" + p.Queue }
+
+// bucket shorthands for the table below.
+var (
+	b14   = []ProcBucket{Procs1to4}
+	b1416 = []ProcBucket{Procs1to4, Procs5to16}
+	b64   = []ProcBucket{Procs1to4, Procs5to16, Procs17to64}
+	bAll  = []ProcBucket{Procs1to4, Procs5to16, Procs17to64, Procs65Plus}
+	b1764 = []ProcBucket{Procs17to64}
+	b65   = []ProcBucket{Procs65Plus}
+)
+
+// PaperQueues transcribes the paper's Table 1 (all 39 machine/queue traces,
+// 1.26 million jobs over 9 years) joined with Tables 3, 4, and 5.
+var PaperQueues = []PaperQueue{
+	// SDSC/Datastar, 4/04 - 4/05.
+	{Machine: "datastar", Queue: "TGhigh", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 1488, AvgDelay: 29589, MedDelay: 6269, StdDelay: 64832,
+		BMBPCorrect: 0.95, LogNoTrimCorrect: 0.92, LogTrimCorrect: 0.96,
+		BMBPRatio: 4.55e-02, LogNoTrimRatio: 6.39e-02, LogTrimRatio: 1.92e-02, Buckets: b14},
+	{Machine: "datastar", Queue: "TGnormal", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 5445, AvgDelay: 7333, MedDelay: 88, StdDelay: 28348,
+		BMBPCorrect: 0.98, LogNoTrimCorrect: 0.91, LogTrimCorrect: 0.95,
+		BMBPRatio: 2.18e-03, LogNoTrimRatio: 9.16e-03, LogTrimRatio: 6.63e-02, Buckets: b14},
+	{Machine: "datastar", Queue: "express", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 11816, AvgDelay: 2585, MedDelay: 153, StdDelay: 11286,
+		BMBPCorrect: 0.98, LogNoTrimCorrect: 0.92, LogTrimCorrect: 0.94,
+		BMBPRatio: 1.02e-02, LogNoTrimRatio: 2.89e-02, LogTrimRatio: 2.85e-02, Buckets: b1416},
+	{Machine: "datastar", Queue: "high", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 5176, AvgDelay: 35609, MedDelay: 1785, StdDelay: 100817,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.91, LogTrimCorrect: 0.97,
+		BMBPRatio: 9.88e-03, LogNoTrimRatio: 1.92e-02, LogTrimRatio: 7.12e-03, Buckets: b1416},
+	{Machine: "datastar", Queue: "high32", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 606, AvgDelay: 13407, MedDelay: 251, StdDelay: 32313},
+	{Machine: "datastar", Queue: "interactive", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 5822, AvgDelay: 1117, MedDelay: 1, StdDelay: 10389},
+	{Machine: "datastar", Queue: "normal", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 48543, AvgDelay: 35886, MedDelay: 1795, StdDelay: 100255,
+		BMBPCorrect: 0.95, LogNoTrimCorrect: 0.93, LogTrimCorrect: 0.96,
+		BMBPRatio: 9.43e-03, LogNoTrimRatio: 1.11e-02, LogTrimRatio: 7.78e-03, Buckets: b64},
+	{Machine: "datastar", Queue: "normal32", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 5322, AvgDelay: 24746, MedDelay: 1234, StdDelay: 61426,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.90, LogTrimCorrect: 0.98,
+		BMBPRatio: 1.80e-02, LogNoTrimRatio: 3.21e-02, LogTrimRatio: 1.05e-02, Buckets: b14},
+	{Machine: "datastar", Queue: "normalL", StartYear: 2004, StartMonth: 4, EndYear: 2005, EndMonth: 4,
+		JobCount: 727, AvgDelay: 48432, MedDelay: 1337, StdDelay: 97090},
+
+	// LANL/O2K, 12/99 - 4/00.
+	{Machine: "lanl", Queue: "chammpq", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 8102, AvgDelay: 6156, MedDelay: 33, StdDelay: 13926,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.98, LogTrimCorrect: 0.98,
+		BMBPRatio: 9.22e-04, LogNoTrimRatio: 1.01e-03, LogTrimRatio: 6.80e-04, Buckets: b64},
+	{Machine: "lanl", Queue: "irshared", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 1012, AvgDelay: 1779, MedDelay: 6, StdDelay: 17063},
+	{Machine: "lanl", Queue: "medium", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 880, AvgDelay: 11570, MedDelay: 1670, StdDelay: 21293},
+	{Machine: "lanl", Queue: "mediumd", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 1552, AvgDelay: 1448, MedDelay: 296, StdDelay: 8039,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.97, LogTrimCorrect: 0.97,
+		BMBPRatio: 3.56e-02, LogNoTrimRatio: 3.33e-02, LogTrimRatio: 3.19e-02, Buckets: b65},
+	{Machine: "lanl", Queue: "scavenger", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 50387, AvgDelay: 1433, MedDelay: 7, StdDelay: 7126,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.92, LogTrimCorrect: 0.96,
+		BMBPRatio: 1.35e-03, LogNoTrimRatio: 3.15e-03, LogTrimRatio: 5.58e-03, Buckets: bAll},
+	{Machine: "lanl", Queue: "schammpq", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 1386, AvgDelay: 7955, MedDelay: 8450, StdDelay: 8481,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 1.00, LogTrimCorrect: 1.00,
+		BMBPRatio: 3.93e-01, LogNoTrimRatio: 4.51e-02, LogTrimRatio: 4.69e-02, Buckets: b1764},
+	{Machine: "lanl", Queue: "shared", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 35510, AvgDelay: 1094, MedDelay: 6, StdDelay: 6752,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.89, LogTrimCorrect: 0.93,
+		BMBPRatio: 1.25e-03, LogNoTrimRatio: 1.07e-02, LogTrimRatio: 2.02e-02, Buckets: b1416},
+	{Machine: "lanl", Queue: "short", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 2639, AvgDelay: 4417, MedDelay: 13, StdDelay: 11611,
+		BMBPCorrect: 0.91, LogNoTrimCorrect: 0.86, LogTrimCorrect: 0.87,
+		BMBPRatio: 5.90e-04, LogNoTrimRatio: 2.34e-03, LogTrimRatio: 1.37e-03, Buckets: b1764},
+	{Machine: "lanl", Queue: "small", StartYear: 1999, StartMonth: 12, EndYear: 2000, EndMonth: 4,
+		JobCount: 14544, AvgDelay: 22098, MedDelay: 67, StdDelay: 81742,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.98, LogTrimCorrect: 0.98,
+		BMBPRatio: 4.59e-04, LogNoTrimRatio: 3.26e-04, LogTrimRatio: 1.86e-04, Buckets: bAll},
+
+	// LLNL/Blue Pacific, 1/02 - 10/02.
+	{Machine: "llnl", Queue: "all", StartYear: 2002, StartMonth: 1, EndYear: 2002, EndMonth: 10,
+		JobCount: 63959, AvgDelay: 8164, MedDelay: 242, StdDelay: 18245,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 1.00, LogTrimCorrect: 1.00,
+		BMBPRatio: 4.24e-03, LogNoTrimRatio: 1.27e-03, LogTrimRatio: 1.27e-03, Buckets: b64},
+
+	// NERSC/SP, 3/01 - 3/03.
+	{Machine: "nersc", Queue: "debug", StartYear: 2001, StartMonth: 3, EndYear: 2003, EndMonth: 3,
+		JobCount: 115105, AvgDelay: 332, MedDelay: 42, StdDelay: 3950,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.95, LogTrimCorrect: 0.95,
+		BMBPRatio: 3.48e-02, LogNoTrimRatio: 5.47e-02, LogTrimRatio: 6.07e-02, Buckets: b1416},
+	{Machine: "nersc", Queue: "interactive", StartYear: 2001, StartMonth: 3, EndYear: 2003, EndMonth: 3,
+		JobCount: 36672, AvgDelay: 121, MedDelay: 1, StdDelay: 2417,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.87, LogTrimCorrect: 0.95,
+		BMBPRatio: 1.08e-02, LogNoTrimRatio: 6.48e-02, LogTrimRatio: 3.03e-02, Buckets: b14},
+	{Machine: "nersc", Queue: "low", StartYear: 2001, StartMonth: 3, EndYear: 2003, EndMonth: 3,
+		JobCount: 56337, AvgDelay: 34314, MedDelay: 6020, StdDelay: 91886,
+		BMBPCorrect: 0.96, LogNoTrimCorrect: 0.99, LogTrimCorrect: 0.99,
+		BMBPRatio: 1.37e-02, LogNoTrimRatio: 6.73e-03, LogTrimRatio: 4.62e-03, Buckets: b64},
+	{Machine: "nersc", Queue: "premium", StartYear: 2001, StartMonth: 3, EndYear: 2003, EndMonth: 3,
+		JobCount: 24318, AvgDelay: 3987, MedDelay: 177, StdDelay: 15103,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.96, LogTrimCorrect: 0.96,
+		BMBPRatio: 6.81e-03, LogNoTrimRatio: 8.74e-03, LogTrimRatio: 1.13e-02, Buckets: b1416},
+	{Machine: "nersc", Queue: "regular", StartYear: 2001, StartMonth: 3, EndYear: 2003, EndMonth: 3,
+		JobCount: 274546, AvgDelay: 16253, MedDelay: 1578, StdDelay: 47920,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.98, LogTrimCorrect: 0.98,
+		BMBPRatio: 1.39e-02, LogNoTrimRatio: 8.46e-03, LogTrimRatio: 8.75e-03, Buckets: b64},
+	{Machine: "nersc", Queue: "regularlong", StartYear: 2001, StartMonth: 3, EndYear: 2003, EndMonth: 3,
+		JobCount: 3386, AvgDelay: 57645, MedDelay: 43237, StdDelay: 64471,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 1.00, LogTrimCorrect: 1.00,
+		BMBPRatio: 2.19e-01, LogNoTrimRatio: 5.64e-02, LogTrimRatio: 5.64e-02, Buckets: b14},
+
+	// SDSC/Paragon, 1/95 - 1/96.
+	{Machine: "paragon", Queue: "q11", StartYear: 1995, StartMonth: 1, EndYear: 1996, EndMonth: 1,
+		JobCount: 5755, AvgDelay: 16319, MedDelay: 10205, StdDelay: 27086,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 1.00, LogTrimCorrect: 1.00,
+		BMBPRatio: 9.60e-02, LogNoTrimRatio: 5.93e-02, LogTrimRatio: 4.21e-02},
+	{Machine: "paragon", Queue: "q256s", StartYear: 1995, StartMonth: 1, EndYear: 1996, EndMonth: 1,
+		JobCount: 1076, AvgDelay: 808, MedDelay: 7, StdDelay: 7477,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.95, LogTrimCorrect: 0.95,
+		BMBPRatio: 1.29e-03, LogNoTrimRatio: 4.41e-03, LogTrimRatio: 8.16e-03},
+	{Machine: "paragon", Queue: "q32l", StartYear: 1995, StartMonth: 1, EndYear: 1996, EndMonth: 1,
+		JobCount: 1013, AvgDelay: 4301, MedDelay: 8, StdDelay: 12565},
+	{Machine: "paragon", Queue: "q641", StartYear: 1995, StartMonth: 1, EndYear: 1996, EndMonth: 1,
+		JobCount: 3425, AvgDelay: 4324, MedDelay: 11, StdDelay: 11240,
+		BMBPCorrect: 0.98, LogNoTrimCorrect: 0.98, LogTrimCorrect: 0.99,
+		BMBPRatio: 2.95e-04, LogNoTrimRatio: 3.38e-04, LogTrimRatio: 3.04e-04},
+	{Machine: "paragon", Queue: "standby", StartYear: 1995, StartMonth: 1, EndYear: 1996, EndMonth: 1,
+		JobCount: 8896, AvgDelay: 14602, MedDelay: 604, StdDelay: 35805,
+		BMBPCorrect: 0.98, LogNoTrimCorrect: 0.99, LogTrimCorrect: 0.98,
+		BMBPRatio: 3.48e-03, LogNoTrimRatio: 2.15e-03, LogTrimRatio: 2.39e-03},
+
+	// SDSC/SP, 4/98 - 4/00.
+	{Machine: "sdsc", Queue: "express", StartYear: 1998, StartMonth: 4, EndYear: 2000, EndMonth: 4,
+		JobCount: 4978, AvgDelay: 1135, MedDelay: 22, StdDelay: 4224,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.84, LogTrimCorrect: 0.94,
+		BMBPRatio: 2.38e-03, LogNoTrimRatio: 1.72e-02, LogTrimRatio: 8.44e-03, Buckets: b14},
+	{Machine: "sdsc", Queue: "high", StartYear: 1998, StartMonth: 4, EndYear: 2000, EndMonth: 4,
+		JobCount: 8809, AvgDelay: 16545, MedDelay: 567, StdDelay: 133046,
+		BMBPCorrect: 0.96, LogNoTrimCorrect: 0.95, LogTrimCorrect: 0.98,
+		BMBPRatio: 9.05e-03, LogNoTrimRatio: 1.09e-02, LogTrimRatio: 5.98e-03, Buckets: b64},
+	{Machine: "sdsc", Queue: "low", StartYear: 1998, StartMonth: 4, EndYear: 2000, EndMonth: 4,
+		JobCount: 22709, AvgDelay: 20962, MedDelay: 34, StdDelay: 95107,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.90, LogTrimCorrect: 0.98,
+		BMBPRatio: 4.08e-03, LogNoTrimRatio: 1.92e-03, LogTrimRatio: 4.20e-03, Buckets: b64},
+	{Machine: "sdsc", Queue: "normal", StartYear: 1998, StartMonth: 4, EndYear: 2000, EndMonth: 4,
+		JobCount: 30831, AvgDelay: 26324, MedDelay: 89, StdDelay: 101900,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.93, LogTrimCorrect: 0.98,
+		BMBPRatio: 7.93e-04, LogNoTrimRatio: 1.20e-03, LogTrimRatio: 5.76e-04, Buckets: b64},
+
+	// TACC/Cray-Dell (Lonestar).
+	{Machine: "tacc2", Queue: "development", StartYear: 2004, StartMonth: 1, EndYear: 2005, EndMonth: 3,
+		JobCount: 5829, AvgDelay: 74, MedDelay: 9, StdDelay: 1850,
+		BMBPCorrect: 0.98, LogNoTrimCorrect: 0.97, LogTrimCorrect: 0.98,
+		BMBPRatio: 3.75e-01, LogNoTrimRatio: 3.81e-01, LogTrimRatio: 3.20e-01, Buckets: b1416},
+	{Machine: "tacc2", Queue: "hero", StartYear: 2004, StartMonth: 2, EndYear: 2004, EndMonth: 12,
+		JobCount: 48, AvgDelay: 28636, MedDelay: 12, StdDelay: 71168},
+	{Machine: "tacc2", Queue: "high", StartYear: 2004, StartMonth: 2, EndYear: 2005, EndMonth: 3,
+		JobCount: 2110, AvgDelay: 5392, MedDelay: 10, StdDelay: 33366,
+		BMBPCorrect: 0.99, LogNoTrimCorrect: 0.97, LogTrimCorrect: 0.97,
+		BMBPRatio: 2.38e-04, LogNoTrimRatio: 1.19e-03, LogTrimRatio: 1.10e-03},
+	{Machine: "tacc2", Queue: "normal", StartYear: 2004, StartMonth: 1, EndYear: 2005, EndMonth: 3,
+		JobCount: 356487, AvgDelay: 732, MedDelay: 10, StdDelay: 9436,
+		BMBPCorrect: 0.99, LogNoTrimCorrect: 0.96, LogTrimCorrect: 0.98,
+		BMBPRatio: 4.88e-03, LogNoTrimRatio: 2.78e-02, LogTrimRatio: 2.92e-02, Buckets: bAll},
+	{Machine: "tacc2", Queue: "serial", StartYear: 2004, StartMonth: 8, EndYear: 2005, EndMonth: 3,
+		JobCount: 7860, AvgDelay: 2178, MedDelay: 10, StdDelay: 13702,
+		BMBPCorrect: 0.97, LogNoTrimCorrect: 0.89, LogTrimCorrect: 0.96,
+		BMBPRatio: 2.18e-03, LogNoTrimRatio: 2.10e-02, LogTrimRatio: 1.90e-02, Buckets: b14},
+}
+
+// FindPaperQueue returns the embedded row for machine/queue, or nil.
+func FindPaperQueue(machine, queue string) *PaperQueue {
+	for i := range PaperQueues {
+		if PaperQueues[i].Machine == machine && PaperQueues[i].Queue == queue {
+			return &PaperQueues[i]
+		}
+	}
+	return nil
+}
+
+// Table3Queues returns the queues the paper evaluates in Tables 3 and 4,
+// in table order.
+func Table3Queues() []*PaperQueue {
+	var out []*PaperQueue
+	for i := range PaperQueues {
+		if PaperQueues[i].InTable3() {
+			out = append(out, &PaperQueues[i])
+		}
+	}
+	return out
+}
+
+// Table5Queues returns the queues the paper evaluates in Tables 5-7 (those
+// with processor-count breakdowns), in table order.
+func Table5Queues() []*PaperQueue {
+	var out []*PaperQueue
+	for i := range PaperQueues {
+		if PaperQueues[i].Buckets != nil {
+			out = append(out, &PaperQueues[i])
+		}
+	}
+	return out
+}
+
+// TotalPaperJobs returns the total job count across all embedded traces
+// (the paper reports 1.26 million).
+func TotalPaperJobs() int {
+	total := 0
+	for i := range PaperQueues {
+		total += PaperQueues[i].JobCount
+	}
+	return total
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; Version: 2.2
+; Computer: Test SP2
+; UnixStartTime: 1000000
+; MaxNodes: 128
+; MaxProcs: 128
+; Queue: 1 express runtime limit 2h
+; Queue: 2 normal
+;
+; job submit wait run procs cpu mem reqp reqt reqm status user group exe queue part prec think
+1 100 50 3600 8 -1 -1 8 7200 -1 1 3 1 5 1 -1 -1 -1
+2 200 0 60 1 -1 -1 1 120 -1 1 4 1 5 2 -1 -1 -1
+3 300 900 100 -1 -1 -1 16 600 -1 1 4 1 5 2 -1 -1 -1
+4 400 10 100 4 -1 -1 4 600 -1 0 4 1 5 1 -1 -1 -1
+5 500 -1 100 4 -1 -1 4 600 -1 1 4 1 5 1 -1 -1 -1
+6 150 25 10 2 -1 -1 2 600 -1 1 2 1 5 1 -1 -1 -1
+`
+
+func TestReadSWF(t *testing.T) {
+	traces, hdr, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{Machine: "sp2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.UnixStartTime != 1000000 || hdr.MaxNodes != 128 || hdr.MaxProcs != 128 {
+		t.Errorf("header = %+v", hdr)
+	}
+	if hdr.QueueNames[1] != "express" || hdr.QueueNames[2] != "normal" {
+		t.Errorf("queue names = %v", hdr.QueueNames)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	express, normal := traces[0], traces[1]
+	if express.Queue != "express" || normal.Queue != "normal" {
+		t.Errorf("queues: %q %q", express.Queue, normal.Queue)
+	}
+	// Job 4 (status 0) and job 5 (missing wait) are dropped; jobs 1 and 6
+	// land in express, sorted by submit.
+	if express.Len() != 2 {
+		t.Fatalf("express jobs = %d", express.Len())
+	}
+	if express.Jobs[0].Submit != 1000100 || express.Jobs[0].Wait != 50 {
+		t.Errorf("first express job = %+v", express.Jobs[0])
+	}
+	if express.Jobs[0].Procs != 8 || express.Jobs[0].Runtime != 3600 {
+		t.Errorf("first express job fields = %+v", express.Jobs[0])
+	}
+	if express.Jobs[1].Submit != 1000150 || express.Jobs[1].Wait != 25 {
+		t.Errorf("second express job = %+v", express.Jobs[1])
+	}
+	// Job 3 has allocated procs -1: falls back to the requested 16.
+	if normal.Len() != 2 || normal.Jobs[1].Procs != 16 {
+		t.Errorf("normal jobs = %+v", normal.Jobs)
+	}
+}
+
+func TestReadSWFMerged(t *testing.T) {
+	traces, _, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{MergeQueues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Queue != "all" {
+		t.Fatalf("merged traces = %+v", traces)
+	}
+	if traces[0].Len() != 4 {
+		t.Errorf("merged job count = %d", traces[0].Len())
+	}
+	if traces[0].Machine != "swf" {
+		t.Errorf("default machine = %q", traces[0].Machine)
+	}
+}
+
+func TestReadSWFIncludeIncomplete(t *testing.T) {
+	traces, _, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{IncludeIncomplete: true, MergeQueues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 4 (status 0) now kept; job 5 still dropped for its missing wait.
+	if traces[0].Len() != 5 {
+		t.Errorf("job count = %d", traces[0].Len())
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	if _, _, err := ReadSWF(strings.NewReader("1 2 3\n"), SWFOptions{}); err == nil {
+		t.Error("short line should fail")
+	}
+	bad := "1 100 50 3600 8 -1 -1 8 7200 -1 1 3 1 5 x -1 -1 -1\n"
+	if _, _, err := ReadSWF(strings.NewReader(bad), SWFOptions{}); err == nil {
+		t.Error("non-numeric field should fail")
+	}
+	if _, _, err := ReadSWFFile("/nonexistent.swf", SWFOptions{}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestWriteSWFRoundTrip(t *testing.T) {
+	orig := &Trace{Machine: "gen", Queue: "normal", Jobs: []Job{
+		{Submit: 1_000_100, Wait: 50, Procs: 8, Runtime: 3600},
+		{Submit: 1_000_200, Wait: 0, Procs: 1, Runtime: 60},
+		{Submit: 1_000_500, Wait: 900, Procs: 16, Runtime: 100},
+	}}
+	var sb strings.Builder
+	if err := WriteSWF(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	traces, hdr, err := ReadSWF(strings.NewReader(sb.String()), SWFOptions{Machine: "gen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.UnixStartTime != 1_000_100 {
+		t.Errorf("UnixStartTime = %d", hdr.UnixStartTime)
+	}
+	if len(traces) != 1 || traces[0].Queue != "normal" {
+		t.Fatalf("traces = %+v", traces)
+	}
+	got := traces[0]
+	if got.Len() != 3 {
+		t.Fatalf("jobs = %d", got.Len())
+	}
+	for i := range orig.Jobs {
+		if got.Jobs[i] != orig.Jobs[i] {
+			t.Errorf("job %d: %+v vs %+v", i, got.Jobs[i], orig.Jobs[i])
+		}
+	}
+}
+
+func TestWriteSWFFile(t *testing.T) {
+	path := t.TempDir() + "/x.swf"
+	tr := &Trace{Machine: "m", Queue: "q", Jobs: []Job{{Submit: 5, Wait: 1, Procs: 2}}}
+	if err := WriteSWFFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadSWFFile(path, SWFOptions{})
+	if err != nil || len(back) != 1 || back[0].Len() != 1 {
+		t.Fatalf("roundtrip: %v %v", back, err)
+	}
+	// Runtime 0 encodes as the -1 sentinel and reads back as 0.
+	if back[0].Jobs[0].Runtime != 0 {
+		t.Errorf("runtime sentinel: %g", back[0].Jobs[0].Runtime)
+	}
+}
+
+func TestReadSWFUnnamedQueue(t *testing.T) {
+	in := "1 100 5 60 1 -1 -1 1 120 -1 1 4 1 5 7 -1 -1 -1\n"
+	traces, _, err := ReadSWF(strings.NewReader(in), SWFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traces[0].Queue != "q7" {
+		t.Errorf("fallback queue name = %q", traces[0].Queue)
+	}
+}

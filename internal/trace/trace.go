@@ -1,0 +1,181 @@
+// Package trace defines the job-trace model shared by the workload
+// generator, the batch-scheduler substrate, and the evaluation simulator:
+// per-job submission records (submit time, queue wait, processor count,
+// queue name), a line-oriented text encoding compatible with the parsed
+// data files the paper describes (Section 5.1), filtering by queue and
+// processor-count range, and the summary statistics of the paper's Table 1.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Job is one batch-queue submission record.
+type Job struct {
+	// Submit is the UNIX timestamp (seconds) of submission.
+	Submit int64
+	// Wait is the queuing delay in seconds (how long the job stayed in the
+	// queue before executing).
+	Wait float64
+	// Procs is the number of processors the submission requested.
+	Procs int
+	// Runtime is the execution duration in seconds once started. Archival
+	// wait-time logs do not always carry it; the scheduler substrate fills
+	// it in. Zero means unknown.
+	Runtime float64
+}
+
+// Release returns the time at which the job left the queue and its wait
+// became observable.
+func (j Job) Release() int64 {
+	return j.Submit + int64(j.Wait)
+}
+
+// Trace is a time-ordered sequence of jobs for one machine/queue.
+type Trace struct {
+	// Machine is the short machine key used throughout the paper's result
+	// tables (datastar, lanl, llnl, nersc, paragon, sdsc, tacc2).
+	Machine string
+	// Queue is the queue name within the machine.
+	Queue string
+	// Jobs holds the submissions, ordered by Submit.
+	Jobs []Job
+}
+
+// Name returns "machine/queue".
+func (t *Trace) Name() string { return t.Machine + "/" + t.Queue }
+
+// Len returns the number of jobs.
+func (t *Trace) Len() int { return len(t.Jobs) }
+
+// SortBySubmit orders jobs by submission time (stable, so equal timestamps
+// keep their original relative order).
+func (t *Trace) SortBySubmit() {
+	sort.SliceStable(t.Jobs, func(i, j int) bool {
+		return t.Jobs[i].Submit < t.Jobs[j].Submit
+	})
+}
+
+// Waits returns the wait column of the trace, in job order.
+func (t *Trace) Waits() []float64 {
+	out := make([]float64, len(t.Jobs))
+	for i, j := range t.Jobs {
+		out[i] = j.Wait
+	}
+	return out
+}
+
+// Summary computes the Table 1 statistics (count, mean, median, standard
+// deviation of the queue waits).
+func (t *Trace) Summary() stats.Summary {
+	return stats.Summarize(t.Waits())
+}
+
+// Span returns the first and last submission timestamps, or (0, 0) for an
+// empty trace.
+func (t *Trace) Span() (first, last int64) {
+	if len(t.Jobs) == 0 {
+		return 0, 0
+	}
+	return t.Jobs[0].Submit, t.Jobs[len(t.Jobs)-1].Submit
+}
+
+// FilterProcs returns a new Trace containing only jobs whose processor
+// count falls in bucket.
+func (t *Trace) FilterProcs(bucket ProcBucket) *Trace {
+	out := &Trace{Machine: t.Machine, Queue: t.Queue + "/" + bucket.Label()}
+	for _, j := range t.Jobs {
+		if bucket.Contains(j.Procs) {
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	return out
+}
+
+// Window returns a new Trace restricted to jobs with from <= Submit < to.
+func (t *Trace) Window(from, to int64) *Trace {
+	out := &Trace{Machine: t.Machine, Queue: t.Queue}
+	for _, j := range t.Jobs {
+		if j.Submit >= from && j.Submit < to {
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	return out
+}
+
+// ProcBucket is one of the paper's processor-count ranges (Section 6.2,
+// suggested by TACC as the ranges most meaningful to their users).
+type ProcBucket int
+
+// The four processor-count categories of Tables 5-7.
+const (
+	Procs1to4 ProcBucket = iota
+	Procs5to16
+	Procs17to64
+	Procs65Plus
+	NumProcBuckets // count sentinel, not a bucket
+)
+
+// Label returns the column heading used in the paper's tables.
+func (b ProcBucket) Label() string {
+	switch b {
+	case Procs1to4:
+		return "1-4"
+	case Procs5to16:
+		return "5-16"
+	case Procs17to64:
+		return "17-64"
+	case Procs65Plus:
+		return "65+"
+	default:
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+}
+
+// Range returns the inclusive processor-count range of the bucket. The
+// upper end of the open-ended bucket is reported as MaxProcs.
+func (b ProcBucket) Range() (lo, hi int) {
+	switch b {
+	case Procs1to4:
+		return 1, 4
+	case Procs5to16:
+		return 5, 16
+	case Procs17to64:
+		return 17, 64
+	case Procs65Plus:
+		return 65, MaxProcs
+	default:
+		return 0, 0
+	}
+}
+
+// MaxProcs is the largest processor count the generator and bucket ranges
+// use for the open-ended 65+ category.
+const MaxProcs = 1024
+
+// Contains reports whether procs falls in the bucket.
+func (b ProcBucket) Contains(procs int) bool {
+	lo, hi := b.Range()
+	return procs >= lo && procs <= hi
+}
+
+// BucketOf returns the bucket containing procs (counts below 1 are treated
+// as 1, matching how logs record serial jobs).
+func BucketOf(procs int) ProcBucket {
+	switch {
+	case procs <= 4:
+		return Procs1to4
+	case procs <= 16:
+		return Procs5to16
+	case procs <= 64:
+		return Procs17to64
+	default:
+		return Procs65Plus
+	}
+}
+
+// AllBuckets lists the four buckets in table order.
+var AllBuckets = []ProcBucket{Procs1to4, Procs5to16, Procs17to64, Procs65Plus}

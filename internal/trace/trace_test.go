@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Machine: "m",
+		Queue:   "q",
+		Jobs: []Job{
+			{Submit: 100, Wait: 10, Procs: 2},
+			{Submit: 200, Wait: 0, Procs: 8},
+			{Submit: 300, Wait: 50, Procs: 32},
+			{Submit: 400, Wait: 5, Procs: 128},
+			{Submit: 500, Wait: 20, Procs: 4},
+		},
+	}
+}
+
+func TestTraceBasics(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Name() != "m/q" {
+		t.Error("Name")
+	}
+	if tr.Len() != 5 {
+		t.Error("Len")
+	}
+	w := tr.Waits()
+	if len(w) != 5 || w[2] != 50 {
+		t.Error("Waits")
+	}
+	first, last := tr.Span()
+	if first != 100 || last != 500 {
+		t.Errorf("Span = %d,%d", first, last)
+	}
+	s := tr.Summary()
+	if s.Count != 5 || s.Median != 10 || s.Max != 50 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestJobRelease(t *testing.T) {
+	j := Job{Submit: 1000, Wait: 42.7}
+	if got := j.Release(); got != 1042 {
+		t.Errorf("Release = %d", got)
+	}
+}
+
+func TestSortBySubmit(t *testing.T) {
+	tr := &Trace{Jobs: []Job{{Submit: 3, Wait: 1}, {Submit: 1, Wait: 2}, {Submit: 3, Wait: 3}, {Submit: 2, Wait: 4}}}
+	tr.SortBySubmit()
+	wantSubmits := []int64{1, 2, 3, 3}
+	for i, j := range tr.Jobs {
+		if j.Submit != wantSubmits[i] {
+			t.Fatalf("order: %+v", tr.Jobs)
+		}
+	}
+	// Stability: the two Submit=3 jobs keep their original relative order.
+	if tr.Jobs[2].Wait != 1 || tr.Jobs[3].Wait != 3 {
+		t.Error("sort not stable")
+	}
+}
+
+func TestFilterProcs(t *testing.T) {
+	tr := sampleTrace()
+	small := tr.FilterProcs(Procs1to4)
+	if small.Len() != 2 {
+		t.Fatalf("1-4 filter: %d jobs", small.Len())
+	}
+	if small.Jobs[0].Procs != 2 || small.Jobs[1].Procs != 4 {
+		t.Error("wrong jobs retained")
+	}
+	big := tr.FilterProcs(Procs65Plus)
+	if big.Len() != 1 || big.Jobs[0].Procs != 128 {
+		t.Error("65+ filter")
+	}
+	if got := tr.FilterProcs(Procs5to16).Len(); got != 1 {
+		t.Errorf("5-16 filter: %d", got)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := sampleTrace()
+	w := tr.Window(200, 400)
+	if w.Len() != 2 || w.Jobs[0].Submit != 200 || w.Jobs[1].Submit != 300 {
+		t.Errorf("window: %+v", w.Jobs)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	cases := []struct {
+		procs int
+		want  ProcBucket
+	}{
+		{1, Procs1to4}, {4, Procs1to4}, {5, Procs5to16}, {16, Procs5to16},
+		{17, Procs17to64}, {64, Procs17to64}, {65, Procs65Plus}, {1024, Procs65Plus},
+		{0, Procs1to4}, {-3, Procs1to4},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.procs); got != c.want {
+			t.Errorf("BucketOf(%d) = %v, want %v", c.procs, got, c.want)
+		}
+	}
+	labels := []string{"1-4", "5-16", "17-64", "65+"}
+	for i, b := range AllBuckets {
+		if b.Label() != labels[i] {
+			t.Errorf("label %d = %q", i, b.Label())
+		}
+		lo, hi := b.Range()
+		if !b.Contains(lo) || !b.Contains(hi) {
+			t.Errorf("bucket %v does not contain its own range", b)
+		}
+		if b.Contains(lo - 1) {
+			t.Errorf("bucket %v contains %d", b, lo-1)
+		}
+	}
+	// Every positive processor count falls in exactly one bucket.
+	for p := 1; p <= MaxProcs; p++ {
+		count := 0
+		for _, b := range AllBuckets {
+			if b.Contains(p) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("procs=%d in %d buckets", p, count)
+		}
+	}
+}
+
+func TestPaperDataIntegrity(t *testing.T) {
+	if len(PaperQueues) != 39 {
+		t.Fatalf("Table 1 has %d rows, want 39", len(PaperQueues))
+	}
+	// The paper says "1.26 million jobs"; its own Table 1 rows sum to
+	// 1,235,106 — the prose rounds up. The transcription must match the
+	// table exactly.
+	if total := TotalPaperJobs(); total != 1_235_106 {
+		t.Fatalf("total jobs = %d, want 1235106 (sum of Table 1)", total)
+	}
+	if got := len(Table3Queues()); got != 32 {
+		t.Fatalf("Table 3 queues = %d, want 32", got)
+	}
+	if got := len(Table5Queues()); got != 27 {
+		t.Fatalf("Table 5 queues = %d, want 27", got)
+	}
+	seen := map[string]bool{}
+	for i := range PaperQueues {
+		p := &PaperQueues[i]
+		if seen[p.Name()] {
+			t.Errorf("duplicate queue %s", p.Name())
+		}
+		seen[p.Name()] = true
+		if p.SpanSeconds() <= 0 {
+			t.Errorf("%s: non-positive span", p.Name())
+		}
+		if p.JobCount <= 0 || p.AvgDelay < 0 || p.MedDelay < 0 || p.StdDelay < 0 {
+			t.Errorf("%s: bad summary stats", p.Name())
+		}
+		// Heavy tails: the paper observes median << mean on every queue
+		// except schammpq (the one near-symmetric queue).
+		if p.MedDelay > p.AvgDelay && p.Queue != "schammpq" {
+			t.Errorf("%s: median %g above mean %g", p.Name(), p.MedDelay, p.AvgDelay)
+		}
+		if p.InTable3() {
+			for _, v := range []float64{p.BMBPCorrect, p.LogNoTrimCorrect, p.LogTrimCorrect} {
+				if v < 0.5 || v > 1 {
+					t.Errorf("%s: implausible Table 3 value %g", p.Name(), v)
+				}
+			}
+			for _, v := range []float64{p.BMBPRatio, p.LogNoTrimRatio, p.LogTrimRatio} {
+				if v <= 0 || v > 1 {
+					t.Errorf("%s: implausible Table 4 ratio %g", p.Name(), v)
+				}
+			}
+		}
+	}
+	// The paper's headline: BMBP fails only on LANL/short.
+	for _, p := range Table3Queues() {
+		failed := p.BMBPCorrect < 0.95
+		if failed != (p.Name() == "lanl/short") {
+			t.Errorf("%s: BMBP failure flag inconsistent with the paper", p.Name())
+		}
+	}
+}
+
+func TestFindPaperQueue(t *testing.T) {
+	p := FindPaperQueue("nersc", "regular")
+	if p == nil || p.JobCount != 274546 {
+		t.Fatalf("lookup failed: %+v", p)
+	}
+	if FindPaperQueue("nope", "nope") != nil {
+		t.Error("bogus lookup should be nil")
+	}
+}
+
+func TestPaperQueueDates(t *testing.T) {
+	p := FindPaperQueue("sdsc", "normal")
+	if p.Start().Year() != 1998 || p.End().Year() != 2000 {
+		t.Errorf("sdsc dates: %v - %v", p.Start(), p.End())
+	}
+	// Two-year span.
+	if days := p.SpanSeconds() / 86400; days < 700 || days > 760 {
+		t.Errorf("span days = %d", days)
+	}
+}

@@ -1,0 +1,403 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Generate produces the synthetic trace described by the model. The result
+// is deterministic in the model (including its Seed).
+func (m *Model) Generate() *trace.Trace {
+	rng := rand.New(rand.NewSource(m.Seed))
+	runtimeRng := rand.New(rand.NewSource(m.Seed ^ 0x5deece66d))
+	t := &trace.Trace{Machine: m.Machine, Queue: m.Queue}
+	if m.Jobs <= 0 {
+		return t
+	}
+	submits := m.submitTimes(rng)
+	offsets := m.segmentOffsets(rng, submits)
+	buckets := m.bucketSequence(rng)
+
+	// AR(1) innovations in standardized log space.
+	phi := m.Phi
+	innovScale := math.Sqrt(1 - phi*phi)
+	z := rng.NormFloat64()
+
+	episodeLifts := m.buildEpisodes(rng)
+
+	// Optional Weibull body: same median and q95 as the calibrated
+	// log-normal, dependence carried by the Gaussian copula (the AR(1) z
+	// maps through Φ to a uniform, then through the Weibull quantile).
+	var weibull stats.Weibull
+	if m.WeibullBody {
+		ratio := math.Exp(1.6449 * m.Sigma) // log-normal q95/median
+		weibull = stats.WeibullFromMedianRatio(1, ratio)
+	}
+
+	surgeStart := m.Jobs
+	if m.EndSurge > 0 {
+		surgeStart = m.Jobs - int(float64(m.Jobs)*m.EndSurge)
+	}
+
+	t.Jobs = make([]trace.Job, 0, m.Jobs)
+	for i := 0; i < m.Jobs; i++ {
+		b := buckets[i]
+		if i >= surgeStart && m.EndSurgeBucket >= 0 {
+			b = trace.ProcBucket(m.EndSurgeBucket)
+		}
+		regime := m.regimeAt(submits[i])
+		// Stretch the left (short-wait) tail: real logs pile up near-zero
+		// waits, which BMBP ignores and a normal fit to log-waits absorbs
+		// as extra variance.
+		zs := z
+		if zs < 0 && m.LeftScale > 1 {
+			zs *= m.LeftScale
+		}
+		bucketOffset := m.BucketOffsets[b]
+		if regime != nil {
+			bucketOffset = regime.BucketOffsets[b]
+		}
+		var logWait float64
+		if m.WeibullBody {
+			u := stats.StdNormal.CDF(zs)
+			body := weibull.Quantile(clampUnit(u))
+			logWait = m.Mu + offsets[i] + bucketOffset + math.Log(body)
+		} else {
+			logWait = m.Mu + offsets[i] + bucketOffset + m.Sigma*zs
+		}
+		if episodeLifts[i] != 0 && (regime == nil || !regime.SuppressEpisodes) {
+			logWait += episodeLifts[i]
+		}
+		if i >= surgeStart {
+			logWait += m.EndSurgeOffset
+		}
+		wait := math.Round(math.Exp(logWait))
+		if wait < 0 {
+			wait = 0
+		}
+		// Cap at 10x the span: a wait longer than the whole trace is an
+		// artifact of the unbounded log-normal tail, not of queue physics.
+		if ceiling := float64(10 * m.Span); wait > ceiling {
+			wait = ceiling
+		}
+		// Runtimes are not part of the calibration (BMBP never sees them)
+		// but complete the record for SWF export and scheduler replay:
+		// log-normal hours-scale executions, longer for wider jobs. They
+		// draw from their own PRNG stream so adding them did not perturb
+		// the calibrated wait sequences.
+		runtime := math.Round(math.Exp(7.2 + 0.25*float64(b) + 1.1*runtimeRng.NormFloat64()))
+		if runtime < 30 {
+			runtime = 30
+		}
+		t.Jobs = append(t.Jobs, trace.Job{
+			Submit:  submits[i],
+			Wait:    wait,
+			Procs:   m.procsFor(rng, b),
+			Runtime: runtime,
+		})
+		z = phi*z + innovScale*rng.NormFloat64()
+	}
+	return t
+}
+
+// submitTimes draws arrival times over the span from an inhomogeneous
+// Poisson process with daily and weekly rate cycles, sorted. The base
+// interarrival mean is solved by fixed-point iteration over a single set
+// of pre-drawn exponentials so the last arrival lands at the span's end —
+// rescaling timestamps after the fact would smear the arrivals' alignment
+// to calendar days and weeks.
+func (m *Model) submitTimes(rng *rand.Rand) []int64 {
+	exps := make([]float64, m.Jobs)
+	for i := range exps {
+		exps[i] = rng.ExpFloat64()
+	}
+	mean := float64(m.Span) / float64(m.Jobs)
+	out := make([]int64, m.Jobs)
+	gen := func(mean float64) int64 {
+		tNow := float64(m.Start)
+		for i, e := range exps {
+			tNow += e * mean / m.rateAt(int64(tNow))
+			out[i] = int64(tNow)
+		}
+		return out[m.Jobs-1] - m.Start
+	}
+	target := float64(m.Span) * 0.999
+	for iter := 0; iter < 8; iter++ {
+		total := gen(mean)
+		if total <= 0 {
+			break
+		}
+		ratio := float64(total) / target
+		if ratio <= 1.0 && ratio > 0.98 {
+			break
+		}
+		mean /= ratio
+	}
+	// Guard the span boundary exactly.
+	limit := m.Start + m.Span
+	for i := range out {
+		if out[i] > limit {
+			out[i] = limit
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rateAt returns the relative submission rate at Unix time ts: a sinusoid
+// peaking mid-afternoon UTC scaled by Diurnal, and a weekend dip. Rates
+// are relative to 1; submitTimes rescales the whole trace to its span
+// afterward, so only the shape matters.
+func (m *Model) rateAt(ts int64) float64 {
+	if m.Diurnal <= 0 {
+		return 1
+	}
+	secOfDay := float64(ts % 86400)
+	// Peak at 15:00 UTC, trough at 03:00.
+	day := 1 + m.Diurnal*math.Sin(2*math.Pi*(secOfDay-32400)/86400)
+	// Unix epoch was a Thursday; days 2 and 3 of each week are Sat/Sun.
+	dow := (ts/86400 + 4) % 7
+	if dow == 6 || dow == 0 {
+		day *= 0.55
+	}
+	if day < 0.05 {
+		day = 0.05
+	}
+	return day
+}
+
+// segmentOffsets cuts the trace into Segments regimes at random boundaries
+// and assigns each regime a log-space shift ~ N(0, ShiftSigma), centered so
+// the job-weighted mean shift is zero (the marginal median is preserved).
+func (m *Model) segmentOffsets(rng *rand.Rand, submits []int64) []float64 {
+	n := len(submits)
+	segs := m.Segments
+	if segs < 1 {
+		segs = 1
+	}
+	// Random interior boundaries by job index, at least 2% of the trace
+	// apart so every regime is long enough to matter.
+	bounds := make([]int, 0, segs+1)
+	bounds = append(bounds, 0)
+	minGap := n / 50
+	if minGap < 1 {
+		minGap = 1
+	}
+	for len(bounds) < segs {
+		c := rng.Intn(n)
+		okBound := c > minGap && n-c > minGap
+		for _, b := range bounds {
+			if abs(c-b) < minGap {
+				okBound = false
+				break
+			}
+		}
+		if okBound {
+			bounds = append(bounds, c)
+		}
+	}
+	bounds = append(bounds, n)
+	sort.Ints(bounds)
+
+	// Shifts are two-point (±ShiftSigma): administrators flip policies, they
+	// do not drift them, and a Gaussian draw too often produces a shift too
+	// small to matter. The sign sequence mostly alternates, with occasional
+	// repeats so the pattern is not perfectly predictable.
+	shifts := make([]float64, len(bounds)-1)
+	var weighted float64
+	sign := 1.0
+	if rng.Intn(2) == 0 {
+		sign = -1
+	}
+	for i := range shifts {
+		shifts[i] = sign * m.ShiftSigma
+		sign = -sign
+		// Occasionally skip the flip so regimes are not perfectly
+		// alternating (still never zero-shift).
+		if rng.Float64() < 0.25 {
+			sign = -sign
+		}
+		weighted += shifts[i] * float64(bounds[i+1]-bounds[i])
+	}
+	weighted /= float64(n)
+	out := make([]float64, n)
+	for i := range shifts {
+		for j := bounds[i]; j < bounds[i+1]; j++ {
+			out[j] = shifts[i] - weighted
+		}
+	}
+	return out
+}
+
+// bucketSequence draws each job's processor-count category. Categories are
+// drawn i.i.d. from the model weights.
+func (m *Model) bucketSequence(rng *rand.Rand) []trace.ProcBucket {
+	cum := [4]float64{}
+	acc := 0.0
+	for i, w := range m.BucketWeights {
+		acc += w
+		cum[i] = acc
+	}
+	out := make([]trace.ProcBucket, m.Jobs)
+	for i := range out {
+		u := rng.Float64() * acc
+		for b := 0; b < 4; b++ {
+			if u <= cum[b] {
+				out[i] = trace.ProcBucket(b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// regimeAt returns the special regime covering submission time ts, if any.
+func (m *Model) regimeAt(ts int64) *Regime {
+	for i := range m.Regimes {
+		if ts >= m.Regimes[i].From && ts < m.Regimes[i].To {
+			return &m.Regimes[i]
+		}
+	}
+	return nil
+}
+
+// procsFor draws a concrete processor count within the bucket. Small
+// counts inside each range are favored (real workloads are dominated by
+// powers of two and small requests).
+func (m *Model) procsFor(rng *rand.Rand, b trace.ProcBucket) int {
+	lo, hi := b.Range()
+	if b == trace.Procs65Plus {
+		hi = 256
+	}
+	// Geometric-ish tilt toward the low end of the range.
+	span := hi - lo + 1
+	u := rng.Float64()
+	p := int(float64(span) * u * u)
+	return lo + p
+}
+
+// buildEpisodes lays out congestion episodes deterministically: exactly
+// EpisodeProb of the jobs fall inside episodes, split into bursts of mean
+// length EpisodeMean at random non-adjacent positions. (A Markov chain
+// would leave small traces with zero episodes for many seeds, destroying
+// their tail calibration.) The returned slice holds the per-job log lift —
+// zero outside episodes. Each episode draws its own level (EpisodeJitter),
+// and the long congestion regimes of shifty queues ramp up over their
+// first jobs: a queue backlog grows, it does not step, and that gradient
+// is the only warning an adaptive predictor gets in a system where a
+// job's wait is observable only after it ends.
+func (m *Model) buildEpisodes(rng *rand.Rand) []float64 {
+	lifts := make([]float64, m.Jobs)
+	if m.EpisodeProb <= 0 || m.EpisodeMean <= 0 || m.Jobs == 0 {
+		return lifts
+	}
+	total := int(math.Round(m.EpisodeProb * float64(m.Jobs)))
+	if total < 1 {
+		total = 1
+	}
+	entries := int(math.Round(float64(total) / m.EpisodeMean))
+	if entries < 1 {
+		entries = 1
+	}
+	// Split the episode mass into entry lengths (exponentially weighted,
+	// normalized to the exact total).
+	weights := make([]float64, entries)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 0.5 + rng.ExpFloat64()
+		wsum += weights[i]
+	}
+	rampLen := 0
+	if m.Character == Shifty {
+		rampLen = int(m.EpisodeMean / 3)
+		if rampLen > 40 {
+			rampLen = 40
+		}
+	}
+	remaining := total
+	for e := 0; e < entries; e++ {
+		length := int(math.Round(weights[e] / wsum * float64(total)))
+		if e == entries-1 {
+			length = remaining
+		}
+		if length < 1 {
+			length = 1
+		}
+		if length > remaining {
+			length = remaining
+		}
+		remaining -= length
+		if length == 0 {
+			continue
+		}
+		lift := m.EpisodeOffset
+		if m.EpisodeJitter > 0 {
+			lift += m.EpisodeJitter*rng.NormFloat64() - m.EpisodeJitter*m.EpisodeJitter/2
+		}
+		start := 0
+		if m.Jobs > length {
+			start = rng.Intn(m.Jobs - length)
+		}
+		for k := 0; k < length && start+k < m.Jobs; k++ {
+			ramp := 1.0
+			if rampLen > 0 && k < rampLen {
+				ramp = float64(k+1) / float64(rampLen+1)
+			}
+			lifts[start+k] = lift * ramp
+		}
+		if remaining <= 0 {
+			break
+		}
+	}
+	return lifts
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// clampUnit keeps copula probabilities strictly inside (0, 1) so the
+// Weibull quantile stays finite.
+func clampUnit(u float64) float64 {
+	const eps = 1e-9
+	if u < eps {
+		return eps
+	}
+	if u > 1-eps {
+		return 1 - eps
+	}
+	return u
+}
+
+// Suite generates all 39 paper queues with seeds derived from baseSeed.
+// Traces come back in Table 1 order.
+func Suite(baseSeed int64) []*trace.Trace {
+	out := make([]*trace.Trace, 0, len(trace.PaperQueues))
+	for i := range trace.PaperQueues {
+		p := &trace.PaperQueues[i]
+		m := ModelFor(p, baseSeed+int64(i)*7919)
+		out = append(out, m.Generate())
+	}
+	return out
+}
+
+// SuiteTable3 generates only the queues evaluated in the paper's Tables 3-4.
+func SuiteTable3(baseSeed int64) []*trace.Trace {
+	var out []*trace.Trace
+	for i := range trace.PaperQueues {
+		p := &trace.PaperQueues[i]
+		if !p.InTable3() {
+			continue
+		}
+		m := ModelFor(p, baseSeed+int64(i)*7919)
+		out = append(out, m.Generate())
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package qbets
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// AutoService is a Service that learns its job categories from the
+// workload instead of using the paper's fixed processor-count ranges —
+// the direction the authors took in the QBETS follow-up system. During a
+// warm-up phase it records job shapes; it then clusters them (k-means over
+// log₂ processor count and, when provided, log runtime estimate) and gives
+// each cluster its own Forecaster, replaying the warm-up waits into the
+// right clusters so no history is lost.
+type AutoService struct {
+	opts   []Option
+	k      int
+	warmup int
+
+	// Warm-up buffer.
+	shapes [][]float64
+	waits  []float64
+
+	// Learned state.
+	ready      bool
+	clusters   cluster.Result
+	means, sds []float64
+	forecast   []*Forecaster
+}
+
+// NewAutoService returns an AutoService that learns k categories after
+// warmup observations. Sensible values: k in 2..6, warmup a few hundred.
+func NewAutoService(k, warmup int, opts ...Option) *AutoService {
+	if k < 1 {
+		k = 1
+	}
+	if warmup < k {
+		warmup = k
+	}
+	return &AutoService{opts: opts, k: k, warmup: warmup}
+}
+
+// feature maps a job shape to clustering space. Runtime estimates are
+// optional (0 = unknown) and enter as a second dimension only when the
+// warm-up saw any.
+func (a *AutoService) feature(procs int, estimate float64) []float64 {
+	if procs < 1 {
+		procs = 1
+	}
+	f := []float64{math.Log2(float64(procs))}
+	if a.hasEstimates() {
+		f = append(f, math.Log1p(math.Max(estimate, 0)))
+	}
+	return f
+}
+
+func (a *AutoService) hasEstimates() bool {
+	if a.ready {
+		return len(a.means) == 2
+	}
+	for _, s := range a.shapes {
+		if len(s) == 2 && s[1] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Observe records a completed wait for a job shape. estimate is the job's
+// requested runtime in seconds (0 if unknown).
+func (a *AutoService) Observe(procs int, estimate, waitSeconds float64) {
+	if !a.ready {
+		a.shapes = append(a.shapes, []float64{
+			math.Log2(math.Max(float64(procs), 1)),
+			math.Log1p(math.Max(estimate, 0)),
+		})
+		a.waits = append(a.waits, waitSeconds)
+		if len(a.shapes) >= a.warmup {
+			a.learn()
+		}
+		return
+	}
+	idx := a.route(procs, estimate)
+	a.forecast[idx].Observe(waitSeconds)
+}
+
+// learn clusters the warm-up shapes and replays the buffered waits.
+func (a *AutoService) learn() {
+	raw := a.shapes
+	// Drop the estimate dimension entirely if nobody supplied one.
+	twoD := false
+	for _, s := range raw {
+		if s[1] > 0 {
+			twoD = true
+			break
+		}
+	}
+	feats := make([][]float64, len(raw))
+	for i, s := range raw {
+		if twoD {
+			feats[i] = s
+		} else {
+			feats[i] = s[:1]
+		}
+	}
+	scaled, means, sds := cluster.Standardize(feats)
+	a.clusters = cluster.KMeans(scaled, a.k, seedFromOpts(a.opts), 200)
+	a.means, a.sds = means, sds
+
+	a.forecast = make([]*Forecaster, len(a.clusters.Centers))
+	for i := range a.forecast {
+		opts := append([]Option{WithSeed(seedFromOpts(a.opts) + int64(i) + 1)}, a.opts...)
+		a.forecast[i] = New(opts...)
+	}
+	for i, w := range a.waits {
+		a.forecast[a.clusters.Assign[i]].Observe(w)
+	}
+	a.shapes, a.waits = nil, nil
+	a.ready = true
+}
+
+func (a *AutoService) route(procs int, estimate float64) int {
+	f := a.feature(procs, estimate)
+	return a.clusters.Nearest(cluster.Apply(f, a.means, a.sds))
+}
+
+// Forecast returns the learned category's bound for a job shape. ok is
+// false during warm-up or while the category's history is too short.
+func (a *AutoService) Forecast(procs int, estimate float64) (seconds float64, ok bool) {
+	if !a.ready {
+		return 0, false
+	}
+	return a.forecast[a.route(procs, estimate)].Forecast()
+}
+
+// Ready reports whether the warm-up has completed and categories exist.
+func (a *AutoService) Ready() bool { return a.ready }
+
+// Categories returns the number of learned categories (0 during warm-up).
+func (a *AutoService) Categories() int { return len(a.forecast) }
+
+// CategoryOfJob returns the learned category a job shape routes to
+// (-1 during warm-up).
+func (a *AutoService) CategoryOfJob(procs int, estimate float64) int {
+	if !a.ready {
+		return -1
+	}
+	return a.route(procs, estimate)
+}
+
+func seedFromOpts(opts []Option) int64 {
+	c := config{}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.seed
+}

@@ -1,0 +1,106 @@
+package qbets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutoServiceLearnsSizeCategories(t *testing.T) {
+	// Workload with two natural job classes: 1-2 processor jobs waiting
+	// ~1 minute, 64-128 processor jobs waiting ~1 hour. The AutoService
+	// should learn the split and quote very different bounds.
+	a := NewAutoService(2, 400, WithSeed(3))
+	rng := rand.New(rand.NewSource(3))
+	obs := func() {
+		if rng.Float64() < 0.5 {
+			procs := 1 << rng.Intn(2)
+			a.Observe(procs, 0, math.Round(60*math.Exp(0.5*rng.NormFloat64())))
+		} else {
+			procs := 64 << rng.Intn(2)
+			a.Observe(procs, 0, math.Round(3600*math.Exp(0.5*rng.NormFloat64())))
+		}
+	}
+	for i := 0; i < 300; i++ {
+		obs()
+		if a.Ready() {
+			t.Fatal("ready before warmup completes")
+		}
+		if _, ok := a.Forecast(1, 0); ok {
+			t.Fatal("forecast during warmup")
+		}
+	}
+	for i := 0; i < 1500; i++ {
+		obs()
+	}
+	if !a.Ready() || a.Categories() != 2 {
+		t.Fatalf("ready=%v categories=%d", a.Ready(), a.Categories())
+	}
+	small, ok1 := a.Forecast(2, 0)
+	large, ok2 := a.Forecast(128, 0)
+	if !ok1 || !ok2 {
+		t.Fatal("forecasts unavailable after warmup")
+	}
+	if large < 4*small {
+		t.Errorf("learned categories not separated: small %g, large %g", small, large)
+	}
+	// Same shape routes to the same category.
+	if a.CategoryOfJob(1, 0) != a.CategoryOfJob(2, 0) {
+		t.Error("1 and 2 procs should share a category")
+	}
+	if a.CategoryOfJob(2, 0) == a.CategoryOfJob(128, 0) {
+		t.Error("2 and 128 procs should differ")
+	}
+}
+
+func TestAutoServiceWithEstimates(t *testing.T) {
+	// Two classes distinguished only by runtime estimate (same procs):
+	// clustering must use the second feature dimension.
+	a := NewAutoService(2, 300, WithSeed(4))
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		if i%2 == 0 {
+			a.Observe(8, 600, math.Round(30*math.Exp(0.4*rng.NormFloat64())))
+		} else {
+			a.Observe(8, 86400, math.Round(7200*math.Exp(0.4*rng.NormFloat64())))
+		}
+	}
+	if !a.Ready() {
+		t.Fatal("not ready")
+	}
+	short, ok1 := a.Forecast(8, 600)
+	long, ok2 := a.Forecast(8, 86400)
+	if !ok1 || !ok2 {
+		t.Fatal("forecasts unavailable")
+	}
+	if long < 5*short {
+		t.Errorf("estimate-based split failed: short %g, long %g", short, long)
+	}
+}
+
+func TestAutoServiceDegenerate(t *testing.T) {
+	// k larger than distinct shapes collapses gracefully.
+	a := NewAutoService(5, 10, WithSeed(5))
+	for i := 0; i < 200; i++ {
+		a.Observe(4, 0, 100)
+	}
+	if !a.Ready() {
+		t.Fatal("not ready")
+	}
+	if a.Categories() != 1 {
+		t.Errorf("categories = %d, want 1 (one distinct shape)", a.Categories())
+	}
+	if b, ok := a.Forecast(4, 0); !ok || b != 100 {
+		t.Errorf("forecast = %g/%v", b, ok)
+	}
+	// CategoryOfJob before ready.
+	b := NewAutoService(2, 100)
+	if b.CategoryOfJob(1, 0) != -1 {
+		t.Error("category before warmup should be -1")
+	}
+	// k < 1 clamps.
+	c := NewAutoService(0, 0)
+	if c.k != 1 {
+		t.Errorf("k = %d", c.k)
+	}
+}

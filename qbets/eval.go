@@ -1,0 +1,131 @@
+package qbets
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Job is one record of a batch-queue submission trace.
+type Job struct {
+	// Submit is the submission time in Unix seconds.
+	Submit int64
+	// WaitSeconds is the queuing delay the job experienced.
+	WaitSeconds float64
+	// Procs is the requested processor count.
+	Procs int
+}
+
+// Trace is a named, time-ordered job trace.
+type Trace struct {
+	Machine string
+	Queue   string
+	Jobs    []Job
+}
+
+func toInternal(t Trace) *trace.Trace {
+	it := &trace.Trace{Machine: t.Machine, Queue: t.Queue}
+	it.Jobs = make([]trace.Job, len(t.Jobs))
+	for i, j := range t.Jobs {
+		it.Jobs[i] = trace.Job{Submit: j.Submit, Wait: j.WaitSeconds, Procs: j.Procs}
+	}
+	it.SortBySubmit()
+	return it
+}
+
+func fromInternal(it *trace.Trace) Trace {
+	t := Trace{Machine: it.Machine, Queue: it.Queue, Jobs: make([]Job, len(it.Jobs))}
+	for i, j := range it.Jobs {
+		t.Jobs[i] = Job{Submit: j.Submit, WaitSeconds: j.Wait, Procs: j.Procs}
+	}
+	return t
+}
+
+// ReadTrace parses a trace in the line-oriented text format
+// "<submit> <wait> <procs>" with '#' comments (see internal/trace).
+func ReadTrace(r io.Reader) (Trace, error) {
+	it, err := trace.Read(r)
+	if err != nil {
+		return Trace{}, err
+	}
+	return fromInternal(it), nil
+}
+
+// ReadTraceFile is ReadTrace over a file path.
+func ReadTraceFile(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// WriteTraceFile encodes the trace to a file in the same format.
+func WriteTraceFile(path string, t Trace) error {
+	return trace.WriteFile(path, toInternal(t))
+}
+
+// EvalConfig controls Evaluate. The zero value reproduces the paper's
+// settings: BMBP at the 0.95 quantile and 95% confidence, 300-second
+// refit epochs, a 10% training prefix.
+type EvalConfig struct {
+	Quantile     float64
+	Confidence   float64
+	EpochSeconds int64
+	// TrainFraction is the unscored warm-up prefix (default 0.10).
+	TrainFraction float64
+	// Seed fixes predictor-internal randomness.
+	Seed int64
+}
+
+// EvalReport summarizes how a method would have performed over a trace,
+// under the paper's rule that a job's wait becomes visible only when the
+// job starts.
+type EvalReport struct {
+	Method string
+	// Scored is the number of post-training jobs quoted a bound; Correct
+	// of them waited no longer than it.
+	Scored  int
+	Correct int
+	// CorrectFraction is Correct/Scored: the paper's Table 3/5 statistic.
+	CorrectFraction float64
+	// MedianRatio is the median of actual/predicted wait over scored
+	// jobs: the paper's Table 4 accuracy statistic (closer to 1 =
+	// tighter bounds, still correct).
+	MedianRatio float64
+	// ChangePoints is how many times the method trimmed its history.
+	ChangePoints int
+}
+
+// Evaluate replays the trace against BMBP and the paper's two log-normal
+// comparators, returning one report per method in the paper's column order
+// (bmbp, logn-notrim, logn-trim).
+func Evaluate(t Trace, cfg EvalConfig) []EvalReport {
+	if cfg.Quantile == 0 {
+		cfg.Quantile = 0.95
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.95
+	}
+	preds := predictor.Standard(cfg.Quantile, cfg.Confidence, cfg.Seed)
+	results := sim.Run(toInternal(t), preds, sim.Config{
+		EpochSeconds:  cfg.EpochSeconds,
+		TrainFraction: cfg.TrainFraction,
+	})
+	out := make([]EvalReport, len(results))
+	for i, r := range results {
+		out[i] = EvalReport{
+			Method:          r.Method,
+			Scored:          r.Scored,
+			Correct:         r.Correct,
+			CorrectFraction: r.CorrectFraction(),
+			MedianRatio:     r.MedianRatio(),
+			ChangePoints:    r.Trims,
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package qbets_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/qbets"
+)
+
+// The godoc examples double as executable documentation: each replays a
+// deterministic synthetic history and prints the forecast a user would get.
+
+func ExampleNew() {
+	f := qbets.New() // 0.95 quantile at 95% confidence
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		wait := math.Round(600 * math.Exp(rng.NormFloat64()))
+		f.Observe(wait)
+	}
+	bound, ok := f.Forecast()
+	fmt.Printf("ok=%v bound=%.0fs\n", ok, bound)
+	// Output: ok=true bound=3516s
+}
+
+func ExampleForecaster_ProbabilityWithin() {
+	f := qbets.New(qbets.WithSeed(2))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		f.Observe(math.Round(120 * math.Exp(rng.NormFloat64())))
+	}
+	q, _ := f.ProbabilityWithin(600) // ten minutes
+	fmt.Printf("at least %.0f%% of submissions start within 10 minutes\n", q*100)
+	// Output: at least 94% of submissions start within 10 minutes
+}
+
+func ExampleForecaster_Profile() {
+	f := qbets.New(qbets.WithSeed(3))
+	for i := 1; i <= 500; i++ {
+		f.Observe(float64(i % 100))
+	}
+	for _, b := range f.Profile() {
+		side := "<="
+		if b.Lower {
+			side = ">="
+		}
+		fmt.Printf("q%.0f %s %.0fs\n", b.Quantile*100, side, b.Seconds)
+	}
+	// Output:
+	// q25 >= 24s
+	// q50 <= 55s
+	// q75 <= 79s
+	// q95 <= 96s
+}
+
+func ExampleService() {
+	svc := qbets.NewService(true) // split by processor category
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		svc.Observe("normal", 2, math.Round(60*math.Exp(0.3*rng.NormFloat64())))
+		svc.Observe("normal", 64, math.Round(7200*math.Exp(0.3*rng.NormFloat64())))
+	}
+	small, _ := svc.Forecast("normal", 1)
+	large, _ := svc.Forecast("normal", 50)
+	fmt.Printf("small job bound %.0fs, large job bound %.0fs\n", small, large)
+	// Output: small job bound 99s, large job bound 12351s
+}

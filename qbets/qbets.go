@@ -1,0 +1,309 @@
+// Package qbets is the public API of this reproduction of Brevik, Nurmi,
+// and Wolski, "Predicting Bounds on Queuing Delay in Space-shared Computing
+// Environments" (IISWC 2006). The prediction method the paper calls BMBP —
+// the Brevik Method Batch Predictor — was later productized by the authors
+// as QBETS, which gives this package its name.
+//
+// The core object is the Forecaster: feed it the queue waits of completed
+// jobs, in the order they become observable, and ask it at any time for an
+// upper bound on the delay the next submission will suffer, with a
+// quantified confidence level:
+//
+//	f := qbets.New()                  // 0.95 quantile at 95% confidence
+//	for _, w := range pastWaits {
+//	    f.Observe(w)
+//	}
+//	bound, ok := f.Forecast()
+//	// ok => with 95% confidence, at most 5% of submissions wait > bound.
+//
+// The Service type manages a family of forecasters keyed by queue name and
+// processor-count category, matching the paper's Section 6.2 usage, and
+// Evaluate replays a historical trace under the paper's simulation rules
+// (Section 5.1) to report how a method would have performed.
+package qbets
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Option configures a Forecaster.
+type Option func(*config)
+
+type config struct {
+	quantile   float64
+	confidence float64
+	maxHistory int
+	noTrim     bool
+	fixedRare  int
+	seed       int64
+}
+
+// WithQuantile sets the population quantile to bound (default 0.95).
+func WithQuantile(q float64) Option {
+	return func(c *config) { c.quantile = q }
+}
+
+// WithConfidence sets the bound's confidence level (default 0.95).
+func WithConfidence(conf float64) Option {
+	return func(c *config) { c.confidence = conf }
+}
+
+// WithMaxHistory caps the retained history length (default unbounded).
+func WithMaxHistory(n int) Option {
+	return func(c *config) { c.maxHistory = n }
+}
+
+// WithoutTrimming disables nonstationarity detection (the paper's BMBP
+// always trims; this exists for experimentation).
+func WithoutTrimming() Option {
+	return func(c *config) { c.noTrim = true }
+}
+
+// WithFixedChangeThreshold bypasses the autocorrelation-calibrated
+// rare-event lookup and treats n consecutive missed predictions as a
+// change point.
+func WithFixedChangeThreshold(n int) Option {
+	return func(c *config) { c.fixedRare = n }
+}
+
+// WithSeed fixes the internal balancing randomness so runs are exactly
+// reproducible (any value works; determinism is the point).
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// Forecaster predicts confidence-bounded queue-delay quantiles for a single
+// stream of wait observations (one queue, or one queue × processor-count
+// category). It is not safe for concurrent use.
+type Forecaster struct {
+	b *core.BMBP
+}
+
+// New returns a Forecaster. With no options it reproduces the paper's
+// configuration: an upper bound on the 0.95 quantile at 95% confidence,
+// with autocorrelation-calibrated change-point trimming. New panics on
+// out-of-range levels (quantile or confidence outside (0, 1)) — those are
+// programming errors, not runtime conditions.
+func New(opts ...Option) *Forecaster {
+	c := config{quantile: 0.95, confidence: 0.95}
+	for _, o := range opts {
+		o(&c)
+	}
+	if !(c.quantile > 0 && c.quantile < 1) {
+		panic(fmt.Sprintf("qbets: quantile %g outside (0, 1)", c.quantile))
+	}
+	if !(c.confidence > 0 && c.confidence < 1) {
+		panic(fmt.Sprintf("qbets: confidence %g outside (0, 1)", c.confidence))
+	}
+	return &Forecaster{b: core.New(core.Config{
+		Quantile:           c.quantile,
+		Confidence:         c.confidence,
+		MaxHistory:         c.maxHistory,
+		NoTrim:             c.noTrim,
+		FixedRareThreshold: c.fixedRare,
+		Seed:               c.seed,
+	})}
+}
+
+// Observe records the wait (in seconds) of a job that has left the queue.
+// Observations must arrive in the order waits become visible — job start
+// order, which is how scheduler logs emit them.
+func (f *Forecaster) Observe(waitSeconds float64) {
+	f.b.ObserveAuto(waitSeconds)
+}
+
+// Forecast returns the current upper confidence bound on the configured
+// quantile of queue delay, in seconds. ok is false until MinObservations
+// waits have been seen.
+func (f *Forecaster) Forecast() (seconds float64, ok bool) {
+	return f.b.Bound()
+}
+
+// Bound is one entry of a quantile profile.
+type Bound struct {
+	Quantile   float64
+	Confidence float64
+	// Lower marks a lower confidence bound (an "at least this long"
+	// statement); false means upper.
+	Lower   bool
+	Seconds float64
+	OK      bool
+}
+
+// ForecastQuantile computes a one-off bound at any quantile and confidence
+// from the same history; lower selects the bound's side.
+func (f *Forecaster) ForecastQuantile(q, confidence float64, lower bool) Bound {
+	side := core.Upper
+	if lower {
+		side = core.Lower
+	}
+	v, ok := f.b.BoundFor(q, confidence, side)
+	return Bound{Quantile: q, Confidence: confidence, Lower: lower, Seconds: v, OK: ok}
+}
+
+// Profile returns the paper's Table 8 quantile profile: a 95%-confidence
+// lower bound on the 0.25 quantile and upper bounds on the 0.5, 0.75, and
+// 0.95 quantiles.
+func (f *Forecaster) Profile() []Bound {
+	entries := core.ProfileOf(f.b, core.Table8Specs)
+	out := make([]Bound, len(entries))
+	for i, e := range entries {
+		out[i] = Bound{
+			Quantile:   e.Spec.Q,
+			Confidence: e.Spec.C,
+			Lower:      e.Spec.Side == core.Lower,
+			Seconds:    e.Bound,
+			OK:         e.OK,
+		}
+	}
+	return out
+}
+
+// ProbabilityWithin answers the inverse question a user actually asks —
+// "how sure can I be that my job starts within this many seconds?" — by
+// finding the largest quantile q whose confident upper bound fits inside
+// the deadline. The result reads as: with the configured confidence, at
+// least a fraction q of submissions start within deadlineSeconds. ok is
+// false while the history is too short; a q of 0 means even the most
+// modest statement does not fit the deadline.
+func (f *Forecaster) ProbabilityWithin(deadlineSeconds float64) (q float64, ok bool) {
+	conf := f.b.Config().Confidence
+	check := func(q float64) (fits, valid bool) {
+		b, okq := f.b.BoundFor(q, conf, core.Upper)
+		return okq && b <= deadlineSeconds, okq
+	}
+	// Bisect over q. The bound is nondecreasing in q; the valid q range
+	// shrinks with history, so probe the coarse grid first.
+	lo, hi := 0.0, 0.0
+	for _, probe := range []float64{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		fits, valid := check(probe)
+		if !valid {
+			break
+		}
+		ok = true
+		if fits {
+			lo, hi = probe, probe
+		} else {
+			hi = probe
+			break
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	if hi == lo {
+		// Everything probed fits (or nothing did).
+		return lo, true
+	}
+	for i := 0; i < 20 && hi-lo > 1e-3; i++ {
+		mid := (lo + hi) / 2
+		if fits, valid := check(mid); valid && fits {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// FitDiagnostic reports how defensible a log-normal model of this queue's
+// waits would be: the Kolmogorov–Smirnov distance of the best-fitting
+// log-normal to the current history and its (asymptotic) p-value. Small
+// p-values mean a parametric log-normal predictor is structurally wrong on
+// this queue — the situation in which the paper shows the parametric
+// comparator failing while BMBP, which assumes nothing, stays correct.
+func (f *Forecaster) FitDiagnostic() (ksDistance, pValue float64) {
+	return stats.KSTestLogNormal(f.b.History())
+}
+
+// MinObservations returns how many waits must be observed before Forecast
+// can produce a bound (59 for the default 0.95/0.95 configuration).
+func (f *Forecaster) MinObservations() int {
+	return f.b.MinHistory()
+}
+
+// Observations returns the current history length.
+func (f *Forecaster) Observations() int {
+	return f.b.HistoryLen()
+}
+
+// ChangePoints returns how many nonstationarity events the forecaster has
+// detected and adapted to (by trimming its history).
+func (f *Forecaster) ChangePoints() int {
+	return f.b.Trims()
+}
+
+// ProcCategory is a processor-count range, matching the paper's Section 6.2
+// categories (1-4, 5-16, 17-64, 65+).
+type ProcCategory = trace.ProcBucket
+
+// CategoryOf returns the category containing a processor count.
+func CategoryOf(procs int) ProcCategory { return trace.BucketOf(procs) }
+
+// Service manages one Forecaster per (queue, processor category), the
+// deployment shape the paper's Section 6.2 evaluates: users ask "how long
+// would a 32-processor job submitted to normal wait, at worst?".
+type Service struct {
+	opts     []Option
+	byProcs  bool
+	f        map[string]*Forecaster
+	nextSeed int64
+}
+
+// NewService returns an empty Service. splitByProcs selects whether each
+// queue is modeled as one stream or as four per-category streams.
+func NewService(splitByProcs bool, opts ...Option) *Service {
+	return &Service{opts: opts, byProcs: splitByProcs, f: make(map[string]*Forecaster)}
+}
+
+func (s *Service) key(queue string, procs int) string {
+	if !s.byProcs {
+		return queue
+	}
+	return fmt.Sprintf("%s/%s", queue, CategoryOf(procs).Label())
+}
+
+func (s *Service) forecaster(queue string, procs int) *Forecaster {
+	k := s.key(queue, procs)
+	fc, ok := s.f[k]
+	if !ok {
+		opts := append([]Option{WithSeed(s.nextSeed)}, s.opts...)
+		s.nextSeed++
+		fc = New(opts...)
+		s.f[k] = fc
+	}
+	return fc
+}
+
+// Observe records a completed wait for a queue and processor count.
+func (s *Service) Observe(queue string, procs int, waitSeconds float64) {
+	s.forecaster(queue, procs).Observe(waitSeconds)
+}
+
+// Forecast returns the bound a job with the given shape would be quoted.
+func (s *Service) Forecast(queue string, procs int) (seconds float64, ok bool) {
+	return s.forecaster(queue, procs).Forecast()
+}
+
+// Queues lists the streams the service currently tracks.
+func (s *Service) Queues() []string {
+	out := make([]string, 0, len(s.f))
+	for k := range s.f {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Profile returns the Table 8 quantile profile for a job shape.
+func (s *Service) Profile(queue string, procs int) []Bound {
+	return s.forecaster(queue, procs).Profile()
+}
+
+// Observations returns the history length behind a job shape's stream.
+func (s *Service) Observations(queue string, procs int) int {
+	return s.forecaster(queue, procs).Observations()
+}

@@ -1,0 +1,318 @@
+package qbets
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestForecasterQuickstart(t *testing.T) {
+	f := New()
+	if f.MinObservations() != 59 {
+		t.Fatalf("MinObservations = %d", f.MinObservations())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 58; i++ {
+		f.Observe(math.Exp(rng.NormFloat64()) * 100)
+	}
+	if _, ok := f.Forecast(); ok {
+		t.Fatal("forecast before minimum history")
+	}
+	f.Observe(100)
+	if _, ok := f.Forecast(); !ok {
+		t.Fatal("forecast unavailable at minimum history")
+	}
+	if f.Observations() != 59 {
+		t.Fatalf("Observations = %d", f.Observations())
+	}
+}
+
+func TestForecasterCoverage(t *testing.T) {
+	f := New(WithSeed(3))
+	rng := rand.New(rand.NewSource(3))
+	scored, covered := 0, 0
+	for i := 0; i < 10000; i++ {
+		w := math.Exp(1.5 * rng.NormFloat64() * 2)
+		if bound, ok := f.Forecast(); ok && i > 200 {
+			scored++
+			if w <= bound {
+				covered++
+			}
+		}
+		f.Observe(w)
+	}
+	if frac := float64(covered) / float64(scored); frac < 0.945 {
+		t.Errorf("coverage %.3f", frac)
+	}
+}
+
+func TestForecasterOptions(t *testing.T) {
+	f := New(WithQuantile(0.5), WithConfidence(0.9), WithMaxHistory(100), WithoutTrimming(), WithSeed(7))
+	if f.MinObservations() >= 59 {
+		t.Error("median bound needs far fewer observations")
+	}
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 300; i++ {
+		f.Observe(rng.Float64() * 100)
+	}
+	if f.Observations() != 100 {
+		t.Errorf("MaxHistory ignored: %d", f.Observations())
+	}
+	nt := New(WithoutTrimming(), WithFixedChangeThreshold(2), WithSeed(1))
+	for i := 0; i < 100; i++ {
+		nt.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		nt.Observe(1e6)
+	}
+	if nt.ChangePoints() != 0 {
+		t.Error("WithoutTrimming must disable change points")
+	}
+}
+
+func TestForecasterChangePointAdaptation(t *testing.T) {
+	f := New(WithFixedChangeThreshold(3), WithSeed(2))
+	for i := 0; i < 500; i++ {
+		f.Observe(10)
+	}
+	// Regime change: waits jump 100x and keep growing past the adapting
+	// bound.
+	for i := 0; i < 30; i++ {
+		f.Observe(1000 * float64(i+1))
+	}
+	if f.ChangePoints() == 0 {
+		t.Fatal("no change point detected")
+	}
+	if f.Observations() >= 500 {
+		t.Fatal("history not trimmed")
+	}
+}
+
+func TestForecastQuantileAndProfile(t *testing.T) {
+	// Feed the values 1..1000 in shuffled order: a monotone ramp would be
+	// a perpetual change point and trim the history down.
+	f := New(WithSeed(4))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	rand.New(rand.NewSource(20)).Shuffle(len(vals), func(i, j int) {
+		vals[i], vals[j] = vals[j], vals[i]
+	})
+	for _, v := range vals {
+		f.Observe(v)
+	}
+	prof := f.Profile()
+	if len(prof) != 4 {
+		t.Fatalf("profile size %d", len(prof))
+	}
+	if !prof[0].Lower || prof[0].Quantile != 0.25 {
+		t.Error("first profile entry should be the 0.25 lower bound")
+	}
+	for i, b := range prof {
+		if !b.OK {
+			t.Fatalf("profile entry %d not OK", i)
+		}
+		if i > 0 && b.Seconds < prof[i-1].Seconds {
+			t.Fatal("profile not ordered")
+		}
+	}
+	med := f.ForecastQuantile(0.5, 0.95, false)
+	if !med.OK || med.Seconds < 500 || med.Seconds > 560 {
+		t.Errorf("median upper bound = %+v", med)
+	}
+	lower := f.ForecastQuantile(0.5, 0.95, true)
+	if !lower.OK || lower.Seconds >= med.Seconds {
+		t.Errorf("lower %g should undercut upper %g", lower.Seconds, med.Seconds)
+	}
+}
+
+func TestProbabilityWithin(t *testing.T) {
+	// History: the values 1..1000 shuffled. Bounds on quantile q sit a
+	// little above 1000q, so a deadline of 600 should certify roughly
+	// q ~ 0.55-0.58, and extreme deadlines saturate.
+	f := New(WithSeed(14))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	rand.New(rand.NewSource(14)).Shuffle(len(vals), func(i, j int) {
+		vals[i], vals[j] = vals[j], vals[i]
+	})
+	for _, v := range vals {
+		f.Observe(v)
+	}
+	q, ok := f.ProbabilityWithin(600)
+	if !ok {
+		t.Fatal("unavailable")
+	}
+	if q < 0.5 || q > 0.6 {
+		t.Errorf("P(within 600) certified q = %.3f, want ~0.55", q)
+	}
+	// A deadline above everything certifies the top of the grid.
+	qHi, _ := f.ProbabilityWithin(1e9)
+	if qHi < 0.99 {
+		t.Errorf("huge deadline q = %.3f", qHi)
+	}
+	// A deadline below everything certifies nothing.
+	qLo, _ := f.ProbabilityWithin(0.5)
+	if qLo != 0 {
+		t.Errorf("tiny deadline q = %.3f", qLo)
+	}
+	// Monotone in the deadline.
+	prev := -1.0
+	for _, d := range []float64{10, 100, 300, 700, 2000} {
+		q, _ := f.ProbabilityWithin(d)
+		if q < prev {
+			t.Fatalf("not monotone at deadline %g", d)
+		}
+		prev = q
+	}
+	// A single observation legitimately supports only the most modest
+	// statements: 1 − 0.05¹ ≥ 0.95, so the 0.05 quantile is bounded but
+	// nothing much beyond it.
+	g := New()
+	g.Observe(1)
+	if q, ok := g.ProbabilityWithin(100); ok && q > 0.1 {
+		t.Errorf("one observation certified q = %.3f", q)
+	}
+	// No observations at all: unavailable.
+	h := New()
+	if _, ok := h.ProbabilityWithin(100); ok {
+		t.Error("empty history should be unavailable")
+	}
+}
+
+func TestFitDiagnostic(t *testing.T) {
+	// Near-log-normal history: the diagnostic does not reject.
+	f := New(WithSeed(11))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		f.Observe(math.Exp(6 + rng.NormFloat64()))
+	}
+	_, p := f.FitDiagnostic()
+	if p < 0.001 {
+		t.Errorf("log-normal history rejected: p=%g", p)
+	}
+	// Bimodal history (congestion episodes): decisively rejected.
+	g := New(WithoutTrimming(), WithSeed(12))
+	for i := 0; i < 3000; i++ {
+		w := math.Exp(3 + 0.1*rng.NormFloat64())
+		if i%12 == 0 {
+			w = math.Exp(11 + 0.1*rng.NormFloat64())
+		}
+		g.Observe(w)
+	}
+	d, p2 := g.FitDiagnostic()
+	if p2 > 1e-6 {
+		t.Errorf("bimodal history accepted: D=%g p=%g", d, p2)
+	}
+}
+
+func TestNewPanicsOnBadLevels(t *testing.T) {
+	for _, opts := range [][]Option{
+		{WithQuantile(1.5)},
+		{WithQuantile(-0.1)},
+		{WithConfidence(0)},
+		{WithConfidence(2)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %d options", len(opts))
+				}
+			}()
+			New(opts...)
+		}()
+	}
+}
+
+func TestCategoryOf(t *testing.T) {
+	if CategoryOf(3).Label() != "1-4" || CategoryOf(100).Label() != "65+" {
+		t.Error("category mapping")
+	}
+}
+
+func TestService(t *testing.T) {
+	s := NewService(true, WithQuantile(0.9))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		s.Observe("normal", 2, math.Exp(rng.NormFloat64()))
+		s.Observe("normal", 32, 100*math.Exp(rng.NormFloat64()))
+		s.Observe("high", 2, 0.1*math.Exp(rng.NormFloat64()))
+	}
+	small, ok1 := s.Forecast("normal", 4)  // same 1-4 category as procs=2
+	large, ok2 := s.Forecast("normal", 20) // 17-64 category
+	if !ok1 || !ok2 {
+		t.Fatal("forecasts unavailable")
+	}
+	if large <= small {
+		t.Errorf("expected category separation: %g vs %g", small, large)
+	}
+	if len(s.Queues()) != 3 {
+		t.Errorf("queues: %v", s.Queues())
+	}
+	// Unsplit service merges categories.
+	u := NewService(false)
+	for i := 0; i < 100; i++ {
+		u.Observe("normal", 2, 1)
+		u.Observe("normal", 128, 1000)
+	}
+	if len(u.Queues()) != 1 {
+		t.Errorf("unsplit queues: %v", u.Queues())
+	}
+}
+
+func TestTraceRoundTripAndEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := Trace{Machine: "m", Queue: "q"}
+	for i := 0; i < 3000; i++ {
+		tr.Jobs = append(tr.Jobs, Job{
+			Submit:      int64(i * 600),
+			WaitSeconds: math.Round(math.Exp(2 + rng.NormFloat64())),
+			Procs:       1 << (i % 6),
+		})
+	}
+	path := filepath.Join(t.TempDir(), "q.trace")
+	if err := WriteTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(tr.Jobs) || back.Machine != "m" {
+		t.Fatal("roundtrip")
+	}
+
+	reports := Evaluate(back, EvalConfig{})
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Method != "bmbp" {
+		t.Errorf("first method = %s", reports[0].Method)
+	}
+	// Stationary log-normal stream: every method should be correct.
+	for _, r := range reports {
+		if r.Scored == 0 {
+			t.Fatalf("%s scored nothing", r.Method)
+		}
+		if r.CorrectFraction < 0.95 {
+			t.Errorf("%s correct fraction %.3f", r.Method, r.CorrectFraction)
+		}
+		if r.MedianRatio <= 0 || r.MedianRatio > 1 {
+			t.Errorf("%s median ratio %g", r.Method, r.MedianRatio)
+		}
+	}
+}
+
+func TestReadTraceError(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("bogus line")); err == nil {
+		t.Error("malformed trace should fail")
+	}
+	if _, err := ReadTraceFile("/nonexistent/path"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,238 @@
+package qbets
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Server exposes a Service over HTTP with a small JSON API, the deployment
+// shape the paper anticipates ("a user and scheduling tool" fed periodic
+// scheduler-log dumps):
+//
+//	POST /v1/observe   {"queue":"normal","procs":8,"wait_seconds":123}
+//	                   (or a JSON array of such records)
+//	GET  /v1/forecast?queue=normal&procs=8
+//	GET  /v1/profile?queue=normal&procs=8
+//	GET  /v1/status
+//
+// Server is safe for concurrent use; the underlying forecasters are
+// serialized behind one mutex (prediction is microseconds, so a single
+// lock is not a bottleneck at scheduler-log rates).
+type Server struct {
+	mu  sync.Mutex
+	svc *Service
+
+	quantile   float64
+	confidence float64
+}
+
+// NewServer returns an HTTP server around a fresh Service. splitByProcs
+// and opts behave as in NewService.
+func NewServer(splitByProcs bool, opts ...Option) *Server {
+	// Recover the quantile/confidence for reporting in responses.
+	c := config{quantile: 0.95, confidence: 0.95}
+	for _, o := range opts {
+		o(&c)
+	}
+	return &Server{
+		svc:        NewService(splitByProcs, opts...),
+		quantile:   c.quantile,
+		confidence: c.confidence,
+	}
+}
+
+// ObserveRecord is the POST /v1/observe payload.
+type ObserveRecord struct {
+	Queue       string  `json:"queue"`
+	Procs       int     `json:"procs"`
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
+// ForecastResponse is the GET /v1/forecast payload.
+type ForecastResponse struct {
+	Queue        string  `json:"queue"`
+	Procs        int     `json:"procs"`
+	Quantile     float64 `json:"quantile"`
+	Confidence   float64 `json:"confidence"`
+	BoundSeconds float64 `json:"bound_seconds"`
+	OK           bool    `json:"ok"`
+	Observations int     `json:"observations"`
+}
+
+// ProfileEntry is one element of the GET /v1/profile payload.
+type ProfileEntry struct {
+	Quantile   float64 `json:"quantile"`
+	Confidence float64 `json:"confidence"`
+	Side       string  `json:"side"`
+	Seconds    float64 `json:"seconds"`
+	OK         bool    `json:"ok"`
+}
+
+// StatusResponse is the GET /v1/status payload.
+type StatusResponse struct {
+	Streams []string `json:"streams"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/observe":
+		s.handleObserve(w, r)
+	case "/v1/forecast":
+		s.handleForecast(w, r)
+	case "/v1/profile":
+		s.handleProfile(w, r)
+	case "/v1/status":
+		s.handleStatus(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	// Accept a single record or an array.
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		http.Error(w, fmt.Sprintf("bad JSON: %v", err), http.StatusBadRequest)
+		return
+	}
+	var records []ObserveRecord
+	if len(raw) > 0 && raw[0] == '[' {
+		if err := json.Unmarshal(raw, &records); err != nil {
+			http.Error(w, fmt.Sprintf("bad JSON array: %v", err), http.StatusBadRequest)
+			return
+		}
+	} else {
+		var one ObserveRecord
+		if err := json.Unmarshal(raw, &one); err != nil {
+			http.Error(w, fmt.Sprintf("bad JSON object: %v", err), http.StatusBadRequest)
+			return
+		}
+		records = append(records, one)
+	}
+	for i, rec := range records {
+		if rec.Queue == "" || rec.WaitSeconds < 0 {
+			http.Error(w, fmt.Sprintf("record %d: queue required and wait_seconds must be >= 0", i), http.StatusBadRequest)
+			return
+		}
+	}
+	s.mu.Lock()
+	for _, rec := range records {
+		s.svc.Observe(rec.Queue, rec.Procs, rec.WaitSeconds)
+	}
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	queue, procs, ok := s.shapeParams(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	bound, has := s.svc.Forecast(queue, procs)
+	n := s.svc.Observations(queue, procs)
+	s.mu.Unlock()
+	writeJSON(w, ForecastResponse{
+		Queue:        queue,
+		Procs:        procs,
+		Quantile:     s.quantile,
+		Confidence:   s.confidence,
+		BoundSeconds: bound,
+		OK:           has,
+		Observations: n,
+	})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	queue, procs, ok := s.shapeParams(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	bounds := s.svc.Profile(queue, procs)
+	s.mu.Unlock()
+	out := make([]ProfileEntry, len(bounds))
+	for i, b := range bounds {
+		side := "upper"
+		if b.Lower {
+			side = "lower"
+		}
+		out[i] = ProfileEntry{
+			Quantile:   b.Quantile,
+			Confidence: b.Confidence,
+			Side:       side,
+			Seconds:    b.Seconds,
+			OK:         b.OK,
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	streams := s.svc.Queues()
+	s.mu.Unlock()
+	sort.Strings(streams)
+	writeJSON(w, StatusResponse{Streams: streams})
+}
+
+// SaveFile persists the server's accumulated state (all streams) to a
+// file; safe to call while serving.
+func (s *Server) SaveFile(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc.SaveFile(path)
+}
+
+// LoadFile replaces the server's state from a file written by SaveFile;
+// safe to call while serving.
+func (s *Server) LoadFile(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc.UnmarshalBinary(blob)
+}
+
+func (s *Server) shapeParams(w http.ResponseWriter, r *http.Request) (queue string, procs int, ok bool) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return "", 0, false
+	}
+	queue = r.URL.Query().Get("queue")
+	if queue == "" {
+		http.Error(w, "queue parameter required", http.StatusBadRequest)
+		return "", 0, false
+	}
+	procs = 1
+	if p := r.URL.Query().Get("procs"); p != "" {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			http.Error(w, "procs must be a positive integer", http.StatusBadRequest)
+			return "", 0, false
+		}
+		procs = v
+	}
+	return queue, procs, true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,188 @@
+package qbets
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(true, WithSeed(1))
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestServerObserveAndForecast(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Batch-observe enough waits for a bound.
+	rng := rand.New(rand.NewSource(2))
+	var records []ObserveRecord
+	for i := 0; i < 200; i++ {
+		records = append(records, ObserveRecord{
+			Queue:       "normal",
+			Procs:       4,
+			WaitSeconds: math.Round(100 * math.Exp(rng.NormFloat64())),
+		})
+	}
+	body, _ := json.Marshal(records)
+	resp := postJSON(t, ts.URL+"/v1/observe", string(body))
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("observe status %d", resp.StatusCode)
+	}
+
+	get, err := http.Get(ts.URL + "/v1/forecast?queue=normal&procs=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var fr ForecastResponse
+	if err := json.NewDecoder(get.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.OK || fr.BoundSeconds <= 0 {
+		t.Fatalf("forecast = %+v", fr)
+	}
+	if fr.Quantile != 0.95 || fr.Confidence != 0.95 {
+		t.Errorf("levels = %+v", fr)
+	}
+	if fr.Observations != 200 {
+		t.Errorf("observations = %d", fr.Observations)
+	}
+}
+
+func TestServerSingleObserve(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/observe", `{"queue":"q","procs":1,"wait_seconds":5}`)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Not enough history yet: forecast responds ok=false, not an error.
+	get, err := http.Get(ts.URL + "/v1/forecast?queue=q&procs=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var fr ForecastResponse
+	json.NewDecoder(get.Body).Decode(&fr)
+	if fr.OK {
+		t.Error("forecast should be unavailable after one observation")
+	}
+}
+
+func TestServerProfileAndStatus(t *testing.T) {
+	_, ts := newTestServer(t)
+	var buf bytes.Buffer
+	buf.WriteString("[")
+	for i := 0; i < 300; i++ {
+		if i > 0 {
+			buf.WriteString(",")
+		}
+		fmt.Fprintf(&buf, `{"queue":"normal","procs":64,"wait_seconds":%d}`, 10+i%500)
+	}
+	buf.WriteString("]")
+	postJSON(t, ts.URL+"/v1/observe", buf.String())
+
+	get, err := http.Get(ts.URL + "/v1/profile?queue=normal&procs=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var entries []ProfileEntry
+	if err := json.NewDecoder(get.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 || entries[0].Side != "lower" || !entries[3].OK {
+		t.Fatalf("profile = %+v", entries)
+	}
+
+	st, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var status StatusResponse
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Streams) != 1 || status.Streams[0] != "normal/17-64" {
+		t.Fatalf("status = %+v", status)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"POST", "/v1/observe", `{bad json`, http.StatusBadRequest},
+		{"POST", "/v1/observe", `{"queue":"","wait_seconds":1}`, http.StatusBadRequest},
+		{"POST", "/v1/observe", `{"queue":"q","wait_seconds":-1}`, http.StatusBadRequest},
+		{"GET", "/v1/observe", "", http.StatusMethodNotAllowed},
+		{"POST", "/v1/forecast?queue=q", "", http.StatusMethodNotAllowed},
+		{"GET", "/v1/forecast", "", http.StatusBadRequest},
+		{"GET", "/v1/forecast?queue=q&procs=zero", "", http.StatusBadRequest},
+		{"GET", "/v1/forecast?queue=q&procs=-2", "", http.StatusBadRequest},
+		{"GET", "/v1/nope", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+}
+
+func TestServerConcurrentAccess(t *testing.T) {
+	s := NewServer(false, WithSeed(9))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				body := fmt.Sprintf(`{"queue":"q%d","procs":1,"wait_seconds":%d}`, g%2, i)
+				resp, err := http.Post(ts.URL+"/v1/observe", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				get, err := http.Get(ts.URL + fmt.Sprintf("/v1/forecast?queue=q%d", g%2))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				get.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,169 @@
+package qbets
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// State persistence: a deployed forecaster accumulates months of history;
+// these helpers let it survive process restarts without retraining.
+
+// MarshalBinary encodes the forecaster's full state (configuration,
+// calibration, and history).
+func (f *Forecaster) MarshalBinary() ([]byte, error) {
+	return f.b.MarshalBinary()
+}
+
+// UnmarshalBinary restores state produced by MarshalBinary, replacing the
+// forecaster's configuration and history entirely.
+func (f *Forecaster) UnmarshalBinary(data []byte) error {
+	return f.b.UnmarshalBinary(data)
+}
+
+// Save writes the forecaster's state to w.
+func (f *Forecaster) Save(w io.Writer) error {
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// SaveFile writes the forecaster's state to a file.
+func (f *Forecaster) SaveFile(path string) error {
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// Load restores a forecaster from a state blob written by Save.
+func Load(r io.Reader) (*Forecaster, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	f := New()
+	if err := f.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// LoadFile restores a forecaster from a state file written by SaveFile.
+func LoadFile(path string) (*Forecaster, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := New()
+	if err := f.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Service persistence: the whole per-stream forecaster family serializes
+// as one blob, so a deployment (e.g. qbets-serve) restarts with its
+// accumulated history intact.
+
+// serviceBlob is the JSON-framed container; each stream's forecaster state
+// rides inside as the binary blob the core format defines.
+type serviceBlob struct {
+	ByProcs  bool              `json:"by_procs"`
+	NextSeed int64             `json:"next_seed"`
+	Streams  map[string][]byte `json:"streams"`
+}
+
+// MarshalBinary encodes every stream's forecaster state.
+func (s *Service) MarshalBinary() ([]byte, error) {
+	blob := serviceBlob{
+		ByProcs:  s.byProcs,
+		NextSeed: s.nextSeed,
+		Streams:  make(map[string][]byte, len(s.f)),
+	}
+	for k, fc := range s.f {
+		b, err := fc.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("qbets: stream %q: %w", k, err)
+		}
+		blob.Streams[k] = b
+	}
+	return json.Marshal(blob)
+}
+
+// UnmarshalBinary restores a Service serialized by MarshalBinary. The
+// receiver's options are retained for streams created after the restore;
+// restored streams carry their own serialized configuration.
+func (s *Service) UnmarshalBinary(data []byte) error {
+	var blob serviceBlob
+	if err := json.Unmarshal(data, &blob); err != nil {
+		return fmt.Errorf("qbets: service state: %w", err)
+	}
+	restored := make(map[string]*Forecaster, len(blob.Streams))
+	for k, fb := range blob.Streams {
+		fc := New()
+		if err := fc.UnmarshalBinary(fb); err != nil {
+			return fmt.Errorf("qbets: stream %q: %w", k, err)
+		}
+		restored[k] = fc
+	}
+	s.byProcs = blob.ByProcs
+	s.nextSeed = blob.NextSeed
+	s.f = restored
+	return nil
+}
+
+// SaveFile writes the service's state to a file.
+func (s *Service) SaveFile(path string) error {
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// LoadServiceFile restores a Service from a state file. splitByProcs and
+// opts apply to streams created after the restore.
+func LoadServiceFile(path string, splitByProcs bool, opts ...Option) (*Service, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewService(splitByProcs, opts...)
+	if err := s.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Interval is a two-sided confidence interval on a quantile of queue
+// delay: with the stated confidence, the quantile lies in [Low, High].
+type Interval struct {
+	Quantile   float64
+	Confidence float64
+	Low, High  float64
+	OK         bool
+}
+
+// ForecastInterval returns a two-sided confidence interval for the q
+// quantile, built from two one-sided bounds at confidence
+// (1 + confidence)/2 each (Bonferroni: the pair holds jointly with at
+// least the requested confidence). The paper notes the method extends to
+// two-sided intervals this way (Section 3).
+func (f *Forecaster) ForecastInterval(q, confidence float64) Interval {
+	side := (1 + confidence) / 2
+	lo := f.ForecastQuantile(q, side, true)
+	hi := f.ForecastQuantile(q, side, false)
+	return Interval{
+		Quantile:   q,
+		Confidence: confidence,
+		Low:        lo.Seconds,
+		High:       hi.Seconds,
+		OK:         lo.OK && hi.OK,
+	}
+}

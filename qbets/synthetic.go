@@ -1,0 +1,40 @@
+package qbets
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Synthetic workload access: the calibrated 39-queue suite this repository
+// evaluates on is available through the public API so downstream users can
+// experiment without touching internal packages.
+
+// SyntheticQueues lists the machine/queue names of the calibrated suite
+// (the 39 traces of the paper's Table 1), sorted.
+func SyntheticQueues() []string {
+	out := make([]string, 0, len(trace.PaperQueues))
+	for i := range trace.PaperQueues {
+		out = append(out, trace.PaperQueues[i].Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyntheticTrace generates the calibrated synthetic trace for one
+// machine/queue of the suite (e.g. "datastar/normal"). The result is
+// deterministic in seed; job counts and wait-time statistics are matched
+// to the paper's Table 1 as described in DESIGN.md.
+func SyntheticTrace(name string, seed int64) (Trace, error) {
+	for i := range trace.PaperQueues {
+		p := &trace.PaperQueues[i]
+		if p.Name() != name {
+			continue
+		}
+		t := workload.ModelFor(p, seed).Generate()
+		return fromInternal(t), nil
+	}
+	return Trace{}, fmt.Errorf("qbets: unknown synthetic queue %q (see SyntheticQueues)", name)
+}

@@ -1,0 +1,47 @@
+package qbets
+
+import "testing"
+
+func TestSyntheticQueues(t *testing.T) {
+	names := SyntheticQueues()
+	if len(names) != 39 {
+		t.Fatalf("queues = %d", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate %q", n)
+		}
+		seen[n] = true
+	}
+	if !seen["datastar/normal"] || !seen["tacc2/normal"] {
+		t.Error("expected queues missing")
+	}
+}
+
+func TestSyntheticTrace(t *testing.T) {
+	tr, err := SyntheticTrace("nersc/debug", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 115105 {
+		t.Fatalf("jobs = %d, want the Table 1 count", len(tr.Jobs))
+	}
+	if tr.Machine != "nersc" || tr.Queue != "debug" {
+		t.Error("identity")
+	}
+	// Deterministic.
+	tr2, _ := SyntheticTrace("nersc/debug", 7)
+	if tr.Jobs[0] != tr2.Jobs[0] || tr.Jobs[1000] != tr2.Jobs[1000] {
+		t.Error("not deterministic")
+	}
+	// Feeds straight into Evaluate.
+	small := Trace{Machine: tr.Machine, Queue: tr.Queue, Jobs: tr.Jobs[:8000]}
+	reports := Evaluate(small, EvalConfig{})
+	if reports[0].Method != "bmbp" || reports[0].Scored == 0 {
+		t.Fatalf("evaluate: %+v", reports[0])
+	}
+	if _, err := SyntheticTrace("nope/nope", 1); err == nil {
+		t.Error("unknown queue should error")
+	}
+}
