@@ -10,6 +10,7 @@ package repro
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -350,10 +351,6 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 
 func med(v []float64) float64 {
 	s := append([]float64(nil), v...)
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	sort.Float64s(s)
 	return s[len(s)/2]
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ostat"
 	"repro/internal/stats"
@@ -58,9 +59,18 @@ func (c Config) withDefaults() Config {
 type BMBP struct {
 	cfg        Config
 	minHistory int
+	idx        *IncrementalIndex
 
-	hist []float64       // observation order (oldest first)
-	set  *ostat.Multiset // same multiset of values, ordered by value
+	// hist[histStart:] is the live history in observation order (oldest
+	// first). With MaxHistory set, evictions advance histStart instead of
+	// re-slicing — the dead prefix is compacted in place once it reaches
+	// the window length, so the backing array stops growing at roughly
+	// twice the window.
+	hist      []float64
+	histStart int
+	set       *ostat.Multiset // same multiset of values, ordered by value
+
+	scratch []float64 // sort buffer reused across trims/rebuilds
 
 	rareThreshold int // 0 until calibrated
 	consecMisses  int
@@ -76,13 +86,18 @@ type BMBP struct {
 // New returns a BMBP predictor with the given configuration.
 func New(cfg Config) *BMBP {
 	cfg = cfg.withDefaults()
+	idx := NewIncrementalIndex(cfg.Quantile, cfg.Confidence, cfg.Mode)
 	return &BMBP{
 		cfg:        cfg,
-		minHistory: MinSampleSize(cfg.Quantile, cfg.Confidence),
+		minHistory: idx.MinHistory(),
+		idx:        idx,
 		set:        ostat.New(cfg.Seed + 1),
 		stale:      true,
 	}
 }
+
+// window returns the live history slice.
+func (b *BMBP) window() []float64 { return b.hist[b.histStart:] }
 
 // Name identifies the predictor in evaluation output.
 func (b *BMBP) Name() string { return "bmbp" }
@@ -95,7 +110,7 @@ func (b *BMBP) Config() Config { return b.cfg }
 func (b *BMBP) MinHistory() int { return b.minHistory }
 
 // HistoryLen returns the current history length.
-func (b *BMBP) HistoryLen() int { return len(b.hist) }
+func (b *BMBP) HistoryLen() int { return len(b.hist) - b.histStart }
 
 // Trims returns how many change points the predictor has acted on.
 func (b *BMBP) Trims() int { return b.trims }
@@ -114,9 +129,22 @@ func (b *BMBP) Observe(wait float64, missed bool) {
 	b.hist = append(b.hist, wait)
 	b.set.Insert(wait)
 	b.stale = true
-	if b.cfg.MaxHistory > 0 && len(b.hist) > b.cfg.MaxHistory {
-		b.set.Delete(b.hist[0])
-		b.hist = b.hist[1:]
+	if b.cfg.MaxHistory > 0 && len(b.hist)-b.histStart > b.cfg.MaxHistory {
+		b.set.Delete(b.hist[b.histStart])
+		b.histStart++
+		if b.histStart >= b.cfg.MaxHistory {
+			// Dead prefix caught up with the live window: slide the window
+			// to the front. Sizing the array at twice the window makes the
+			// steady state allocation-free — appends consume the second
+			// half while the first half goes dead, then compaction resets.
+			live := b.hist[b.histStart:]
+			if cap(b.hist) < 2*b.cfg.MaxHistory {
+				b.hist = append(make([]float64, 0, 2*b.cfg.MaxHistory), live...)
+			} else {
+				b.hist = b.hist[:copy(b.hist, live)]
+			}
+			b.histStart = 0
+		}
 	}
 	if b.cfg.NoTrim {
 		return
@@ -126,7 +154,7 @@ func (b *BMBP) Observe(wait float64, missed bool) {
 	} else {
 		b.consecMisses = 0
 	}
-	if b.rareThreshold == 0 && len(b.hist) >= b.minHistory {
+	if b.rareThreshold == 0 && len(b.hist)-b.histStart >= b.minHistory {
 		// Standalone use without an explicit training phase: calibrate as
 		// soon as a meaningful history exists.
 		b.calibrate()
@@ -155,7 +183,7 @@ func (b *BMBP) calibrate() {
 		b.rareThreshold = b.cfg.FixedRareThreshold
 		return
 	}
-	acf := stats.Autocorrelation(b.hist, 1)
+	acf := stats.Autocorrelation(b.window(), 1)
 	b.rareThreshold = b.cfg.RareTable.Lookup(acf)
 }
 
@@ -163,17 +191,23 @@ func (b *BMBP) calibrate() {
 // recent MinHistory observations — the longest history that is clearly
 // relevant — and reset the miss run.
 func (b *BMBP) trim() {
-	if len(b.hist) <= b.minHistory {
+	w := b.window()
+	if len(w) <= b.minHistory {
 		b.consecMisses = 0
 		return
 	}
-	keep := b.hist[len(b.hist)-b.minHistory:]
-	b.set.Clear()
-	for _, v := range keep {
-		b.set.Insert(v)
+	keep := w[len(w)-b.minHistory:]
+	// Rebuild the order statistics in O(n) from a sorted copy instead of
+	// n individual inserts.
+	if cap(b.scratch) < len(keep) {
+		b.scratch = make([]float64, 0, 2*len(keep))
 	}
+	b.scratch = append(b.scratch[:0], keep...)
+	sort.Float64s(b.scratch)
+	b.set.BuildFromSorted(b.scratch)
 	// Copy to release the large backing array.
 	b.hist = append(make([]float64, 0, b.minHistory*2), keep...)
+	b.histStart = 0
 	b.consecMisses = 0
 	b.trims++
 	b.stale = true
@@ -183,8 +217,8 @@ func (b *BMBP) trim() {
 // simulator calls this on its epoch ticks (every 300 s in the paper); it is
 // also called lazily by Bound when the history changed since the last refit.
 func (b *BMBP) Refit() {
-	n := len(b.hist)
-	k, ok := UpperBoundIndex(n, b.cfg.Quantile, b.cfg.Confidence, b.cfg.Mode)
+	n := len(b.hist) - b.histStart
+	k, ok := b.idx.Index(n)
 	if !ok {
 		b.boundOK = false
 		b.stale = false
@@ -214,7 +248,7 @@ func (b *BMBP) Bound() (float64, bool) {
 // selects an upper or lower bound. ok is false when the history is too
 // short for that (q, c) pair.
 func (b *BMBP) BoundFor(q, c float64, side Side) (float64, bool) {
-	n := len(b.hist)
+	n := len(b.hist) - b.histStart
 	var k int
 	var ok bool
 	if side == Lower {
@@ -230,8 +264,9 @@ func (b *BMBP) BoundFor(q, c float64, side Side) (float64, bool) {
 
 // History returns a copy of the current history in observation order.
 func (b *BMBP) History() []float64 {
-	out := make([]float64, len(b.hist))
-	copy(out, b.hist)
+	w := b.window()
+	out := make([]float64, len(w))
+	copy(out, w)
 	return out
 }
 

@@ -85,7 +85,7 @@ func MinSampleSizeLower(q, c float64) int {
 // for the q quantile, following mode. ok is false when no such index exists
 // (n below MinSampleSize).
 func UpperBoundIndex(n int, q, c float64, mode BoundMode) (k int, ok bool) {
-	if n < MinSampleSize(q, c) {
+	if n < minSampleSizeCached(q, c) {
 		return 0, false
 	}
 	switch mode {
@@ -130,7 +130,7 @@ func upperIndexExact(n int, q, c float64) int {
 // quantile of the sample and move up a further z_c·sqrt(n·q·(1−q)) order
 // statistics, rounding everything up to stay conservative.
 func upperIndexApprox(n int, q, c float64) int {
-	z := stats.StdNormalQuantile(c)
+	z := stdNormalQuantileCached(c)
 	k := int(math.Ceil(float64(n)*q + z*math.Sqrt(float64(n)*q*(1-q))))
 	if k < 1 {
 		k = 1
@@ -142,7 +142,7 @@ func upperIndexApprox(n int, q, c float64) int {
 // k-th smallest of n observations is a level-c lower confidence bound for
 // the q quantile. ok is false when no such index exists.
 func LowerBoundIndex(n int, q, c float64, mode BoundMode) (k int, ok bool) {
-	if n < MinSampleSizeLower(q, c) {
+	if n < minSampleSizeLowerCached(q, c) {
 		return 0, false
 	}
 	switch mode {
@@ -188,7 +188,7 @@ func lowerIndexExact(n int, q, c float64) int {
 // lowerIndexApprox mirrors upperIndexApprox in the downward direction,
 // rounding down to stay conservative.
 func lowerIndexApprox(n int, q, c float64) int {
-	z := stats.StdNormalQuantile(c)
+	z := stdNormalQuantileCached(c)
 	k := int(math.Floor(float64(n)*q - z*math.Sqrt(float64(n)*q*(1-q))))
 	if k > n {
 		k = n

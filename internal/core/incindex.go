@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// This file holds the O(1) refit machinery: memoized per-(q, C) constants
+// and an incremental maintainer for the upper bound-index k(n).
+//
+// The incremental invariant. Let F_n be the CDF of Bin(n, q) and
+// k(n) = min{k : F_n(k−1) >= C} the exact upper bound index. Conditioning
+// on the (n+1)-th trial gives the recurrence
+//
+//	F_{n+1}(k) = q·F_n(k−1) + (1−q)·F_n(k).
+//
+// The right side is a convex combination of values that bracket F_n(k),
+// so F_n(k−1) <= F_{n+1}(k) <= F_n(k). Taking k = k(n)−2 gives
+// F_{n+1}(k(n)−2) <= F_n(k(n)−2) < C (minimality of k(n)), so k(n+1) >=
+// k(n); taking k = k(n) gives F_{n+1}(k(n)) >= F_n(k(n)−1) >= C, so
+// k(n+1) <= k(n)+1. Therefore
+//
+//	k(n+1) − k(n) ∈ {0, 1},
+//
+// and a single CDF evaluation — F_{n+1}(k(n)−1) >= C ? — decides which.
+
+// pairKey keys the per-(q, C) memo tables.
+type pairKey struct{ q, c float64 }
+
+var (
+	minSampleMemo      sync.Map // pairKey -> int
+	minSampleLowerMemo sync.Map // pairKey -> int
+	zQuantileMemo      sync.Map // float64 -> float64
+)
+
+// minSampleSizeCached memoizes MinSampleSize per (q, c). The computation
+// runs a Pow-loop verification, which is far too heavy to repeat on every
+// bound-index query.
+func minSampleSizeCached(q, c float64) int {
+	key := pairKey{q, c}
+	if v, ok := minSampleMemo.Load(key); ok {
+		return v.(int)
+	}
+	n := MinSampleSize(q, c)
+	minSampleMemo.Store(key, n)
+	return n
+}
+
+// minSampleSizeLowerCached memoizes MinSampleSizeLower per (q, c).
+func minSampleSizeLowerCached(q, c float64) int {
+	key := pairKey{q, c}
+	if v, ok := minSampleLowerMemo.Load(key); ok {
+		return v.(int)
+	}
+	n := MinSampleSizeLower(q, c)
+	minSampleLowerMemo.Store(key, n)
+	return n
+}
+
+// stdNormalQuantileCached memoizes stats.StdNormalQuantile per confidence
+// level. Predictors query the same handful of levels millions of times.
+func stdNormalQuantileCached(c float64) float64 {
+	if v, ok := zQuantileMemo.Load(c); ok {
+		return v.(float64)
+	}
+	z := stats.StdNormalQuantile(c)
+	zQuantileMemo.Store(c, z)
+	return z
+}
+
+// IncrementalIndex maintains the upper bound-index k(n) for a history that
+// mostly grows one observation at a time. For a +1 step in the exact
+// region it performs at most one binomial-CDF evaluation (versus a fresh
+// MinSampleSize check plus an O(log n) CDF binary search); in the normal
+// approximation region the index is a closed form with a memoized normal
+// quantile. Any other change of n (trim, window, deserialization) falls
+// back to a full recomputation and re-primes the cache.
+//
+// Index(n) returns exactly what UpperBoundIndex(n, q, c, mode) returns for
+// every n — the differential test in incindex_test.go asserts this for all
+// n up to 200k across a (q, C) grid.
+//
+// An IncrementalIndex is not safe for concurrent use.
+type IncrementalIndex struct {
+	q, c float64
+	mode BoundMode
+	minN int
+	z    float64
+
+	// Cached exact-path state: k = upperIndexExact(n, q, c), valid when
+	// primed. The approximation path never touches it.
+	primed bool
+	n      int
+	k      int
+}
+
+// NewIncrementalIndex returns an index maintainer for the given quantile,
+// confidence, and bound mode.
+func NewIncrementalIndex(q, c float64, mode BoundMode) *IncrementalIndex {
+	return &IncrementalIndex{
+		q:    q,
+		c:    c,
+		mode: mode,
+		minN: minSampleSizeCached(q, c),
+		z:    stdNormalQuantileCached(c),
+	}
+}
+
+// MinHistory returns the smallest n for which Index reports ok.
+func (x *IncrementalIndex) MinHistory() int { return x.minN }
+
+// Index returns the 1-based upper bound-index for a history of length n,
+// equal to UpperBoundIndex(n, x.q, x.c, x.mode). ok is false when n is
+// below the minimum sample size.
+func (x *IncrementalIndex) Index(n int) (k int, ok bool) {
+	if n < x.minN {
+		return 0, false
+	}
+	approx := false
+	switch x.mode {
+	case ModeApprox:
+		approx = true
+	case ModeAuto:
+		nf := float64(n)
+		approx = nf*x.q >= 10 && nf*(1-x.q) >= 10
+	}
+	if approx {
+		k = int(math.Ceil(float64(n)*x.q + x.z*math.Sqrt(float64(n)*x.q*(1-x.q))))
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			// Same fallback as UpperBoundIndex: the approximation can
+			// overshoot the sample only near the minimum history.
+			k = x.exactAt(n)
+		}
+		return k, true
+	}
+	return x.exactAt(n), true
+}
+
+// exactAt returns upperIndexExact(n, x.q, x.c), stepping the cached index
+// with one CDF evaluation when n advanced by exactly one.
+func (x *IncrementalIndex) exactAt(n int) int {
+	switch {
+	case x.primed && n == x.n:
+		return x.k
+	case x.primed && n == x.n+1:
+		// k(n+1) ∈ {k(n), k(n)+1}; one evaluation decides.
+		if (stats.Binomial{N: n, P: x.q}).CDF(x.k-1) < x.c {
+			x.k++
+		}
+	default:
+		x.k = upperIndexExact(n, x.q, x.c)
+		x.primed = true
+	}
+	x.n = n
+	return x.k
+}
+
+// Invalidate discards the cached state so the next Index call recomputes
+// from scratch. Callers use it after bulk history replacement.
+func (x *IncrementalIndex) Invalidate() { x.primed = false }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestIncrementalIndexDifferential drives an IncrementalIndex one
+// observation at a time and asserts it returns exactly what the from-scratch
+// computation returns for every n up to 200k, across a grid of (q, C) and
+// both bound modes BMBP uses. This is the proof that the O(1) stepping rule
+// (k grows by 0 or 1 per observation, decided by one CDF evaluation) agrees
+// with upperIndexExact/UpperBoundIndex not just mathematically but on the
+// concrete floating-point CDF both paths share.
+func TestIncrementalIndexDifferential(t *testing.T) {
+	const maxN = 200_000
+	grid := []struct{ q, c float64 }{
+		{0.95, 0.95}, // the paper's headline setting
+		{0.50, 0.95}, // median
+		{0.90, 0.99},
+		{0.99, 0.90},
+	}
+	for _, g := range grid {
+		g := g
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			exact := NewIncrementalIndex(g.q, g.c, ModeExact)
+			auto := NewIncrementalIndex(g.q, g.c, ModeAuto)
+			minN := MinSampleSize(g.q, g.c)
+			// In the normal-approximation region ModeAuto is a closed form
+			// on both sides, so spot-checking it sparsely is enough; the
+			// exact path is verified at every single n.
+			autoStride := 1
+			for n := 1; n <= maxN; n++ {
+				ki, oki := exact.Index(n)
+				if n < minN {
+					if oki {
+						t.Fatalf("q=%g c=%g n=%d: ok below MinSampleSize", g.q, g.c, n)
+					}
+					continue
+				}
+				if !oki {
+					t.Fatalf("q=%g c=%g n=%d: not ok at/above MinSampleSize %d", g.q, g.c, n, minN)
+				}
+				if want := upperIndexExact(n, g.q, g.c); ki != want {
+					t.Fatalf("q=%g c=%g n=%d: incremental exact k=%d, upperIndexExact=%d", g.q, g.c, n, ki, want)
+				}
+				if n%autoStride == 0 {
+					ka, oka := auto.Index(n)
+					kw, okw := UpperBoundIndex(n, g.q, g.c, ModeAuto)
+					if ka != kw || oka != okw {
+						t.Fatalf("q=%g c=%g n=%d: auto k=%d ok=%v, UpperBoundIndex k=%d ok=%v", g.q, g.c, n, ka, oka, kw, okw)
+					}
+				}
+				if n == 4096 {
+					autoStride = 17 // prime stride keeps coverage spread out
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalIndexRandomWalk exercises the non-sequential paths: trims
+// (n drops), windows (n constant), and jumps, interleaved with +1 steps.
+func TestIncrementalIndexRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, mode := range []BoundMode{ModeExact, ModeAuto, ModeApprox} {
+		x := NewIncrementalIndex(0.95, 0.95, mode)
+		n := 0
+		for step := 0; step < 4000; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				n = MinSampleSize(0.95, 0.95) // trim
+			case 1:
+				n = rng.Intn(5000) // arbitrary jump
+			case 2:
+				// window steady state: n unchanged
+			default:
+				n++
+			}
+			k, ok := x.Index(n)
+			kw, okw := UpperBoundIndex(n, 0.95, 0.95, mode)
+			if k != kw || ok != okw {
+				t.Fatalf("mode=%v n=%d: incremental k=%d ok=%v, want k=%d ok=%v", mode, n, k, ok, kw, okw)
+			}
+		}
+	}
+}
+
+// TestSteadyStateObserveRefitBoundAllocs asserts the full per-job hot path
+// (Observe + Refit + Bound) allocates nothing once a MaxHistory window is in
+// steady state: the history buffer compacts in place, the order-statistic
+// arena recycles nodes through its free lists, and the bound index is a
+// closed form with memoized constants.
+func TestSteadyStateObserveRefitBoundAllocs(t *testing.T) {
+	b := New(Config{Seed: 1, MaxHistory: 20000, NoTrim: true})
+	rng := rand.New(rand.NewSource(7))
+	next := func() float64 { return math.Exp(rng.NormFloat64()*2 + 5) }
+	// Warm well past several window turnovers so the arena and the
+	// compaction cycle reach their fixed points.
+	for i := 0; i < 8*20000; i++ {
+		b.Observe(next(), false)
+		b.Refit()
+		b.Bound()
+	}
+	allocs := testing.AllocsPerRun(5000, func() {
+		b.Observe(next(), false)
+		b.Refit()
+		if _, ok := b.Bound(); !ok {
+			t.Fatal("bound unavailable in steady state")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Observe+Refit+Bound allocates %g allocs/op, want 0", allocs)
+	}
+}
+
+// TestHistoryWindowCompaction pins the MaxHistory backing-array fix: the
+// live window must stay correct across compactions and the backing array
+// must stop growing at about twice the window.
+func TestHistoryWindowCompaction(t *testing.T) {
+	const window = 500
+	b := New(Config{Seed: 1, MaxHistory: window, NoTrim: true})
+	var ref []float64
+	for i := 0; i < 20*window; i++ {
+		v := float64(i)
+		b.Observe(v, false)
+		ref = append(ref, v)
+		if len(ref) > window {
+			ref = ref[1:]
+		}
+		if b.HistoryLen() != len(ref) {
+			t.Fatalf("i=%d: HistoryLen %d, want %d", i, b.HistoryLen(), len(ref))
+		}
+	}
+	got := b.History()
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("window[%d] = %g, want %g", i, got[i], ref[i])
+		}
+	}
+	if c := cap(b.hist); c > 3*window {
+		t.Fatalf("backing array cap %d after 20 window turnovers, want <= %d", c, 3*window)
+	}
+	// The order statistics must describe exactly the live window.
+	if min, _ := b.set.Min(); min != ref[0] {
+		t.Fatalf("set min %g, want %g", min, ref[0])
+	}
+	if b.set.Len() != window {
+		t.Fatalf("set len %d, want %d", b.set.Len(), window)
+	}
+}
+
+func BenchmarkIncrementalIndex(b *testing.B) {
+	// Exact-region stepping: one CDF evaluation at most per observation,
+	// versus a fresh MinSampleSize + O(log n) CDF binary search.
+	b.Run("incremental", func(b *testing.B) {
+		x := NewIncrementalIndex(0.95, 0.95, ModeExact)
+		n := x.MinHistory()
+		x.Index(n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n++
+			x.Index(n)
+		}
+	})
+	b.Run("fromscratch", func(b *testing.B) {
+		n := MinSampleSize(0.95, 0.95)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n++
+			UpperBoundIndex(n, 0.95, 0.95, ModeExact)
+		}
+	})
+	// ModeAuto at production history lengths: closed form + memoized z.
+	b.Run("auto100k", func(b *testing.B) {
+		x := NewIncrementalIndex(0.95, 0.95, ModeAuto)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x.Index(100_000 + i%64)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/ostat"
 )
@@ -51,8 +52,9 @@ func (b *BMBP) MarshalBinary() ([]byte, error) {
 		w(int64(e.Threshold))
 	}
 
-	w(int64(len(b.hist)))
-	for _, v := range b.hist {
+	win := b.window()
+	w(int64(len(win)))
+	for _, v := range win {
 		w(v)
 	}
 	return buf.Bytes(), nil
@@ -134,13 +136,19 @@ func (b *BMBP) UnmarshalBinary(data []byte) error {
 		}
 	}
 
-	// Rebuild derived structures.
+	// Rebuild derived structures. The order statistics come back via an
+	// O(n) bulk build from a sorted copy rather than n re-inserts.
 	b.cfg = cfg
-	b.minHistory = MinSampleSize(cfg.Quantile, cfg.Confidence)
+	b.idx = NewIncrementalIndex(cfg.Quantile, cfg.Confidence, cfg.Mode)
+	b.minHistory = b.idx.MinHistory()
 	b.hist = hist
+	b.histStart = 0
 	b.set = ostat.New(cfg.Seed + 1)
-	for _, v := range hist {
-		b.set.Insert(v)
+	if len(hist) > 0 {
+		sorted := make([]float64, len(hist))
+		copy(sorted, hist)
+		sort.Float64s(sorted)
+		b.set.BuildFromSorted(sorted)
 	}
 	b.rareThreshold = int(rareThreshold)
 	b.consecMisses = int(consecMisses)

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Process-wide memoization of the expensive experiment stages. Tables 3/4,
+// Tables 5-7, the sweeps, and the table-1 summary all start from the same
+// 32 calibrated queue generations, and several of them replay the same
+// trace through the same predictor stack; before this cache each table
+// redid that work from scratch. Generation is keyed by (seed, queue),
+// replay by the canonical trace instance plus every parameter that affects
+// the result. Entries are built under a sync.Once so concurrent table
+// loops share one computation instead of racing to duplicate it.
+//
+// Cached traces and result slices are shared: callers must treat them as
+// immutable (every in-repo consumer already does — sim.Run sorts a copy,
+// FilterProcs builds a new Trace, MedianRatio copies before sorting).
+
+type genKey struct {
+	seed           int64
+	machine, queue string
+}
+
+type genEntry struct {
+	once sync.Once
+	t    *trace.Trace
+}
+
+type filterKey struct {
+	t      *trace.Trace
+	bucket trace.ProcBucket
+}
+
+type filterEntry struct {
+	once sync.Once
+	t    *trace.Trace
+}
+
+// simParams is the part of sim.Config that changes replay results,
+// normalized so that a zero value and an explicit default hit the same
+// entry.
+type simParams struct {
+	epochSeconds   int64
+	instantUpdates bool
+	trainFraction  float64
+	streaming      bool
+}
+
+func simParamsOf(c sim.Config) simParams {
+	p := simParams{
+		epochSeconds:   c.EpochSeconds,
+		instantUpdates: c.InstantUpdates,
+		trainFraction:  c.TrainFraction,
+		streaming:      c.StreamingRatios,
+	}
+	if p.epochSeconds == 0 {
+		p.epochSeconds = 300
+	}
+	if p.trainFraction == 0 {
+		p.trainFraction = 0.10
+	}
+	return p
+}
+
+type evalKey struct {
+	t                    *trace.Trace
+	seed                 int64
+	quantile, confidence float64
+	sim                  simParams
+}
+
+type evalEntry struct {
+	once sync.Once
+	res  []sim.Result
+}
+
+var (
+	genCache    sync.Map // genKey -> *genEntry
+	filterCache sync.Map // filterKey -> *filterEntry
+	evalCache   sync.Map // evalKey -> *evalEntry
+)
+
+// evalCachable reports whether a replay's results depend only on the eval
+// key. Sampling callbacks observe predictor state mid-run, so those runs
+// must execute every time.
+func (c Config) evalCachable() bool {
+	return c.Sim.OnSample == nil && c.Sim.SampleEvery == 0
+}
+
+// cachedTrace returns the canonical generated trace for key, building it
+// once via gen.
+func cachedTrace(key genKey, gen func() *trace.Trace) *trace.Trace {
+	e, _ := genCache.LoadOrStore(key, &genEntry{})
+	entry := e.(*genEntry)
+	entry.once.Do(func() { entry.t = gen() })
+	return entry.t
+}
+
+// cachedFilter returns the canonical processor-count subdivision of a
+// cached trace, so bucket evaluations of the same trace share one filtered
+// instance (and therefore one eval-cache entry).
+func cachedFilter(t *trace.Trace, b trace.ProcBucket) *trace.Trace {
+	e, _ := filterCache.LoadOrStore(filterKey{t, b}, &filterEntry{})
+	entry := e.(*filterEntry)
+	entry.once.Do(func() { entry.t = t.FilterProcs(b) })
+	return entry.t
+}
+
+// cachedEval returns the canonical replay results for key, building them
+// once via eval.
+func cachedEval(key evalKey, eval func() []sim.Result) []sim.Result {
+	e, _ := evalCache.LoadOrStore(key, &evalEntry{})
+	entry := e.(*evalEntry)
+	entry.once.Do(func() { entry.res = eval() })
+	return entry.res
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestGenerateQueueReturnsCachedInstance(t *testing.T) {
+	cfg := Config{Seed: 1234}
+	p := &trace.PaperQueues[0]
+	a := cfg.GenerateQueue(p)
+	b := cfg.GenerateQueue(p)
+	if a != b {
+		t.Fatal("same (seed, queue) generated twice")
+	}
+	if other := (Config{Seed: 1235}).GenerateQueue(p); other == a {
+		t.Fatal("different seeds share a trace instance")
+	}
+}
+
+func TestEvalQueueSharesReplay(t *testing.T) {
+	cfg := Config{Seed: 1234}
+	tr := cfg.GenerateQueue(&trace.PaperQueues[0])
+	a := cfg.EvalQueue(tr)
+	b := cfg.EvalQueue(tr)
+	if &a[0] != &b[0] {
+		t.Fatal("same configuration replayed twice")
+	}
+	// A different quantile is a different replay.
+	c := (Config{Seed: 1234, Quantile: 0.5}).EvalQueue(tr)
+	if &c[0] == &a[0] {
+		t.Fatal("different quantiles share a replay")
+	}
+	// Explicit defaults hit the same entry as the zero value.
+	d := (Config{Seed: 1234, Quantile: 0.95, Confidence: 0.95, Sim: sim.Config{EpochSeconds: 300, TrainFraction: 0.10}}).EvalQueue(tr)
+	if &d[0] != &a[0] {
+		t.Fatal("normalized defaults missed the cache")
+	}
+}
+
+func TestEvalQueueWithSamplingIsNotCached(t *testing.T) {
+	cfg := Config{Seed: 1234}
+	tr := cfg.GenerateQueue(&trace.PaperQueues[0])
+	calls := 0
+	scfg := cfg
+	scfg.Sim.SampleEvery = 86400
+	scfg.Sim.SampleTo = 1 << 40
+	scfg.Sim.OnSample = func(ts int64, preds []predictor.Predictor) { calls++ }
+	a := scfg.EvalQueue(tr)
+	first := calls
+	b := scfg.EvalQueue(tr)
+	if calls != 2*first || first == 0 {
+		t.Fatalf("sampling run cached: %d then %d callback calls", first, calls)
+	}
+	if &a[0] == &b[0] {
+		t.Fatal("sampling results shared")
+	}
+}
+
+func TestCachedFilterSharesSubTraces(t *testing.T) {
+	cfg := Config{Seed: 1234}
+	tr := cfg.GenerateQueue(&trace.PaperQueues[0])
+	a := cachedFilter(tr, trace.Procs1to4)
+	b := cachedFilter(tr, trace.Procs1to4)
+	if a != b {
+		t.Fatal("same bucket filtered twice")
+	}
+	if c := cachedFilter(tr, trace.Procs5to16); c == a {
+		t.Fatal("distinct buckets share a sub-trace")
+	}
+}

@@ -10,9 +10,8 @@ package experiments
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -51,23 +50,40 @@ func queueSeed(base int64, index int) int64 {
 }
 
 // GenerateQueue builds the calibrated synthetic trace for one embedded
-// paper queue under this configuration.
+// paper queue under this configuration. Generation is memoized per
+// (seed, queue): every experiment sharing a Config seed gets the same
+// trace instance, which callers must not mutate.
 func (c Config) GenerateQueue(p *trace.PaperQueue) *trace.Trace {
 	c = c.withDefaults()
 	for i := range trace.PaperQueues {
 		if &trace.PaperQueues[i] == p || (trace.PaperQueues[i].Machine == p.Machine && trace.PaperQueues[i].Queue == p.Queue) {
-			return workload.ModelFor(p, queueSeed(c.Seed, i)).Generate()
+			seed := queueSeed(c.Seed, i)
+			return cachedTrace(genKey{seed, p.Machine, p.Queue}, func() *trace.Trace {
+				return workload.ModelFor(p, seed).Generate()
+			})
 		}
 	}
-	return workload.ModelFor(p, c.Seed).Generate()
+	return cachedTrace(genKey{c.Seed, p.Machine, p.Queue}, func() *trace.Trace {
+		return workload.ModelFor(p, c.Seed).Generate()
+	})
 }
 
 // EvalQueue replays one trace against the paper's three methods and returns
 // their results in table column order (BMBP, logn-notrim, logn-trim).
+// Replays of a cached trace instance are memoized per (seed, quantile,
+// confidence, sim settings), so tables that score the same queue under the
+// same configuration share one replay pass; runs with sampling callbacks
+// are never cached. The returned results are shared — treat as read-only.
 func (c Config) EvalQueue(t *trace.Trace) []sim.Result {
 	c = c.withDefaults()
-	preds := predictor.Standard(c.Quantile, c.Confidence, c.Seed)
-	return sim.Run(t, preds, c.Sim)
+	run := func() []sim.Result {
+		preds := predictor.Standard(c.Quantile, c.Confidence, c.Seed)
+		return sim.Run(t, preds, c.Sim)
+	}
+	if !c.evalCachable() {
+		return run()
+	}
+	return cachedEval(evalKey{t, c.Seed, c.Quantile, c.Confidence, simParamsOf(c.Sim)}, run)
 }
 
 // nan is the "no value" marker used across experiment outputs.
@@ -78,30 +94,5 @@ var nan = math.NaN()
 // so the table loops fan out across cores; results are written to
 // pre-sized slices by index, which keeps output order deterministic.
 func forEachIndex(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	parallel.ForEachIndex(n, fn)
 }

@@ -42,7 +42,7 @@ func Table567(cfg Config) []Table567Row {
 			row.PaperPresent[b] = true
 		}
 		for _, b := range trace.AllBuckets {
-			sub := full.FilterProcs(b)
+			sub := cachedFilter(full, b)
 			row.Jobs[b] = sub.Len()
 			if sub.Len() < MinBucketJobs {
 				row.BMBP[b], row.LogNoTrim[b], row.LogTrim[b] = nan, nan, nan

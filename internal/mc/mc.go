@@ -11,11 +11,10 @@ package mc
 
 import (
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -77,25 +76,16 @@ type Point struct {
 }
 
 // Build runs the Monte Carlo and returns one calibration point per phi,
-// ordered as given. Each phi's simulation runs on its own goroutine with
-// its own seed-derived PRNG, so results are deterministic regardless of
-// scheduling.
+// ordered as given. The phis fan out over the shared bounded worker pool;
+// each index derives its own PRNG from the seed, so results are
+// deterministic regardless of scheduling.
 func Build(cfg Config) []Point {
 	cfg = cfg.withDefaults()
 	points := make([]Point, len(cfg.Phis))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, phi := range cfg.Phis {
-		wg.Add(1)
-		go func(i int, phi float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1_000_003))
-			points[i] = simulate(cfg, phi, rng)
-		}(i, phi)
-	}
-	wg.Wait()
+	parallel.ForEachIndex(len(cfg.Phis), func(i int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1_000_003))
+		points[i] = simulate(cfg, cfg.Phis[i], rng)
+	})
 	return points
 }
 

@@ -1,0 +1,44 @@
+// Package parallel provides the bounded worker-pool fan-out shared by the
+// experiment tables and the Monte Carlo calibrator. Work items are
+// identified by index and results are written to pre-sized slices by the
+// caller, so output order — and therefore every reproduced table — is
+// deterministic regardless of scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEachIndex runs fn(i) for i in [0, n) on at most GOMAXPROCS workers.
+// It returns once every call has completed. fn must confine its writes to
+// per-index data; ForEachIndex provides the necessary happens-before edge
+// between those writes and the return.
+func ForEachIndex(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,35 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]int32, n)
+		ForEachIndex(n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachIndexResultsVisibleAfterReturn(t *testing.T) {
+	const n = 512
+	out := make([]int, n)
+	ForEachIndex(n, func(i int) { out[i] = i * i })
+	var total int64
+	ForEachIndex(n, func(i int) { atomic.AddInt64(&total, int64(out[i])) })
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		want += int64(i * i)
+	}
+	if total != want {
+		t.Fatalf("sum %d, want %d", total, want)
+	}
+}

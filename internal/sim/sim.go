@@ -16,10 +16,10 @@
 package sim
 
 import (
-	"container/heap"
 	"sort"
 
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -42,6 +42,11 @@ type Config struct {
 	SampleFrom, SampleTo int64
 	// OnSample receives the sampling callbacks.
 	OnSample func(ts int64, preds []predictor.Predictor)
+	// StreamingRatios replaces the per-job Ratios log with a constant-space
+	// P² median sketch, so million-job replays stop holding O(jobs) memory
+	// per predictor. MedianRatio then returns the sketch's estimate (exact
+	// up to five ratios, approximate beyond); Result.Ratios stays nil.
+	StreamingRatios bool
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +78,9 @@ type Result struct {
 	// Trims is how many change points the predictor acted on (0 for
 	// methods without trimming).
 	Trims int
+
+	// ratioSketch replaces Ratios under Config.StreamingRatios.
+	ratioSketch *stats.P2Quantile
 }
 
 // CorrectFraction returns Correct/Scored (1 when nothing was scored, since
@@ -84,9 +92,22 @@ func (r *Result) CorrectFraction() float64 {
 	return float64(r.Correct) / float64(r.Scored)
 }
 
+// RatioCount returns how many ratios were recorded, regardless of whether
+// they were logged exactly or fed to the streaming sketch.
+func (r *Result) RatioCount() int {
+	if r.ratioSketch != nil {
+		return r.ratioSketch.Count()
+	}
+	return len(r.Ratios)
+}
+
 // MedianRatio returns the median of actual/predicted ratios, the paper's
-// Table 4 accuracy metric. Zero when no ratios were recorded.
+// Table 4 accuracy metric. Zero when no ratios were recorded. Under
+// Config.StreamingRatios this is the P² sketch's estimate.
 func (r *Result) MedianRatio() float64 {
+	if r.ratioSketch != nil {
+		return r.ratioSketch.Value()
+	}
 	if len(r.Ratios) == 0 {
 		return 0
 	}
@@ -100,34 +121,102 @@ func (r *Result) MedianRatio() float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// pendingJob is a submitted job whose wait is not yet visible.
+// pendingJob is a submitted job whose wait is not yet visible. Jobs live in
+// a slot arena (jobPool); the per-predictor bound arrays are flattened into
+// two shared backing slices indexed by slot, so a pending job costs zero
+// allocations once the pool has grown to the trace's maximum backlog.
 type pendingJob struct {
 	release int64
-	seq     int // submission order, to break release ties deterministically
 	wait    float64
-	bounds  []float64
-	boundOK []bool
+	seq     int32 // submission order, to break release ties deterministically
 	scored  bool
 }
 
-type pendingHeap []*pendingJob
-
-func (h pendingHeap) Len() int { return len(h) }
-func (h pendingHeap) Less(i, j int) bool {
-	if h[i].release != h[j].release {
-		return h[i].release < h[j].release
-	}
-	return h[i].seq < h[j].seq
+// jobPool is the slot arena plus free list backing the replay loop.
+type jobPool struct {
+	np      int
+	jobs    []pendingJob
+	bounds  []float64 // slot s, predictor j -> bounds[s*np+j]
+	boundOK []bool
+	free    []int32
 }
-func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(*pendingJob)) }
-func (h *pendingHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
+
+func (p *jobPool) alloc() int32 {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	s := int32(len(p.jobs))
+	p.jobs = append(p.jobs, pendingJob{})
+	for i := 0; i < p.np; i++ {
+		p.bounds = append(p.bounds, 0)
+		p.boundOK = append(p.boundOK, false)
+	}
+	return s
+}
+
+func (p *jobPool) release(s int32) { p.free = append(p.free, s) }
+
+func (p *jobPool) boundsOf(s int32) ([]float64, []bool) {
+	lo, hi := int(s)*p.np, (int(s)+1)*p.np
+	return p.bounds[lo:hi:hi], p.boundOK[lo:hi:hi]
+}
+
+// slotHeap is a typed binary min-heap of pool slots ordered by
+// (release, seq). Replacing the interface-boxed container/heap removes the
+// per-push boxing allocation and the indirect Less/Swap calls; the order it
+// pops is identical because (release, seq) is a strict total order.
+type slotHeap struct {
+	pool  *jobPool
+	slots []int32
+}
+
+func (h *slotHeap) len() int { return len(h.slots) }
+
+func (h *slotHeap) less(a, b int32) bool {
+	ja, jb := &h.pool.jobs[a], &h.pool.jobs[b]
+	if ja.release != jb.release {
+		return ja.release < jb.release
+	}
+	return ja.seq < jb.seq
+}
+
+func (h *slotHeap) push(s int32) {
+	h.slots = append(h.slots, s)
+	i := len(h.slots) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.slots[i], h.slots[parent]) {
+			break
+		}
+		h.slots[i], h.slots[parent] = h.slots[parent], h.slots[i]
+		i = parent
+	}
+}
+
+func (h *slotHeap) pop() int32 {
+	s := h.slots[0]
+	n := len(h.slots) - 1
+	h.slots[0] = h.slots[n]
+	h.slots = h.slots[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(h.slots[r], h.slots[l]) {
+			m = r
+		}
+		if !h.less(h.slots[m], h.slots[i]) {
+			break
+		}
+		h.slots[i], h.slots[m] = h.slots[m], h.slots[i]
+		i = m
+	}
+	return s
 }
 
 // Run replays the trace against the predictors and returns one Result per
@@ -144,14 +233,17 @@ func Run(t *trace.Trace, preds []predictor.Predictor, cfg Config) []Result {
 	results := make([]Result, len(preds))
 	for i, p := range preds {
 		results[i] = Result{Machine: t.Machine, Queue: t.Queue, Method: p.Name()}
+		if cfg.StreamingRatios {
+			results[i].ratioSketch = stats.NewP2Quantile(0.5)
+		}
 	}
 	if len(jobs) == 0 {
 		return results
 	}
 
 	trainCount := int(cfg.TrainFraction * float64(len(jobs)))
-	pending := &pendingHeap{}
-	heap.Init(pending)
+	pool := &jobPool{np: len(preds)}
+	pending := &slotHeap{pool: pool}
 
 	epochFloor := func(ts int64) int64 {
 		if cfg.InstantUpdates {
@@ -164,12 +256,15 @@ func Run(t *trace.Trace, preds []predictor.Predictor, cfg Config) []Result {
 	// release order, and refits.
 	advance := func(cutoff int64) {
 		changed := false
-		for pending.Len() > 0 && (*pending)[0].release <= cutoff {
-			e := heap.Pop(pending).(*pendingJob)
+		for pending.len() > 0 && pool.jobs[pending.slots[0]].release <= cutoff {
+			s := pending.pop()
+			e := &pool.jobs[s]
+			bounds, boundOK := pool.boundsOf(s)
 			for j, p := range preds {
-				missed := e.boundOK[j] && e.wait > e.bounds[j]
+				missed := boundOK[j] && e.wait > bounds[j]
 				p.Observe(e.wait, missed)
 			}
+			pool.release(s)
 			changed = true
 		}
 		if changed {
@@ -209,18 +304,17 @@ func Run(t *trace.Trace, preds []predictor.Predictor, cfg Config) []Result {
 		emitSamplesUpTo(job.Submit)
 		advance(epochFloor(job.Submit))
 
-		entry := &pendingJob{
-			release: job.Release(),
-			seq:     i,
-			wait:    job.Wait,
-			bounds:  make([]float64, len(preds)),
-			boundOK: make([]bool, len(preds)),
-			scored:  i >= trainCount,
-		}
+		s := pool.alloc()
+		entry := &pool.jobs[s]
+		entry.release = job.Release()
+		entry.seq = int32(i)
+		entry.wait = job.Wait
+		entry.scored = i >= trainCount
+		bounds, boundOK := pool.boundsOf(s)
 		for j, p := range preds {
 			b, ok := p.Bound()
-			entry.bounds[j] = b
-			entry.boundOK[j] = ok
+			bounds[j] = b
+			boundOK[j] = ok
 			if !entry.scored {
 				continue
 			}
@@ -234,10 +328,14 @@ func Run(t *trace.Trace, preds []predictor.Predictor, cfg Config) []Result {
 				r.Correct++
 			}
 			if b > 0 {
-				r.Ratios = append(r.Ratios, job.Wait/b)
+				if r.ratioSketch != nil {
+					r.ratioSketch.Add(job.Wait / b)
+				} else {
+					r.Ratios = append(r.Ratios, job.Wait/b)
+				}
 			}
 		}
-		heap.Push(pending, entry)
+		pending.push(s)
 	}
 	// Flush any samples that fall after the last arrival.
 	if sampling {

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+func synthTrace(n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]trace.Job, n)
+	ts := int64(0)
+	for i := range jobs {
+		ts += int64(rng.Intn(120) + 1)
+		jobs[i] = trace.Job{
+			Submit: ts,
+			Wait:   math.Exp(rng.NormFloat64()*1.5 + 4),
+			Procs:  1 + rng.Intn(16),
+		}
+	}
+	return &trace.Trace{Machine: "synth", Queue: "q", Jobs: jobs}
+}
+
+// TestStreamingRatiosMatchesExactOnReplay runs the same trace through the
+// exact Ratios log and the P² sketch and checks the streamed median lands
+// on the exact one (closely — the sketch is approximate past five ratios)
+// while holding no per-job state.
+func TestStreamingRatiosMatchesExactOnReplay(t *testing.T) {
+	tr := synthTrace(6000, 9)
+	mk := func() []predictor.Predictor {
+		return []predictor.Predictor{predictorAdapter{core.New(core.Config{Seed: 3})}}
+	}
+	exact := Run(tr, mk(), Config{})
+	stream := Run(tr, mk(), Config{StreamingRatios: true})
+
+	if len(stream[0].Ratios) != 0 {
+		t.Fatalf("streaming run logged %d ratios, want none", len(stream[0].Ratios))
+	}
+	if exact[0].RatioCount() != stream[0].RatioCount() {
+		t.Fatalf("ratio counts differ: exact %d, stream %d", exact[0].RatioCount(), stream[0].RatioCount())
+	}
+	if exact[0].Scored != stream[0].Scored || exact[0].Correct != stream[0].Correct {
+		t.Fatalf("scoring differs between modes: %+v vs %+v", exact[0], stream[0])
+	}
+	em, sm := exact[0].MedianRatio(), stream[0].MedianRatio()
+	if em <= 0 {
+		t.Fatalf("exact median ratio %g", em)
+	}
+	if rel := math.Abs(sm-em) / em; rel > 0.05 {
+		t.Fatalf("stream median %g vs exact %g (rel err %g)", sm, em, rel)
+	}
+}
+
+// TestStreamingRatiosSmallCounts pins the exact-equality regime: with five
+// or fewer scored ratios the sketch must reproduce MedianRatio bit for bit
+// on empty, single, odd, and even inputs.
+func TestStreamingRatiosSmallCounts(t *testing.T) {
+	// Empty trace: both modes report zero.
+	empty := Run(mkTrace(), nil, Config{StreamingRatios: true})
+	if len(empty) != 0 {
+		t.Fatalf("empty trace with no predictors: %d results", len(empty))
+	}
+	er := Result{ratioSketch: nil}
+	if er.MedianRatio() != 0 {
+		t.Fatal("MedianRatio over no ratios is 0 by contract")
+	}
+	for njobs := 1; njobs <= 5; njobs++ {
+		srun := Run(synthSmall(njobs), []predictor.Predictor{&scripted{bound: 100, ok: true}}, Config{TrainFraction: 0.01, StreamingRatios: true})
+		erun := Run(synthSmall(njobs), []predictor.Predictor{&scripted{bound: 100, ok: true}}, Config{TrainFraction: 0.01})
+		exact, stream := erun[0], srun[0]
+		if exact.RatioCount() != njobs || stream.RatioCount() != njobs {
+			t.Fatalf("njobs=%d: counts %d vs %d", njobs, exact.RatioCount(), stream.RatioCount())
+		}
+		if got, want := stream.MedianRatio(), exact.MedianRatio(); got != want {
+			t.Errorf("njobs=%d: streaming median %g, exact %g", njobs, got, want)
+		}
+	}
+}
+
+// synthSmall returns a trace whose last job is a far-future flush; all n
+// jobs (including the flush itself, quoted at submission) are scored, so
+// exactly n ratios are recorded.
+func synthSmall(n int) *trace.Trace {
+	jobs := make([]trace.Job, n)
+	for i := range jobs {
+		jobs[i] = trace.Job{Submit: int64(i * 1000), Wait: float64(10 * (i + 1)), Procs: 1}
+	}
+	jobs[n-1] = trace.Job{Submit: 1 << 40, Wait: 1, Procs: 1}
+	return &trace.Trace{Machine: "m", Queue: "q", Jobs: jobs}
+}
+
+// predictorAdapter lifts a *core.BMBP into the predictor interface the
+// simulator consumes (mirrors the wiring in internal/predictor).
+type predictorAdapter struct{ b *core.BMBP }
+
+func (a predictorAdapter) Name() string              { return a.b.Name() }
+func (a predictorAdapter) Observe(w float64, m bool) { a.b.Observe(w, m) }
+func (a predictorAdapter) FinishTraining()           { a.b.FinishTraining() }
+func (a predictorAdapter) Refit()                    { a.b.Refit() }
+func (a predictorAdapter) Bound() (float64, bool)    { return a.b.Bound() }
+
+// TestReplayAllocsDoNotScaleWithJobs asserts the pooled replay loop's
+// allocation count is a function of the backlog, not the job count: a
+// trace 8× longer may not allocate more than a small constant factor over
+// the short one (slice-growth doublings), where the old per-job entries
+// grew allocations linearly.
+func TestReplayAllocsDoNotScaleWithJobs(t *testing.T) {
+	run := func(n int) float64 {
+		tr := synthTrace(n, 13)
+		return testing.AllocsPerRun(3, func() {
+			p := &scripted{bound: 1e9, ok: true}
+			Run(tr, []predictor.Predictor{p}, Config{StreamingRatios: true})
+		})
+	}
+	small, large := run(2000), run(16000)
+	if large > 4*small+64 {
+		t.Fatalf("allocs grew with job count: %g for 2k jobs, %g for 16k jobs", small, large)
+	}
+}
+
+func BenchmarkSimReplay(b *testing.B) {
+	tr := synthTrace(20000, 21)
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			preds := predictor.Standard(0.95, 0.95, 1)
+			Run(tr, preds, Config{})
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			preds := predictor.Standard(0.95, 0.95, 1)
+			Run(tr, preds, Config{StreamingRatios: true})
+		}
+	})
+}

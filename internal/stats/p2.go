@@ -1,0 +1,131 @@
+package stats
+
+import "sort"
+
+// P2Quantile estimates a single quantile of a stream in O(1) space using
+// the P² algorithm of Jain & Chlamtac (1985): five markers track the
+// running minimum, maximum, target quantile, and the two midpoints, and
+// are nudged toward their ideal positions with parabolic (falling back to
+// linear) interpolation as observations arrive. The first five
+// observations are kept exactly, so small streams pay no approximation
+// error at all.
+type P2Quantile struct {
+	p     float64
+	count int
+	// Exact buffer for the first five observations.
+	buf [5]float64
+	// Marker heights, positions (1-based), desired positions, and desired
+	// position increments.
+	q  [5]float64
+	n  [5]float64
+	np [5]float64
+	dn [5]float64
+}
+
+// NewP2Quantile returns an estimator for the p-th quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile {
+	s := &P2Quantile{p: p}
+	s.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return s
+}
+
+// Count returns the number of observations added.
+func (s *P2Quantile) Count() int { return s.count }
+
+// Add feeds one observation.
+func (s *P2Quantile) Add(x float64) {
+	if s.count < 5 {
+		s.buf[s.count] = x
+		s.count++
+		if s.count == 5 {
+			sort.Float64s(s.buf[:])
+			for i := 0; i < 5; i++ {
+				s.q[i] = s.buf[i]
+				s.n[i] = float64(i + 1)
+			}
+			s.np = [5]float64{1, 1 + 2*s.p, 1 + 4*s.p, 3 + 2*s.p, 5}
+		}
+		return
+	}
+	s.count++
+
+	// Locate the cell containing x, extending the extremes if needed.
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0] = x
+		k = 0
+	case x >= s.q[4]:
+		s.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		s.np[i] += s.dn[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.np[i] - s.n[i]
+		if (d >= 1 && s.n[i+1]-s.n[i] > 1) || (d <= -1 && s.n[i-1]-s.n[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			qp := s.parabolic(i, sign)
+			if s.q[i-1] < qp && qp < s.q[i+1] {
+				s.q[i] = qp
+			} else {
+				s.q[i] = s.linear(i, sign)
+			}
+			s.n[i] += sign
+		}
+	}
+}
+
+func (s *P2Quantile) parabolic(i int, d float64) float64 {
+	return s.q[i] + d/(s.n[i+1]-s.n[i-1])*((s.n[i]-s.n[i-1]+d)*(s.q[i+1]-s.q[i])/(s.n[i+1]-s.n[i])+
+		(s.n[i+1]-s.n[i]-d)*(s.q[i]-s.q[i-1])/(s.n[i]-s.n[i-1]))
+}
+
+func (s *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.n[j]-s.n[i])
+}
+
+// Value returns the current quantile estimate. Streams of up to five
+// observations are answered exactly (type R-7 interpolation over the
+// buffered values; for p = 0.5 with an even count that is exactly the
+// mean of the two middle values). An empty stream returns 0.
+func (s *P2Quantile) Value() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if s.count <= 5 {
+		vals := s.buf[:s.count]
+		tmp := [5]float64{}
+		copy(tmp[:], vals)
+		sorted := tmp[:s.count]
+		sort.Float64s(sorted)
+		h := float64(s.count-1) * s.p
+		i := int(h)
+		g := h - float64(i)
+		switch {
+		case g == 0 || i+1 >= s.count:
+			return sorted[i]
+		case g == 0.5:
+			return (sorted[i] + sorted[i+1]) / 2
+		default:
+			return sorted[i] + g*(sorted[i+1]-sorted[i])
+		}
+	}
+	return s.q[2]
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exactQuantileR7(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	h := float64(n-1) * p
+	i := int(h)
+	g := h - float64(i)
+	if g == 0 || i+1 >= n {
+		return sorted[i]
+	}
+	return sorted[i] + g*(sorted[i+1]-sorted[i])
+}
+
+func TestP2QuantileSmallCountsExact(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{3.5},
+		{2, 1},
+		{9, 1, 5},
+		{4, 1, 3, 2},
+		{10, 30, 20, 50, 40},
+	}
+	for _, vals := range cases {
+		s := NewP2Quantile(0.5)
+		for _, v := range vals {
+			s.Add(v)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		var want float64
+		switch n := len(sorted); {
+		case n == 0:
+			want = 0
+		case n%2 == 1:
+			want = sorted[n/2]
+		default:
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		if got := s.Value(); got != want {
+			t.Errorf("median of %v = %g, want %g", vals, got, want)
+		}
+		if s.Count() != len(vals) {
+			t.Errorf("Count = %d, want %d", s.Count(), len(vals))
+		}
+	}
+}
+
+func TestP2QuantileConvergesOnRandomStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range []float64{0.5, 0.95} {
+		for _, gen := range []struct {
+			name string
+			next func() float64
+		}{
+			{"uniform", rng.Float64},
+			{"lognormal", func() float64 { return math.Exp(rng.NormFloat64()) }},
+		} {
+			const n = 50000
+			s := NewP2Quantile(p)
+			all := make([]float64, n)
+			for i := range all {
+				v := gen.next()
+				all[i] = v
+				s.Add(v)
+			}
+			sort.Float64s(all)
+			want := exactQuantileR7(all, p)
+			got := s.Value()
+			// P² is approximate; a few percent relative error at 50k
+			// observations of a smooth distribution is far more slack than
+			// it needs.
+			if relErr := math.Abs(got-want) / want; relErr > 0.05 {
+				t.Errorf("%s p=%g: sketch %g, exact %g (rel err %g)", gen.name, p, got, want, relErr)
+			}
+		}
+	}
+}
+
+func TestP2QuantileMonotoneBatchesStayBracketed(t *testing.T) {
+	// Adversarially ordered input (ascending) with duplicates: the estimate
+	// must stay within the observed range and near the true median.
+	s := NewP2Quantile(0.5)
+	const n = 10001
+	for i := 0; i < n; i++ {
+		s.Add(float64(i / 10)) // duplicates in runs of 10
+	}
+	got := s.Value()
+	if got < 0 || got > float64(n/10) {
+		t.Fatalf("estimate %g outside observed range", got)
+	}
+	want := float64((n / 2) / 10)
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("median of ascending stream: %g, want ~%g", got, want)
+	}
+}
+
+func BenchmarkP2QuantileAdd(b *testing.B) {
+	s := NewP2Quantile(0.5)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Float64())
+	}
+}
