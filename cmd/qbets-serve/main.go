@@ -10,9 +10,18 @@
 //	curl 'localhost:8080/v1/forecast?queue=normal&procs=8'
 //	curl 'localhost:8080/v1/profile?queue=normal&procs=8'
 //	curl 'localhost:8080/v1/status'
+//	curl 'localhost:8080/metrics'
+//
+// The service instruments itself (request counts, prediction latency, and
+// the per-stream rolling hit rate of its bounds against the target
+// confidence) and exposes everything at /metrics in Prometheus text
+// format, optionally on a dedicated listener via -metrics-addr. See
+// docs/OPERATIONS.md for the scrape model and the full metric list.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
@@ -28,12 +37,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qbets-serve: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		byProcs    = flag.Bool("by-procs", true, "one predictor per queue × processor category")
-		quantile   = flag.Float64("quantile", 0.95, "quantile of queue delay to bound")
-		confidence = flag.Float64("confidence", 0.95, "confidence level of the bound")
-		statePath  = flag.String("state", "", "state file: loaded at startup if present, saved periodically and on shutdown")
-		saveEvery  = flag.Duration("save-interval", 5*time.Minute, "state save period (with -state)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		metricsAddr = flag.String("metrics-addr", "", "optional dedicated listen address for /metrics (also served on -addr)")
+		byProcs     = flag.Bool("by-procs", true, "one predictor per queue × processor category")
+		quantile    = flag.Float64("quantile", 0.95, "quantile of queue delay to bound")
+		confidence  = flag.Float64("confidence", 0.95, "confidence level of the bound")
+		statePath   = flag.String("state", "", "state file: loaded at startup if present, saved periodically and on shutdown")
+		saveEvery   = flag.Duration("save-interval", 5*time.Minute, "state save period (with -state)")
+		logRequests = flag.Bool("log-requests", false, "log every request (method, path, status, duration)")
 	)
 	flag.Parse()
 
@@ -44,37 +55,108 @@ func main() {
 	if *statePath != "" {
 		switch err := server.LoadFile(*statePath); {
 		case err == nil:
-			log.Printf("restored state from %s", *statePath)
+			log.Printf("restored state from %s (%d streams)", *statePath, server.Service().NumStreams())
 		case os.IsNotExist(err):
 			log.Printf("no state at %s yet; starting fresh", *statePath)
 		default:
 			log.Fatalf("loading %s: %v", *statePath, err)
 		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *statePath != "" {
 		go func() {
-			for range time.Tick(*saveEvery) {
-				if err := server.SaveFile(*statePath); err != nil {
-					log.Printf("state save failed: %v", err)
+			tick := time.NewTicker(*saveEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := server.SaveFile(*statePath); err != nil {
+						log.Printf("state save failed: %v", err)
+					}
+				case <-ctx.Done():
+					return
 				}
 			}
 		}()
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigs
-			if err := server.SaveFile(*statePath); err != nil {
-				log.Printf("final state save failed: %v", err)
-			}
-			os.Exit(0)
-		}()
+	}
+
+	var handler http.Handler = server
+	if *logRequests {
+		handler = withRequestLog(handler)
 	}
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           server,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	errc := make(chan error, 2)
+	go func() { errc <- httpServer.ListenAndServe() }()
+
+	var metricsServer *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", server.Metrics().Handler())
+		metricsServer = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { errc <- metricsServer.ListenAndServe() }()
+		log.Printf("metrics on %s/metrics", *metricsAddr)
+	}
+
 	log.Printf("listening on %s (quantile %.2f, confidence %.2f, by-procs %v)",
 		*addr, *quantile, *confidence, *byProcs)
-	if err := httpServer.ListenAndServe(); err != nil {
-		log.Fatal(err)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down")
 	}
+
+	// Graceful drain: stop accepting, finish in-flight requests, then
+	// persist the final state.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if metricsServer != nil {
+		if err := metricsServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("metrics shutdown: %v", err)
+		}
+	}
+	if *statePath != "" {
+		if err := server.SaveFile(*statePath); err != nil {
+			log.Printf("final state save failed: %v", err)
+		} else {
+			log.Printf("state saved to %s", *statePath)
+		}
+	}
+}
+
+// withRequestLog logs one line per request: method, path, status, duration.
+func withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		lw := &loggingWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(lw, r)
+		log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, lw.code, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type loggingWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *loggingWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }

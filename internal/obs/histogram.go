@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations in fixed buckets, Prometheus-style: bucket
+// i holds observations v with v <= upper[i], plus an implicit +Inf bucket.
+// Updates are lock-free; a scrape reads a consistent-enough snapshot (each
+// field is individually atomic, which is the standard exposition contract).
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, excluding +Inf
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// newHistogram returns a histogram over the given bucket upper bounds. The
+// bounds are sorted and deduplicated; an empty slice leaves only +Inf.
+func newHistogram(buckets []float64) *Histogram {
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	dedup := up[:0]
+	for i, b := range up {
+		if i == 0 || b != up[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{upper: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; len(upper) selects +Inf.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+// snapshot returns cumulative bucket counts aligned with upper (the last
+// entry is the +Inf bucket, equal to the total count at snapshot time).
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// ExponentialBuckets returns n upper bounds starting at start, each factor
+// times the previous — the usual latency-histogram shape.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets covers 1µs to ~4s, suiting microsecond-scale prediction
+// paths with room for degenerate tail behavior.
+func LatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 2, 22) }

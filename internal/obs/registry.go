@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Metric creation is expected at setup time; updates
+// and scrapes may happen concurrently from any goroutine.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	names   map[string]bool
+}
+
+// entry is one metric family: a fixed name/help/type plus a collector that
+// emits samples at scrape time. suffix extends the family name
+// ("_bucket", "_sum", ...); labels is a pre-rendered `k="v",...` list.
+type entry struct {
+	name, help, typ string
+	collect         func(emit func(suffix, labels string, value float64))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) add(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[e.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", e.name))
+	}
+	r.names[e.name] = true
+	r.entries = append(r.entries, e)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&entry{name: name, help: help, typ: "counter",
+		collect: func(emit func(string, string, float64)) {
+			emit("", "", float64(c.Value()))
+		}})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&entry{name: name, help: help, typ: "gauge",
+		collect: func(emit func(string, string, float64)) {
+			emit("", "", g.Value())
+		}})
+	return g
+}
+
+// NewHistogram registers and returns a histogram over the given bucket
+// upper bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.add(&entry{name: name, help: help, typ: "histogram",
+		collect: func(emit func(string, string, float64)) {
+			cum := h.snapshot()
+			for i, upper := range h.upper {
+				emit("_bucket", Labels("le", formatFloat(upper)), float64(cum[i]))
+			}
+			emit("_bucket", Labels("le", "+Inf"), float64(cum[len(cum)-1]))
+			emit("_sum", "", h.Sum())
+			emit("_count", "", float64(h.Count()))
+		}})
+	return h
+}
+
+// NewCounterVec registers a counter family keyed by label values. Children
+// are created on first use and live forever; keep label cardinality small.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	v := &CounterVec{labelNames: labelNames, children: make(map[string]*Counter)}
+	r.add(&entry{name: name, help: help, typ: "counter",
+		collect: func(emit func(string, string, float64)) {
+			v.mu.RLock()
+			keys := make([]string, 0, len(v.children))
+			for k := range v.children {
+				keys = append(keys, k)
+			}
+			v.mu.RUnlock()
+			sort.Strings(keys)
+			for _, k := range keys {
+				v.mu.RLock()
+				c := v.children[k]
+				v.mu.RUnlock()
+				emit("", k, float64(c.Value()))
+			}
+		}})
+	return v
+}
+
+// RegisterGaugeFunc registers a gauge family whose samples are produced at
+// scrape time by collect — the natural shape for per-stream state that
+// lives elsewhere (depth, hit rate) and would be wasteful to mirror into
+// dedicated gauges on every update.
+func (r *Registry) RegisterGaugeFunc(name, help string, collect func(emit func(labels string, value float64))) {
+	r.add(&entry{name: name, help: help, typ: "gauge",
+		collect: func(emit func(string, string, float64)) {
+			collect(func(labels string, v float64) { emit("", labels, v) })
+		}})
+}
+
+// RegisterCounterFunc is RegisterGaugeFunc for monotone families collected
+// at scrape time (e.g. per-stream trim totals held by the streams).
+func (r *Registry) RegisterCounterFunc(name, help string, collect func(emit func(labels string, value float64))) {
+	r.add(&entry{name: name, help: help, typ: "counter",
+		collect: func(emit func(string, string, float64)) {
+			collect(func(labels string, v float64) { emit("", labels, v) })
+		}})
+}
+
+// WritePrometheus renders every registered metric in exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	var err error
+	for _, e := range entries {
+		if _, werr := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, e.typ); werr != nil && err == nil {
+			err = werr
+		}
+		e.collect(func(suffix, labels string, v float64) {
+			var werr error
+			if labels == "" {
+				_, werr = fmt.Fprintf(w, "%s%s %s\n", e.name, suffix, formatFloat(v))
+			} else {
+				_, werr = fmt.Fprintf(w, "%s%s{%s} %s\n", e.name, suffix, labels, formatFloat(v))
+			}
+			if werr != nil && err == nil {
+				err = werr
+			}
+		})
+	}
+	return err
+}
+
+// Handler returns an http.Handler serving the registry — mount it at
+// /metrics and point a Prometheus scraper at it.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	labelNames []string
+	mu         sync.RWMutex
+	children   map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per label
+// name, in registration order), creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if len(labelValues) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels", len(labelValues), len(v.labelNames)))
+	}
+	kv := make([]string, 0, 2*len(labelValues))
+	for i, val := range labelValues {
+		kv = append(kv, v.labelNames[i], val)
+	}
+	key := Labels(kv...)
+	v.mu.RLock()
+	c, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[key] = c
+	return c
+}
+
+// Labels renders alternating key, value pairs as a Prometheus label list
+// (`k1="v1",k2="v2"`), escaping values. Keys are sorted so equal label sets
+// render identically regardless of argument order.
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: Labels requires key, value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p.v))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

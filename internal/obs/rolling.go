@@ -1,0 +1,70 @@
+package obs
+
+import "sync"
+
+// RollingRate tracks the hit rate of a boolean outcome stream over a
+// sliding window of the most recent outcomes, plus lifetime totals. It is
+// the online form of the paper's correctness metric (Tables 3–7): each
+// resolved prediction — a job whose quoted bound can now be compared with
+// its actual wait — records one outcome, and the windowed rate is compared
+// against the target confidence to tell whether the bounds are holding
+// *now*, not just on average since startup.
+type RollingRate struct {
+	mu     sync.Mutex
+	window []bool
+	idx    int
+	filled int
+	hits   int
+
+	lifetimeN    uint64
+	lifetimeHits uint64
+}
+
+// NewRollingRate returns a tracker over a window of the last n outcomes.
+// n < 1 is treated as 1.
+func NewRollingRate(n int) *RollingRate {
+	if n < 1 {
+		n = 1
+	}
+	return &RollingRate{window: make([]bool, n)}
+}
+
+// Record adds one outcome.
+func (r *RollingRate) Record(hit bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled == len(r.window) {
+		if r.window[r.idx] {
+			r.hits--
+		}
+	} else {
+		r.filled++
+	}
+	r.window[r.idx] = hit
+	if hit {
+		r.hits++
+	}
+	r.idx = (r.idx + 1) % len(r.window)
+	r.lifetimeN++
+	if hit {
+		r.lifetimeHits++
+	}
+}
+
+// Rate returns the hit rate over the current window and the number of
+// outcomes in it. With no outcomes yet, it returns (0, 0).
+func (r *RollingRate) Rate() (rate float64, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled == 0 {
+		return 0, 0
+	}
+	return float64(r.hits) / float64(r.filled), r.filled
+}
+
+// Lifetime returns the total hits and outcomes since creation.
+func (r *RollingRate) Lifetime() (hits, total uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lifetimeHits, r.lifetimeN
+}

@@ -15,6 +15,13 @@ func FuzzRead(f *testing.F) {
 	f.Add("# comment only\n")
 	f.Add("-1 -2 -3\n")
 	f.Add("9223372036854775807 1e308 2147483647\n")
+	f.Add("100 5 2\r\n200 6 4\r\n")
+	f.Add("# machine=m queue=q\n# machine=n queue=r\n1 1 1\n")
+	f.Add("1 NaN 2\n")
+	f.Add("1 Inf 2\n")
+	f.Add("0x10 5 2\n")
+	f.Add("100\t5\t2\n")
+	f.Add("100 5 2 extra trailing fields here\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Read(strings.NewReader(input))
 		if err != nil {

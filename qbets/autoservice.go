@@ -2,8 +2,10 @@ package qbets
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // AutoService is a Service that learns its job categories from the
@@ -13,7 +15,14 @@ import (
 // log₂ processor count and, when provided, log runtime estimate) and gives
 // each cluster its own Forecaster, replaying the warm-up waits into the
 // right clusters so no history is lost.
+//
+// AutoService is safe for concurrent use and carries the same per-category
+// self-monitoring the Service's streams do: each learned category tracks
+// the rolling hit rate of its resolved predictions against the target
+// confidence (see Stats).
 type AutoService struct {
+	mu sync.RWMutex
+
 	opts   []Option
 	k      int
 	warmup int
@@ -27,6 +36,21 @@ type AutoService struct {
 	clusters   cluster.Result
 	means, sds []float64
 	forecast   []*Forecaster
+	hit        []*obs.RollingRate
+}
+
+// CategoryStatus is a point-in-time snapshot of one learned category's
+// state and self-monitoring metrics (the AutoService analogue of
+// StreamStatus).
+type CategoryStatus struct {
+	Category        int
+	Observations    int
+	MinObservations int
+	BoundSeconds    float64
+	BoundOK         bool
+	RollingHitRate  float64
+	RollingResolved int
+	Trims           int
 }
 
 // NewAutoService returns an AutoService that learns k categories after
@@ -43,7 +67,7 @@ func NewAutoService(k, warmup int, opts ...Option) *AutoService {
 
 // feature maps a job shape to clustering space. Runtime estimates are
 // optional (0 = unknown) and enter as a second dimension only when the
-// warm-up saw any.
+// warm-up saw any. Callers hold at least a read lock.
 func (a *AutoService) feature(procs int, estimate float64) []float64 {
 	if procs < 1 {
 		procs = 1
@@ -70,6 +94,8 @@ func (a *AutoService) hasEstimates() bool {
 // Observe records a completed wait for a job shape. estimate is the job's
 // requested runtime in seconds (0 if unknown).
 func (a *AutoService) Observe(procs int, estimate, waitSeconds float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if !a.ready {
 		a.shapes = append(a.shapes, []float64{
 			math.Log2(math.Max(float64(procs), 1)),
@@ -82,10 +108,18 @@ func (a *AutoService) Observe(procs int, estimate, waitSeconds float64) {
 		return
 	}
 	idx := a.route(procs, estimate)
+	// Score the bound this job would have been quoted (the paper's online
+	// correctness metric), then fold the wait in and refit eagerly so the
+	// read paths under RLock never mutate forecaster state.
+	if bound, ok := a.forecast[idx].Forecast(); ok {
+		a.hit[idx].Record(waitSeconds <= bound)
+	}
 	a.forecast[idx].Observe(waitSeconds)
+	a.forecast[idx].Forecast()
 }
 
 // learn clusters the warm-up shapes and replays the buffered waits.
+// Called with the write lock held.
 func (a *AutoService) learn() {
 	raw := a.shapes
 	// Drop the estimate dimension entirely if nobody supplied one.
@@ -109,12 +143,18 @@ func (a *AutoService) learn() {
 	a.means, a.sds = means, sds
 
 	a.forecast = make([]*Forecaster, len(a.clusters.Centers))
+	a.hit = make([]*obs.RollingRate, len(a.forecast))
 	for i := range a.forecast {
 		opts := append([]Option{WithSeed(seedFromOpts(a.opts) + int64(i) + 1)}, a.opts...)
 		a.forecast[i] = New(opts...)
+		a.hit[i] = obs.NewRollingRate(hitRateWindow)
 	}
 	for i, w := range a.waits {
 		a.forecast[a.clusters.Assign[i]].Observe(w)
+	}
+	// Settle every lazily-computed bound before readers arrive.
+	for _, fc := range a.forecast {
+		fc.Forecast()
 	}
 	a.shapes, a.waits = nil, nil
 	a.ready = true
@@ -128,6 +168,8 @@ func (a *AutoService) route(procs int, estimate float64) int {
 // Forecast returns the learned category's bound for a job shape. ok is
 // false during warm-up or while the category's history is too short.
 func (a *AutoService) Forecast(procs int, estimate float64) (seconds float64, ok bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if !a.ready {
 		return 0, false
 	}
@@ -135,18 +177,54 @@ func (a *AutoService) Forecast(procs int, estimate float64) (seconds float64, ok
 }
 
 // Ready reports whether the warm-up has completed and categories exist.
-func (a *AutoService) Ready() bool { return a.ready }
+func (a *AutoService) Ready() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.ready
+}
 
 // Categories returns the number of learned categories (0 during warm-up).
-func (a *AutoService) Categories() int { return len(a.forecast) }
+func (a *AutoService) Categories() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.forecast)
+}
 
 // CategoryOfJob returns the learned category a job shape routes to
 // (-1 during warm-up).
 func (a *AutoService) CategoryOfJob(procs int, estimate float64) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if !a.ready {
 		return -1
 	}
 	return a.route(procs, estimate)
+}
+
+// Stats returns a status snapshot per learned category (nil during
+// warm-up).
+func (a *AutoService) Stats() []CategoryStatus {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if !a.ready {
+		return nil
+	}
+	out := make([]CategoryStatus, len(a.forecast))
+	for i, fc := range a.forecast {
+		bound, ok := fc.Forecast()
+		rate, n := a.hit[i].Rate()
+		out[i] = CategoryStatus{
+			Category:        i,
+			Observations:    fc.Observations(),
+			MinObservations: fc.MinObservations(),
+			BoundSeconds:    bound,
+			BoundOK:         ok,
+			RollingHitRate:  rate,
+			RollingResolved: n,
+			Trims:           fc.ChangePoints(),
+		}
+	}
+	return out
 }
 
 func seedFromOpts(opts []Option) int64 {

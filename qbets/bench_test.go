@@ -1,0 +1,103 @@
+package qbets
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Concurrent mixed-workload benchmark: observes and forecasts spread over
+// many distinct streams, the serving pattern the sharded registry exists
+// for. The "global-lock" variant reproduces the previous architecture —
+// every operation serialized behind one mutex — so the pair quantifies
+// what sharding buys. On a multi-core host the sharded variant scales with
+// GOMAXPROCS while the global lock stays flat; expect >= 3x at 8 streams
+// and 8+ cores. (On a single-core host the two converge: there is no
+// parallelism for sharding to unlock.)
+//
+//	go test -run '^$' -bench ConcurrentMixed -cpu 1,4,8 ./qbets/
+func BenchmarkServiceConcurrentMixed(b *testing.B) {
+	const streams = 8
+	prewarm := func() *Service {
+		svc := NewService(false, WithSeed(1))
+		rng := rand.New(rand.NewSource(1))
+		for s := 0; s < streams; s++ {
+			q := fmt.Sprintf("q%d", s)
+			for i := 0; i < 500; i++ {
+				svc.Observe(q, 1, math.Exp(rng.NormFloat64())*60)
+			}
+		}
+		return svc
+	}
+	names := make([]string, streams)
+	for s := range names {
+		names[s] = fmt.Sprintf("q%d", s)
+	}
+
+	run := func(b *testing.B, observe func(q string, w float64), forecast func(q string)) {
+		var ctr atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// Each goroutine works a rotating stream so traffic covers all
+			// streams while consecutive ops usually hit different locks.
+			i := int(ctr.Add(1))
+			for pb.Next() {
+				q := names[i%streams]
+				if i%4 == 0 {
+					observe(q, float64(i%1000))
+				} else {
+					forecast(q)
+				}
+				i++
+			}
+		})
+	}
+
+	b.Run("sharded", func(b *testing.B) {
+		svc := prewarm()
+		run(b,
+			func(q string, w float64) { svc.Observe(q, 1, w) },
+			func(q string) { svc.Forecast(q, 1) })
+	})
+
+	b.Run("global-lock", func(b *testing.B) {
+		svc := prewarm()
+		var mu sync.Mutex
+		run(b,
+			func(q string, w float64) { mu.Lock(); svc.Observe(q, 1, w); mu.Unlock() },
+			func(q string) { mu.Lock(); svc.Forecast(q, 1); mu.Unlock() })
+	})
+}
+
+// BenchmarkServerObserveBatch measures the HTTP ingestion path end to end
+// (JSON decode, validation, sharded dispatch, metrics) without network.
+func BenchmarkServerObserveBatch(b *testing.B) {
+	srv := NewServer(true, WithSeed(2))
+	var payload []byte
+	{
+		sb := []byte(`[`)
+		for i := 0; i < 100; i++ {
+			if i > 0 {
+				sb = append(sb, ',')
+			}
+			sb = append(sb, []byte(fmt.Sprintf(`{"queue":"normal","procs":%d,"wait_seconds":%d}`, 1<<(i%8), 10+i))...)
+		}
+		payload = append(sb, ']')
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/observe", bytes.NewReader(payload))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusNoContent {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

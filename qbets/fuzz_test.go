@@ -1,0 +1,110 @@
+package qbets
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// decodeObservePayload mirrors the handler's parse: first JSON value only
+// (trailing bytes ignored), array or single record.
+func decodeObservePayload(data []byte) (records []ObserveRecord, ok bool) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return nil, false
+	}
+	if len(raw) > 0 && raw[0] == '[' {
+		if err := json.Unmarshal(raw, &records); err != nil {
+			return nil, false
+		}
+		return records, true
+	}
+	var one ObserveRecord
+	if err := json.Unmarshal(raw, &one); err != nil {
+		return nil, false
+	}
+	return []ObserveRecord{one}, true
+}
+
+// FuzzObserveRecord hardens the observe ingestion path: arbitrary bytes
+// must never panic the handler, anything the JSON layer accepts must
+// round-trip losslessly, and the handler must answer every payload with
+// either 204 (ingested) or 400 (rejected, with a JSON error body).
+func FuzzObserveRecord(f *testing.F) {
+	// Well-formed singles and batches.
+	f.Add([]byte(`{"queue":"normal","procs":8,"wait_seconds":123}`))
+	f.Add([]byte(`[{"queue":"normal","procs":8,"wait_seconds":123},{"queue":"high","procs":1,"wait_seconds":0}]`))
+	f.Add([]byte(`{"queue":"q","procs":0,"wait_seconds":0.5}`))
+	f.Add([]byte(`{"queue":"üñïçø∂é","procs":2147483647,"wait_seconds":1e300}`))
+	// Hostile shapes.
+	f.Add([]byte(`{bad json`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(`"just a string"`))
+	f.Add([]byte(`{"queue":"","wait_seconds":1}`))
+	f.Add([]byte(`{"queue":"q","wait_seconds":-1}`))
+	f.Add([]byte(`{"queue":"q","procs":-5,"wait_seconds":1}`))
+	f.Add([]byte(`[{"queue":"a","wait_seconds":1},{"queue":"","wait_seconds":2}]`))
+	f.Add([]byte(`{"queue":"q","wait_seconds":1e999}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte("[{\"queue\":\"q\",\"wait_seconds\":1}]\n{\"queue\":\"r\"}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// JSON-layer property: an accepted record re-encodes and decodes
+		// to itself (valid JSON cannot smuggle NaN/Inf into the floats).
+		var rec ObserveRecord
+		if err := json.Unmarshal(data, &rec); err == nil {
+			out, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatalf("accepted record %+v does not re-marshal: %v", rec, err)
+			}
+			var back ObserveRecord
+			if err := json.Unmarshal(out, &back); err != nil {
+				t.Fatalf("re-marshaled record rejected: %v", err)
+			}
+			if !reflect.DeepEqual(rec, back) {
+				t.Fatalf("round trip changed record: %+v vs %+v", rec, back)
+			}
+		}
+
+		// Differential oracle for the handler contract: the payload is the
+		// first JSON value in the body — an array of records or a single
+		// record — and it is ingested iff every record has a queue and a
+		// non-negative wait. Anything else earns a 400 with a JSON error.
+		records, parses := decodeObservePayload(data)
+		valid := parses
+		for _, rec := range records {
+			if rec.Queue == "" || rec.WaitSeconds < 0 {
+				valid = false
+				break
+			}
+		}
+
+		srv := NewServer(true, WithSeed(1))
+		req := httptest.NewRequest(http.MethodPost, "/v1/observe", strings.NewReader(string(data)))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		switch {
+		case valid:
+			if w.Code != http.StatusNoContent {
+				t.Fatalf("valid payload %q got status %d: %s", data, w.Code, w.Body.String())
+			}
+			if len(records) > 0 && srv.Service().NumStreams() == 0 {
+				t.Fatalf("204 with no streams for %q", data)
+			}
+		default:
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("invalid payload %q got status %d", data, w.Code)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("400 without JSON error body for %q: %s", data, w.Body.String())
+			}
+		}
+	})
+}

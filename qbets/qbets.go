@@ -243,67 +243,3 @@ type ProcCategory = trace.ProcBucket
 
 // CategoryOf returns the category containing a processor count.
 func CategoryOf(procs int) ProcCategory { return trace.BucketOf(procs) }
-
-// Service manages one Forecaster per (queue, processor category), the
-// deployment shape the paper's Section 6.2 evaluates: users ask "how long
-// would a 32-processor job submitted to normal wait, at worst?".
-type Service struct {
-	opts     []Option
-	byProcs  bool
-	f        map[string]*Forecaster
-	nextSeed int64
-}
-
-// NewService returns an empty Service. splitByProcs selects whether each
-// queue is modeled as one stream or as four per-category streams.
-func NewService(splitByProcs bool, opts ...Option) *Service {
-	return &Service{opts: opts, byProcs: splitByProcs, f: make(map[string]*Forecaster)}
-}
-
-func (s *Service) key(queue string, procs int) string {
-	if !s.byProcs {
-		return queue
-	}
-	return fmt.Sprintf("%s/%s", queue, CategoryOf(procs).Label())
-}
-
-func (s *Service) forecaster(queue string, procs int) *Forecaster {
-	k := s.key(queue, procs)
-	fc, ok := s.f[k]
-	if !ok {
-		opts := append([]Option{WithSeed(s.nextSeed)}, s.opts...)
-		s.nextSeed++
-		fc = New(opts...)
-		s.f[k] = fc
-	}
-	return fc
-}
-
-// Observe records a completed wait for a queue and processor count.
-func (s *Service) Observe(queue string, procs int, waitSeconds float64) {
-	s.forecaster(queue, procs).Observe(waitSeconds)
-}
-
-// Forecast returns the bound a job with the given shape would be quoted.
-func (s *Service) Forecast(queue string, procs int) (seconds float64, ok bool) {
-	return s.forecaster(queue, procs).Forecast()
-}
-
-// Queues lists the streams the service currently tracks.
-func (s *Service) Queues() []string {
-	out := make([]string, 0, len(s.f))
-	for k := range s.f {
-		out = append(out, k)
-	}
-	return out
-}
-
-// Profile returns the Table 8 quantile profile for a job shape.
-func (s *Service) Profile(queue string, procs int) []Bound {
-	return s.forecaster(queue, procs).Profile()
-}
-
-// Observations returns the history length behind a job shape's stream.
-func (s *Service) Observations(queue string, procs int) int {
-	return s.forecaster(queue, procs).Observations()
-}

@@ -7,7 +7,9 @@ import (
 	"os"
 	"sort"
 	"strconv"
-	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Server exposes a Service over HTTP with a small JSON API, the deployment
@@ -19,32 +21,100 @@ import (
 //	GET  /v1/forecast?queue=normal&procs=8
 //	GET  /v1/profile?queue=normal&procs=8
 //	GET  /v1/status
+//	GET  /metrics      (Prometheus text exposition)
+//	GET  /healthz
 //
-// Server is safe for concurrent use; the underlying forecasters are
-// serialized behind one mutex (prediction is microseconds, so a single
-// lock is not a bottleneck at scheduler-log rates).
+// Server is safe for concurrent use. Requests on different streams do not
+// contend: the underlying Service shards its stream registry and gives
+// each stream its own reader/writer lock, so observes and forecasts for
+// distinct queues proceed in parallel. Errors are reported as JSON bodies
+// of the form {"error": "..."} with a matching status code.
+//
+// The server instruments itself through internal/obs: request counts by
+// endpoint and status code, a prediction-latency histogram, ingested
+// observation counts, and — scraped live from the Service — per-stream
+// depth, change-point trims, and the rolling hit rate of resolved
+// predictions against the target confidence (the paper's correctness
+// metric, Tables 3–7, computed online). See docs/OPERATIONS.md.
 type Server struct {
-	mu  sync.Mutex
 	svc *Service
+	reg *obs.Registry
 
-	quantile   float64
-	confidence float64
+	httpRequests  *obs.CounterVec
+	observations  *obs.Counter
+	observeErrors *obs.Counter
+	predLatency   *obs.Histogram
 }
 
 // NewServer returns an HTTP server around a fresh Service. splitByProcs
-// and opts behave as in NewService.
+// and opts behave as in NewService. The reported quantile and confidence
+// come from the Service itself, so responses and metrics cannot drift
+// from the forecasters' actual configuration.
 func NewServer(splitByProcs bool, opts ...Option) *Server {
-	// Recover the quantile/confidence for reporting in responses.
-	c := config{quantile: 0.95, confidence: 0.95}
-	for _, o := range opts {
-		o(&c)
-	}
-	return &Server{
-		svc:        NewService(splitByProcs, opts...),
-		quantile:   c.quantile,
-		confidence: c.confidence,
-	}
+	return newServer(NewService(splitByProcs, opts...))
 }
+
+// NewServerWith wraps an existing Service (e.g. one restored from a state
+// file) in a Server.
+func NewServerWith(svc *Service) *Server { return newServer(svc) }
+
+func newServer(svc *Service) *Server {
+	reg := obs.NewRegistry()
+	s := &Server{
+		svc:           svc,
+		reg:           reg,
+		httpRequests:  reg.NewCounterVec("qbets_http_requests_total", "HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+		observations:  reg.NewCounter("qbets_observations_total", "Wait-time observations ingested."),
+		observeErrors: reg.NewCounter("qbets_observe_rejects_total", "Observe payloads rejected by validation."),
+		predLatency:   reg.NewHistogram("qbets_prediction_latency_seconds", "Latency of forecast and profile computations.", obs.LatencyBuckets()),
+	}
+	qLabel := strconv.FormatFloat(svc.Quantile(), 'g', -1, 64)
+	cLabel := strconv.FormatFloat(svc.Confidence(), 'g', -1, 64)
+	reg.RegisterGaugeFunc("qbets_target_info",
+		"Configured prediction target; the value is always 1, the labels carry the quantile and confidence.",
+		func(emit func(string, float64)) {
+			emit(obs.Labels("quantile", qLabel, "confidence", cLabel), 1)
+		})
+	reg.RegisterGaugeFunc("qbets_streams", "Streams currently tracked.",
+		func(emit func(string, float64)) {
+			emit("", float64(svc.NumStreams()))
+		})
+	reg.RegisterGaugeFunc("qbets_stream_observations", "History depth per stream.",
+		func(emit func(string, float64)) {
+			for _, st := range svc.Stats() {
+				emit(obs.Labels("stream", st.Stream), float64(st.Observations))
+			}
+		})
+	reg.RegisterGaugeFunc("qbets_stream_hit_rate",
+		"Rolling fraction of resolved predictions whose wait fell within the quoted bound; compare against the target confidence.",
+		func(emit func(string, float64)) {
+			for _, st := range svc.Stats() {
+				if st.RollingResolved > 0 {
+					emit(obs.Labels("stream", st.Stream), st.RollingHitRate)
+				}
+			}
+		})
+	reg.RegisterGaugeFunc("qbets_stream_resolved", "Resolved predictions in the rolling hit-rate window, per stream.",
+		func(emit func(string, float64)) {
+			for _, st := range svc.Stats() {
+				emit(obs.Labels("stream", st.Stream), float64(st.RollingResolved))
+			}
+		})
+	reg.RegisterCounterFunc("qbets_stream_trims_total", "Change-point trims per stream.",
+		func(emit func(string, float64)) {
+			for _, st := range svc.Stats() {
+				emit(obs.Labels("stream", st.Stream), float64(st.Trims))
+			}
+		})
+	return s
+}
+
+// Service returns the underlying Service.
+func (s *Server) Service() *Service { return s.svc }
+
+// Metrics returns the server's metric registry, for mounting on a
+// separate listener (qbets-serve's -metrics-addr).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // ObserveRecord is the POST /v1/observe payload.
 type ObserveRecord struct {
@@ -73,64 +143,116 @@ type ProfileEntry struct {
 	OK         bool    `json:"ok"`
 }
 
+// StreamStatusResponse is one stream's entry in the GET /v1/status payload.
+type StreamStatusResponse struct {
+	Stream          string  `json:"stream"`
+	Observations    int     `json:"observations"`
+	MinObservations int     `json:"min_observations"`
+	BoundSeconds    float64 `json:"bound_seconds"`
+	BoundOK         bool    `json:"bound_ok"`
+	// HitRate is the rolling correctness over the last Resolved resolved
+	// predictions; meaningful when Resolved > 0.
+	HitRate          float64 `json:"hit_rate"`
+	Resolved         int     `json:"resolved"`
+	LifetimeHits     uint64  `json:"lifetime_hits"`
+	LifetimeResolved uint64  `json:"lifetime_resolved"`
+	Trims            int     `json:"trims"`
+	LastTrimUnix     int64   `json:"last_trim_unix,omitempty"`
+}
+
 // StatusResponse is the GET /v1/status payload.
 type StatusResponse struct {
-	Streams []string `json:"streams"`
+	Quantile   float64                `json:"quantile"`
+	Confidence float64                `json:"confidence"`
+	Streams    []StreamStatusResponse `json:"streams"`
+}
+
+// ErrorResponse is the JSON body every error response carries.
+type ErrorResponse struct {
+	Error string `json:"error"`
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	endpoint := "other"
 	switch r.URL.Path {
 	case "/v1/observe":
-		s.handleObserve(w, r)
+		endpoint = "observe"
+		s.handleObserve(sw, r)
 	case "/v1/forecast":
-		s.handleForecast(w, r)
+		endpoint = "forecast"
+		s.handleForecast(sw, r)
 	case "/v1/profile":
-		s.handleProfile(w, r)
+		endpoint = "profile"
+		s.handleProfile(sw, r)
 	case "/v1/status":
-		s.handleStatus(w, r)
+		endpoint = "status"
+		s.handleStatus(sw, r)
+	case "/metrics":
+		endpoint = "metrics"
+		s.reg.Handler().ServeHTTP(sw, r)
+	case "/healthz":
+		endpoint = "healthz"
+		sw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(sw, "ok")
 	default:
-		http.NotFound(w, r)
+		writeError(sw, http.StatusNotFound, "no such endpoint: %s", r.URL.Path)
 	}
+	s.httpRequests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+}
+
+// statusWriter records the status code a handler sends.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	dec := json.NewDecoder(r.Body)
 	// Accept a single record or an array.
 	var raw json.RawMessage
 	if err := dec.Decode(&raw); err != nil {
-		http.Error(w, fmt.Sprintf("bad JSON: %v", err), http.StatusBadRequest)
+		s.observeErrors.Inc()
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
 	var records []ObserveRecord
 	if len(raw) > 0 && raw[0] == '[' {
 		if err := json.Unmarshal(raw, &records); err != nil {
-			http.Error(w, fmt.Sprintf("bad JSON array: %v", err), http.StatusBadRequest)
+			s.observeErrors.Inc()
+			writeError(w, http.StatusBadRequest, "bad JSON array: %v", err)
 			return
 		}
 	} else {
 		var one ObserveRecord
 		if err := json.Unmarshal(raw, &one); err != nil {
-			http.Error(w, fmt.Sprintf("bad JSON object: %v", err), http.StatusBadRequest)
+			s.observeErrors.Inc()
+			writeError(w, http.StatusBadRequest, "bad JSON object: %v", err)
 			return
 		}
 		records = append(records, one)
 	}
 	for i, rec := range records {
 		if rec.Queue == "" || rec.WaitSeconds < 0 {
-			http.Error(w, fmt.Sprintf("record %d: queue required and wait_seconds must be >= 0", i), http.StatusBadRequest)
+			s.observeErrors.Inc()
+			writeError(w, http.StatusBadRequest, "record %d: queue required and wait_seconds must be >= 0", i)
 			return
 		}
 	}
-	s.mu.Lock()
 	for _, rec := range records {
 		s.svc.Observe(rec.Queue, rec.Procs, rec.WaitSeconds)
 	}
-	s.mu.Unlock()
+	s.observations.Add(uint64(len(records)))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -139,18 +261,21 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	bound, has := s.svc.Forecast(queue, procs)
-	n := s.svc.Observations(queue, procs)
-	s.mu.Unlock()
+	start := time.Now()
+	st, known := s.svc.StreamStats(queue, procs)
+	s.predLatency.Observe(time.Since(start).Seconds())
+	if !known {
+		writeError(w, http.StatusNotFound, "unknown stream for queue %q, procs %d: no observations yet", queue, procs)
+		return
+	}
 	writeJSON(w, ForecastResponse{
 		Queue:        queue,
 		Procs:        procs,
-		Quantile:     s.quantile,
-		Confidence:   s.confidence,
-		BoundSeconds: bound,
-		OK:           has,
-		Observations: n,
+		Quantile:     s.svc.Quantile(),
+		Confidence:   s.svc.Confidence(),
+		BoundSeconds: st.BoundSeconds,
+		OK:           st.BoundOK,
+		Observations: st.Observations,
 	})
 }
 
@@ -159,9 +284,13 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
+	start := time.Now()
 	bounds := s.svc.Profile(queue, procs)
-	s.mu.Unlock()
+	s.predLatency.Observe(time.Since(start).Seconds())
+	if bounds == nil {
+		writeError(w, http.StatusNotFound, "unknown stream for queue %q, procs %d: no observations yet", queue, procs)
+		return
+	}
 	out := make([]ProfileEntry, len(bounds))
 	for i, b := range bounds {
 		side := "upper"
@@ -180,48 +309,67 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	streams := s.svc.Queues()
-	s.mu.Unlock()
-	sort.Strings(streams)
-	writeJSON(w, StatusResponse{Streams: streams})
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	stats := s.svc.Stats()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Stream < stats[j].Stream })
+	streams := make([]StreamStatusResponse, len(stats))
+	for i, st := range stats {
+		streams[i] = StreamStatusResponse{
+			Stream:           st.Stream,
+			Observations:     st.Observations,
+			MinObservations:  st.MinObservations,
+			BoundSeconds:     st.BoundSeconds,
+			BoundOK:          st.BoundOK,
+			HitRate:          st.RollingHitRate,
+			Resolved:         st.RollingResolved,
+			LifetimeHits:     st.LifetimeHits,
+			LifetimeResolved: st.LifetimeResolved,
+			Trims:            st.Trims,
+			LastTrimUnix:     st.LastTrimUnix,
+		}
+	}
+	writeJSON(w, StatusResponse{
+		Quantile:   s.svc.Quantile(),
+		Confidence: s.svc.Confidence(),
+		Streams:    streams,
+	})
 }
 
 // SaveFile persists the server's accumulated state (all streams) to a
 // file; safe to call while serving.
 func (s *Server) SaveFile(path string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.svc.SaveFile(path)
 }
 
 // LoadFile replaces the server's state from a file written by SaveFile;
-// safe to call while serving.
+// safe to call while serving (in-flight requests finish against the old
+// stream set).
 func (s *Server) LoadFile(path string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.svc.UnmarshalBinary(blob)
 }
 
 func (s *Server) shapeParams(w http.ResponseWriter, r *http.Request) (queue string, procs int, ok bool) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return "", 0, false
 	}
 	queue = r.URL.Query().Get("queue")
 	if queue == "" {
-		http.Error(w, "queue parameter required", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "queue parameter required")
 		return "", 0, false
 	}
 	procs = 1
 	if p := r.URL.Query().Get("procs"); p != "" {
 		v, err := strconv.Atoi(p)
 		if err != nil || v < 1 {
-			http.Error(w, "procs must be a positive integer", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "procs must be a positive integer")
 			return "", 0, false
 		}
 		procs = v
@@ -235,4 +383,10 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }

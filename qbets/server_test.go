@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -124,37 +125,200 @@ func TestServerProfileAndStatus(t *testing.T) {
 	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
 		t.Fatal(err)
 	}
-	if len(status.Streams) != 1 || status.Streams[0] != "normal/17-64" {
+	if len(status.Streams) != 1 || status.Streams[0].Stream != "normal/17-64" {
 		t.Fatalf("status = %+v", status)
+	}
+	if status.Quantile != 0.95 || status.Confidence != 0.95 {
+		t.Errorf("status levels = %+v", status)
+	}
+	s0 := status.Streams[0]
+	if !s0.BoundOK || s0.BoundSeconds <= 0 {
+		t.Errorf("stream status = %+v", s0)
+	}
+	// 300 observations, the first bound appears at MinObservations: every
+	// later observation resolves a prediction.
+	if s0.Resolved == 0 || s0.LifetimeResolved != uint64(300-s0.MinObservations) {
+		t.Errorf("resolved accounting = %+v", s0)
+	}
+	if s0.HitRate < 0 || s0.HitRate > 1 {
+		t.Errorf("hit rate = %g", s0.HitRate)
+	}
+	// The workload is a monotone ramp — every wait tops all history — so
+	// the self-monitor must report misses and the change-point detector
+	// must have trimmed, with the trim time recorded.
+	if s0.LifetimeHits == s0.LifetimeResolved {
+		t.Errorf("ramp workload reported no misses: %+v", s0)
+	}
+	if s0.Trims == 0 || s0.LastTrimUnix == 0 {
+		t.Errorf("ramp workload recorded no trims: %+v", s0)
 	}
 }
 
 func TestServerValidation(t *testing.T) {
 	_, ts := newTestServer(t)
+	// Make one stream known so the unknown-queue cases are unambiguous.
+	postJSON(t, ts.URL+"/v1/observe", `{"queue":"known","procs":1,"wait_seconds":5}`)
+
 	cases := []struct {
+		name               string
 		method, path, body string
 		wantStatus         int
+		wantErr            string
 	}{
-		{"POST", "/v1/observe", `{bad json`, http.StatusBadRequest},
-		{"POST", "/v1/observe", `{"queue":"","wait_seconds":1}`, http.StatusBadRequest},
-		{"POST", "/v1/observe", `{"queue":"q","wait_seconds":-1}`, http.StatusBadRequest},
-		{"GET", "/v1/observe", "", http.StatusMethodNotAllowed},
-		{"POST", "/v1/forecast?queue=q", "", http.StatusMethodNotAllowed},
-		{"GET", "/v1/forecast", "", http.StatusBadRequest},
-		{"GET", "/v1/forecast?queue=q&procs=zero", "", http.StatusBadRequest},
-		{"GET", "/v1/forecast?queue=q&procs=-2", "", http.StatusBadRequest},
-		{"GET", "/v1/nope", "", http.StatusNotFound},
+		{"malformed json", "POST", "/v1/observe", `{bad json`, http.StatusBadRequest, "bad JSON"},
+		{"malformed array", "POST", "/v1/observe", `[{"queue":"q"},`, http.StatusBadRequest, "bad JSON"},
+		{"wrong payload type", "POST", "/v1/observe", `"just a string"`, http.StatusBadRequest, "bad JSON object"},
+		{"missing queue", "POST", "/v1/observe", `{"queue":"","wait_seconds":1}`, http.StatusBadRequest, "queue required"},
+		{"negative wait", "POST", "/v1/observe", `{"queue":"q","wait_seconds":-1}`, http.StatusBadRequest, "wait_seconds"},
+		{"bad record in batch", "POST", "/v1/observe", `[{"queue":"q","wait_seconds":1},{"queue":"","wait_seconds":2}]`, http.StatusBadRequest, "record 1"},
+		{"observe wrong method", "GET", "/v1/observe", "", http.StatusMethodNotAllowed, "POST required"},
+		{"forecast wrong method", "POST", "/v1/forecast?queue=q", "", http.StatusMethodNotAllowed, "GET required"},
+		{"forecast missing queue", "GET", "/v1/forecast", "", http.StatusBadRequest, "queue parameter required"},
+		{"forecast bad procs", "GET", "/v1/forecast?queue=q&procs=zero", "", http.StatusBadRequest, "procs"},
+		{"forecast negative procs", "GET", "/v1/forecast?queue=q&procs=-2", "", http.StatusBadRequest, "procs"},
+		{"forecast unknown queue", "GET", "/v1/forecast?queue=nope&procs=1", "", http.StatusNotFound, "unknown stream"},
+		{"profile unknown queue", "GET", "/v1/profile?queue=nope&procs=1", "", http.StatusNotFound, "unknown stream"},
+		{"profile wrong method", "POST", "/v1/profile?queue=q", "", http.StatusMethodNotAllowed, "GET required"},
+		{"status wrong method", "POST", "/v1/status", "", http.StatusMethodNotAllowed, "GET required"},
+		{"unknown endpoint", "GET", "/v1/nope", "", http.StatusNotFound, "no such endpoint"},
 	}
 	for _, c := range cases {
-		req, _ := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
+		t.Run(c.name, func(t *testing.T) {
+			req, _ := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("content-type = %q, want application/json", ct)
+			}
+			var body ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if body.Error == "" || !strings.Contains(body.Error, c.wantErr) {
+				t.Errorf("error body %q does not mention %q", body.Error, c.wantErr)
+			}
+		})
+	}
+
+	// A queue observed only in one processor category is unknown in others.
+	resp, err := http.Get(ts.URL + "/v1/forecast?queue=known&procs=128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("other-bucket forecast: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var records []ObserveRecord
+	for i := 0; i < 100; i++ {
+		records = append(records, ObserveRecord{Queue: "normal", Procs: 2, WaitSeconds: float64(10 + i%37)})
+	}
+	body, _ := json.Marshal(records)
+	postJSON(t, ts.URL+"/v1/observe", string(body))
+	if resp, err := http.Get(ts.URL + "/v1/forecast?queue=normal&procs=2"); err != nil {
+		t.Fatal(err)
+	} else {
 		resp.Body.Close()
-		if resp.StatusCode != c.wantStatus {
-			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		`qbets_http_requests_total{code="204",endpoint="observe"} 1`,
+		`qbets_http_requests_total{code="200",endpoint="forecast"} 1`,
+		"qbets_observations_total 100",
+		"qbets_streams 1",
+		`qbets_stream_observations{stream="normal/1-4"} 100`,
+		`qbets_stream_hit_rate{stream="normal/1-4"}`,
+		`qbets_stream_trims_total{stream="normal/1-4"}`,
+		`qbets_target_info{confidence="0.95",quantile="0.95"} 1`,
+		"# TYPE qbets_prediction_latency_seconds histogram",
+		`qbets_prediction_latency_seconds_bucket{le="+Inf"} 1`,
+		"qbets_prediction_latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
 		}
+	}
+}
+
+// TestOptionPropagation is the regression test for the NewServer/NewService
+// option dedup: a custom quantile/confidence must be reflected identically
+// in forecast responses, /v1/status, and /metrics labels, because all three
+// now read the Service's resolved configuration.
+func TestOptionPropagation(t *testing.T) {
+	s := NewServer(false, WithQuantile(0.9), WithConfidence(0.8), WithSeed(3))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/v1/observe", `{"queue":"q","procs":1,"wait_seconds":1}`)
+
+	get, err := http.Get(ts.URL + "/v1/forecast?queue=q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var fr ForecastResponse
+	if err := json.NewDecoder(get.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Quantile != 0.9 || fr.Confidence != 0.8 {
+		t.Errorf("forecast levels = %+v, want 0.9/0.8", fr)
+	}
+
+	st, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var status StatusResponse
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Quantile != 0.9 || status.Confidence != 0.8 {
+		t.Errorf("status levels = %+v, want 0.9/0.8", status)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `qbets_target_info{confidence="0.8",quantile="0.9"} 1`; !strings.Contains(string(raw), want) {
+		t.Errorf("metrics missing %q", want)
+	}
+
+	// The service the forecasters actually run with agrees.
+	if s.Service().Quantile() != 0.9 || s.Service().Confidence() != 0.8 {
+		t.Errorf("service levels = %g/%g", s.Service().Quantile(), s.Service().Confidence())
 	}
 }
 

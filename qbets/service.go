@@ -1,0 +1,340 @@
+package qbets
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Service manages one Forecaster per (queue, processor category), the
+// deployment shape the paper's Section 6.2 evaluates: users ask "how long
+// would a 32-processor job submitted to normal wait, at worst?".
+//
+// Service is safe for concurrent use and designed so traffic on distinct
+// streams never contends: streams live in a fixed array of lock-striped
+// shards (hashed by stream key), and each stream carries its own RWMutex.
+// Observes take the stream's write lock; forecasts, profiles, and status
+// reads take its read lock, which is sound because the write path refits
+// the bound eagerly — read paths never mutate forecaster state.
+//
+// Each stream also self-monitors the paper's correctness metric online:
+// every observation whose wait can be compared against the bound quoted at
+// its arrival is a resolved prediction, and the rolling fraction of hits
+// (wait <= quoted bound) is tracked against the target confidence — the
+// live analogue of the "correct %" columns of Tables 3–7.
+type Service struct {
+	opts       []Option
+	byProcs    atomic.Bool
+	quantile   float64
+	confidence float64
+
+	shards   [serviceShards]serviceShard
+	nStreams atomic.Int64
+	nextSeed atomic.Int64
+}
+
+const serviceShards = 64
+
+// hitRateWindow is the number of resolved predictions the rolling
+// correctness estimate covers. Around 500 the binomial noise on the rate
+// (±2σ ≈ 0.02 at C = 0.95) is small against the 0.05 slack the paper's
+// tables examine, while the window still reacts to regime changes within
+// a few hundred jobs.
+const hitRateWindow = 500
+
+type serviceShard struct {
+	mu sync.RWMutex
+	m  map[string]*stream
+}
+
+// stream couples one Forecaster with its own lock and monitoring state.
+type stream struct {
+	key string
+	mu  sync.RWMutex
+	fc  *Forecaster
+	hit *obs.RollingRate
+
+	// Trim tracking (guarded by mu): trimsSeen mirrors fc.ChangePoints()
+	// after each observe so the wall-clock time of the latest trim can be
+	// recorded as it happens.
+	trimsSeen    int
+	lastTrimUnix int64
+}
+
+// StreamStatus is a point-in-time snapshot of one stream's state and
+// self-monitoring metrics.
+type StreamStatus struct {
+	// Stream is the registry key ("queue" or "queue/bucket").
+	Stream string
+	// Observations and MinObservations report history depth vs. the
+	// minimum needed for a bound.
+	Observations    int
+	MinObservations int
+	// BoundSeconds is the current bound (valid when BoundOK).
+	BoundSeconds float64
+	BoundOK      bool
+	// RollingHitRate is the fraction of the last RollingResolved resolved
+	// predictions whose wait fell within the quoted bound; the paper's
+	// correctness metric, computed online. Compare against
+	// TargetConfidence: a healthy stream sits at or above it.
+	RollingHitRate  float64
+	RollingResolved int
+	// LifetimeHits / LifetimeResolved are totals since stream creation.
+	LifetimeHits     uint64
+	LifetimeResolved uint64
+	// Trims counts change-point events; LastTrimUnix is the wall-clock
+	// second of the most recent one (0 if none).
+	Trims        int
+	LastTrimUnix int64
+	// TargetQuantile / TargetConfidence echo the service configuration.
+	TargetQuantile   float64
+	TargetConfidence float64
+}
+
+// NewService returns an empty Service. splitByProcs selects whether each
+// queue is modeled as one stream or as four per-category streams.
+func NewService(splitByProcs bool, opts ...Option) *Service {
+	c := config{quantile: 0.95, confidence: 0.95}
+	for _, o := range opts {
+		o(&c)
+	}
+	s := &Service{opts: opts, quantile: c.quantile, confidence: c.confidence}
+	s.byProcs.Store(splitByProcs)
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*stream)
+	}
+	return s
+}
+
+// Quantile returns the resolved quantile streams are configured with.
+func (s *Service) Quantile() float64 { return s.quantile }
+
+// Confidence returns the resolved confidence level streams are configured
+// with.
+func (s *Service) Confidence() float64 { return s.confidence }
+
+func (s *Service) key(queue string, procs int) string {
+	if !s.byProcs.Load() {
+		return queue
+	}
+	return queue + "/" + CategoryOf(procs).Label()
+}
+
+// shardOf hashes a stream key to its shard (FNV-1a).
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h % serviceShards
+}
+
+// lookup returns the stream for a key without creating it.
+func (s *Service) lookup(key string) *stream {
+	sh := &s.shards[shardOf(key)]
+	sh.mu.RLock()
+	st := sh.m[key]
+	sh.mu.RUnlock()
+	return st
+}
+
+// getOrCreate returns the stream for a key, creating it on first use.
+func (s *Service) getOrCreate(key string) *stream {
+	if st := s.lookup(key); st != nil {
+		return st
+	}
+	sh := &s.shards[shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st := sh.m[key]; st != nil {
+		return st
+	}
+	st := s.newStream(key)
+	sh.m[key] = st
+	s.nStreams.Add(1)
+	return st
+}
+
+// newStream builds a settled stream: the forecaster's lazily-computed
+// bound is materialized up front so read paths stay mutation-free.
+func (s *Service) newStream(key string) *stream {
+	seed := s.nextSeed.Add(1) - 1
+	opts := append([]Option{WithSeed(seed)}, s.opts...)
+	fc := New(opts...)
+	fc.Forecast()
+	return &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow)}
+}
+
+// adoptStream wraps a restored forecaster (state.go's restore path).
+func adoptStream(key string, fc *Forecaster) *stream {
+	fc.Forecast() // settle the lazy refit before concurrent reads start
+	return &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow), trimsSeen: fc.ChangePoints()}
+}
+
+// observe records a wait under the stream's write lock, scoring the bound
+// the arriving job would have been quoted and keeping the bound fresh.
+func (st *stream) observe(waitSeconds float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if bound, ok := st.fc.Forecast(); ok {
+		st.hit.Record(waitSeconds <= bound)
+	}
+	st.fc.Observe(waitSeconds)
+	st.fc.Forecast() // eager refit: read paths must never find a stale bound
+	if tr := st.fc.ChangePoints(); tr != st.trimsSeen {
+		st.trimsSeen = tr
+		st.lastTrimUnix = time.Now().Unix()
+	}
+}
+
+func (st *stream) status(q, c float64) StreamStatus {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	bound, ok := st.fc.Forecast()
+	rate, n := st.hit.Rate()
+	hits, total := st.hit.Lifetime()
+	return StreamStatus{
+		Stream:           st.key,
+		Observations:     st.fc.Observations(),
+		MinObservations:  st.fc.MinObservations(),
+		BoundSeconds:     bound,
+		BoundOK:          ok,
+		RollingHitRate:   rate,
+		RollingResolved:  n,
+		LifetimeHits:     hits,
+		LifetimeResolved: total,
+		Trims:            st.fc.ChangePoints(),
+		LastTrimUnix:     st.lastTrimUnix,
+		TargetQuantile:   q,
+		TargetConfidence: c,
+	}
+}
+
+// Observe records a completed wait for a queue and processor count.
+func (s *Service) Observe(queue string, procs int, waitSeconds float64) {
+	s.getOrCreate(s.key(queue, procs)).observe(waitSeconds)
+}
+
+// Forecast returns the bound a job with the given shape would be quoted.
+// ok is false when the stream is unknown or its history is too short;
+// asking about a never-observed shape does not create a stream.
+func (s *Service) Forecast(queue string, procs int) (seconds float64, ok bool) {
+	st := s.lookup(s.key(queue, procs))
+	if st == nil {
+		return 0, false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.fc.Forecast()
+}
+
+// Profile returns the Table 8 quantile profile for a job shape, or nil if
+// the stream is unknown.
+func (s *Service) Profile(queue string, procs int) []Bound {
+	st := s.lookup(s.key(queue, procs))
+	if st == nil {
+		return nil
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.fc.Profile()
+}
+
+// Observations returns the history length behind a job shape's stream
+// (0 for unknown streams).
+func (s *Service) Observations(queue string, procs int) int {
+	st := s.lookup(s.key(queue, procs))
+	if st == nil {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.fc.Observations()
+}
+
+// Queues lists the streams the service currently tracks (unordered).
+func (s *Service) Queues() []string {
+	out := make([]string, 0, s.nStreams.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// NumStreams returns how many streams the service tracks.
+func (s *Service) NumStreams() int { return int(s.nStreams.Load()) }
+
+// StreamStats returns the status snapshot for one job shape. ok is false
+// for unknown streams.
+func (s *Service) StreamStats(queue string, procs int) (StreamStatus, bool) {
+	st := s.lookup(s.key(queue, procs))
+	if st == nil {
+		return StreamStatus{}, false
+	}
+	return st.status(s.quantile, s.confidence), true
+}
+
+// Stats returns status snapshots for every stream (unordered; callers that
+// display them sort by Stream).
+func (s *Service) Stats() []StreamStatus {
+	out := make([]StreamStatus, 0, s.nStreams.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		streams := make([]*stream, 0, len(sh.m))
+		for _, st := range sh.m {
+			streams = append(streams, st)
+		}
+		sh.mu.RUnlock()
+		// Take per-stream locks outside the shard lock so a slow stream
+		// cannot stall unrelated creations in its shard.
+		for _, st := range streams {
+			out = append(out, st.status(s.quantile, s.confidence))
+		}
+	}
+	return out
+}
+
+// replaceStreams swaps in a freshly restored stream set (state.go). Shard
+// locks are taken in index order, so concurrent replaceStreams calls
+// cannot deadlock; readers mid-flight keep operating on streams from the
+// old set, which matches wholesale-restore semantics.
+func (s *Service) replaceStreams(streams map[string]*stream) {
+	var n int64
+	var grouped [serviceShards]map[string]*stream
+	for i := range grouped {
+		grouped[i] = make(map[string]*stream)
+	}
+	for k, st := range streams {
+		grouped[shardOf(k)][k] = st
+		n++
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m = grouped[i]
+		sh.mu.Unlock()
+	}
+	s.nStreams.Store(n)
+}
+
+// snapshotStreams returns the current stream set (state.go's save path).
+func (s *Service) snapshotStreams() map[string]*stream {
+	out := make(map[string]*stream, s.nStreams.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, st := range sh.m {
+			out[k] = st
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package qbets
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The tests in this file exist to be run under the race detector
+// (go test -race ./qbets/...): they mix observes, forecasts, profiles, and
+// status reads across overlapping streams and assert only coarse
+// invariants — the detector does the real checking.
+
+func TestServiceConcurrentStress(t *testing.T) {
+	svc := NewService(true, WithSeed(11))
+	queues := []string{"normal", "high", "low"}
+	procs := []int{1, 8, 32, 128}
+
+	// Pre-warm a couple of streams past MinObservations so forecasts and
+	// hit-rate accounting are active during the storm.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		svc.Observe("normal", 1, math.Exp(rng.NormFloat64())*60)
+		svc.Observe("high", 8, math.Exp(rng.NormFloat64())*600)
+	}
+
+	const goroutines = 16
+	const iters = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < iters; i++ {
+				q := queues[(g+i)%len(queues)]
+				p := procs[i%len(procs)]
+				switch i % 5 {
+				case 0, 1:
+					svc.Observe(q, p, math.Exp(rng.NormFloat64())*60)
+				case 2:
+					svc.Forecast(q, p)
+				case 3:
+					svc.Profile(q, p)
+				case 4:
+					if i%20 == 4 {
+						svc.Stats()
+						svc.Queues()
+					} else {
+						svc.StreamStats(q, p)
+						svc.Observations(q, p)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every (queue, bucket) combination observed must exist, and totals
+	// must be conserved: observes = 2*200 prewarm + the per-goroutine share.
+	stats := svc.Stats()
+	if len(stats) == 0 || svc.NumStreams() != len(stats) {
+		t.Fatalf("stats/NumStreams disagree: %d vs %d", len(stats), svc.NumStreams())
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.Observations
+		if st.RollingHitRate < 0 || st.RollingHitRate > 1 {
+			t.Errorf("stream %s hit rate %g out of range", st.Stream, st.RollingHitRate)
+		}
+		if uint64(st.RollingResolved) > st.LifetimeResolved {
+			t.Errorf("stream %s rolling resolved %d exceeds lifetime %d", st.Stream, st.RollingResolved, st.LifetimeResolved)
+		}
+	}
+	// i%5 in {0,1} → 2 observes per 5 iterations exactly (iters divisible by 5).
+	want := 400 + goroutines*iters*2/5
+	if total != want {
+		t.Errorf("total observations = %d, want %d", total, want)
+	}
+}
+
+func TestServiceConcurrentSaveLoad(t *testing.T) {
+	svc := NewService(true, WithSeed(13))
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		svc.Observe("normal", 2, math.Exp(rng.NormFloat64())*30)
+	}
+	blob, err := svc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				svc.Observe("normal", 2, float64(i))
+				svc.Forecast("normal", 2)
+				if _, err := svc.MarshalBinary(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// One goroutine restores state mid-traffic: in-flight requests must
+	// finish cleanly against whichever stream set they started with.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := svc.UnmarshalBinary(blob); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, ok := svc.Forecast("normal", 2); !ok {
+		t.Error("stream lost after concurrent save/load")
+	}
+}
+
+func TestServerConcurrentBatchObserve(t *testing.T) {
+	s := NewServer(true, WithSeed(17))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const goroutines = 8
+	const batches = 20
+	const batchSize = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			queue := fmt.Sprintf("q%d", g%3) // overlapping queues across goroutines
+			for b := 0; b < batches; b++ {
+				var records []ObserveRecord
+				for i := 0; i < batchSize; i++ {
+					records = append(records, ObserveRecord{
+						Queue:       queue,
+						Procs:       1 << (i % 8),
+						WaitSeconds: float64(1 + i),
+					})
+				}
+				body, _ := json.Marshal(records)
+				resp, err := http.Post(ts.URL+"/v1/observe", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					t.Errorf("batch observe status %d", resp.StatusCode)
+					return
+				}
+				// Interleave reads on the same and other queues.
+				for _, path := range []string{
+					"/v1/forecast?queue=" + queue + "&procs=4",
+					"/v1/profile?queue=" + queue + "&procs=4",
+					"/v1/status",
+					"/metrics",
+				} {
+					get, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					get.Body.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Conservation: every posted record was ingested exactly once.
+	st, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var status StatusResponse
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, stream := range status.Streams {
+		total += stream.Observations
+	}
+	if want := goroutines * batches * batchSize; total != want {
+		t.Errorf("ingested %d observations, want %d", total, want)
+	}
+}

@@ -38,7 +38,21 @@ func (f *Forecaster) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, blob, 0o644)
+	return writeFileAtomic(path, blob)
+}
+
+// writeFileAtomic writes via a temp file + rename so a crash mid-save
+// never leaves a truncated state file behind.
+func writeFileAtomic(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load restores a forecaster from a state blob written by Save.
@@ -79,15 +93,20 @@ type serviceBlob struct {
 	Streams  map[string][]byte `json:"streams"`
 }
 
-// MarshalBinary encodes every stream's forecaster state.
+// MarshalBinary encodes every stream's forecaster state. It is safe to
+// call while serving: each stream is read-locked only while its own
+// forecaster serializes.
 func (s *Service) MarshalBinary() ([]byte, error) {
+	streams := s.snapshotStreams()
 	blob := serviceBlob{
-		ByProcs:  s.byProcs,
-		NextSeed: s.nextSeed,
-		Streams:  make(map[string][]byte, len(s.f)),
+		ByProcs:  s.byProcs.Load(),
+		NextSeed: s.nextSeed.Load(),
+		Streams:  make(map[string][]byte, len(streams)),
 	}
-	for k, fc := range s.f {
-		b, err := fc.MarshalBinary()
+	for k, st := range streams {
+		st.mu.RLock()
+		b, err := st.fc.MarshalBinary()
+		st.mu.RUnlock()
 		if err != nil {
 			return nil, fmt.Errorf("qbets: stream %q: %w", k, err)
 		}
@@ -96,25 +115,28 @@ func (s *Service) MarshalBinary() ([]byte, error) {
 	return json.Marshal(blob)
 }
 
-// UnmarshalBinary restores a Service serialized by MarshalBinary. The
-// receiver's options are retained for streams created after the restore;
-// restored streams carry their own serialized configuration.
+// UnmarshalBinary restores a Service serialized by MarshalBinary,
+// replacing the current stream set wholesale. The receiver's options are
+// retained for streams created after the restore; restored streams carry
+// their own serialized configuration. Self-monitoring hit-rate windows
+// restart empty — the correctness metric describes the running deployment,
+// not the archived history.
 func (s *Service) UnmarshalBinary(data []byte) error {
 	var blob serviceBlob
 	if err := json.Unmarshal(data, &blob); err != nil {
 		return fmt.Errorf("qbets: service state: %w", err)
 	}
-	restored := make(map[string]*Forecaster, len(blob.Streams))
+	restored := make(map[string]*stream, len(blob.Streams))
 	for k, fb := range blob.Streams {
 		fc := New()
 		if err := fc.UnmarshalBinary(fb); err != nil {
 			return fmt.Errorf("qbets: stream %q: %w", k, err)
 		}
-		restored[k] = fc
+		restored[k] = adoptStream(k, fc)
 	}
-	s.byProcs = blob.ByProcs
-	s.nextSeed = blob.NextSeed
-	s.f = restored
+	s.byProcs.Store(blob.ByProcs)
+	s.nextSeed.Store(blob.NextSeed)
+	s.replaceStreams(restored)
 	return nil
 }
 
@@ -124,7 +146,7 @@ func (s *Service) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, blob, 0o644)
+	return writeFileAtomic(path, blob)
 }
 
 // LoadServiceFile restores a Service from a state file. splitByProcs and
