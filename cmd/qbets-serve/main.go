@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -30,8 +31,26 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/wal"
 	"repro/qbets"
 )
+
+// parseSyncMode maps the -wal-sync flag to a WAL sync policy: "always"
+// (fsync per record), "off" (fsync at rotation/shutdown only), or a
+// duration like "1s" (background fsync on that interval).
+func parseSyncMode(s string) (wal.SyncMode, time.Duration, error) {
+	switch s {
+	case "always":
+		return wal.SyncEachRecord, 0, nil
+	case "off":
+		return wal.SyncOff, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("-wal-sync must be \"always\", \"off\", or a positive duration, got %q", s)
+	}
+	return wal.SyncInterval, d, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,6 +63,9 @@ func main() {
 		confidence  = flag.Float64("confidence", 0.95, "confidence level of the bound")
 		statePath   = flag.String("state", "", "state file: loaded at startup if present, saved periodically and on shutdown")
 		saveEvery   = flag.Duration("save-interval", 5*time.Minute, "state save period (with -state)")
+		walDir      = flag.String("wal", "", "write-ahead log directory: observations are logged before being applied and replayed on startup")
+		walSync     = flag.String("wal-sync", "1s", `WAL fsync policy: "always", "off", or a flush interval like "1s" (with -wal)`)
+		strictState = flag.Bool("strict-state", false, "refuse to start on a corrupt state file instead of quarantining it and starting fresh")
 		logRequests = flag.Bool("log-requests", false, "log every request (method, path, status, duration)")
 	)
 	flag.Parse()
@@ -58,8 +80,40 @@ func main() {
 			log.Printf("restored state from %s (%d streams)", *statePath, server.Service().NumStreams())
 		case os.IsNotExist(err):
 			log.Printf("no state at %s yet; starting fresh", *statePath)
+		case *strictState:
+			log.Fatalf("loading %s: %v (-strict-state)", *statePath, err)
 		default:
-			log.Fatalf("loading %s: %v", *statePath, err)
+			// A corrupt snapshot should not keep the predictor down: move
+			// it aside (preserving the evidence) and rebuild from the WAL
+			// tail plus fresh traffic.
+			quarantined, qerr := qbets.QuarantineStateFile(*statePath)
+			if qerr != nil {
+				log.Fatalf("loading %s: %v; quarantine also failed: %v", *statePath, err, qerr)
+			}
+			log.Printf("state file %s is corrupt (%v); moved to %s, starting fresh", *statePath, err, quarantined)
+		}
+	}
+
+	var obsLog *wal.WAL
+	if *walDir != "" {
+		mode, interval, err := parseSyncMode(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obsLog, err = wal.Open(*walDir, wal.Options{Mode: mode, Interval: interval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := server.Service().RecoverWAL(obsLog)
+		if err != nil {
+			log.Fatalf("replaying %s: %v", *walDir, err)
+		}
+		log.Printf("wal: replayed %d records from %d segments (sync %s)", stats.Records, stats.Segments, *walSync)
+		if stats.Truncations > 0 {
+			log.Printf("wal: dropped %d torn/corrupt tails (%d bytes) during replay", stats.Truncations, stats.DroppedBytes)
+		}
+		if *statePath == "" {
+			log.Printf("wal: no -state configured; the log is never compacted and will grow unboundedly")
 		}
 	}
 
@@ -87,10 +141,16 @@ func main() {
 	if *logRequests {
 		handler = withRequestLog(handler)
 	}
+	// Full read/write deadlines, not just the header timeout: a client that
+	// trickles a request body or never drains a response must not pin a
+	// connection (and its goroutine) forever.
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 2)
 	go func() { errc <- httpServer.ListenAndServe() }()
@@ -103,6 +163,9 @@ func main() {
 			Addr:              *metricsAddr,
 			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
 		}
 		go func() { errc <- metricsServer.ListenAndServe() }()
 		log.Printf("metrics on %s/metrics", *metricsAddr)
@@ -137,6 +200,13 @@ func main() {
 			log.Printf("final state save failed: %v", err)
 		} else {
 			log.Printf("state saved to %s", *statePath)
+		}
+	}
+	// Close the WAL after the final save: the save compacts the log, and
+	// closing flushes whatever an interval/off sync policy still buffers.
+	if obsLog != nil {
+		if err := obsLog.Close(); err != nil {
+			log.Printf("wal close: %v", err)
 		}
 	}
 }

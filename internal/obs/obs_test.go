@@ -186,6 +186,45 @@ func TestRegistryRendering(t *testing.T) {
 	}
 }
 
+func TestRegisterExistingMetrics(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	var g Gauge
+	reg.RegisterCounter("ext_events_total", "events owned elsewhere", &c)
+	reg.RegisterGauge("ext_mode", "mode owned elsewhere", &g)
+	c.Add(7)
+	g.Set(1)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE ext_events_total counter",
+		"ext_events_total 7",
+		"# TYPE ext_mode gauge",
+		"ext_mode 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	// Updates after registration show up on the next scrape: the registry
+	// reads the caller's metric, it does not copy it.
+	c.Inc()
+	g.Set(0)
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	if !strings.Contains(out, "ext_events_total 8") || !strings.Contains(out, "ext_mode 0") {
+		t.Errorf("registered metrics did not track owner updates:\n%s", out)
+	}
+}
+
 func TestRegistryDuplicatePanics(t *testing.T) {
 	reg := NewRegistry()
 	reg.NewCounter("dup", "")

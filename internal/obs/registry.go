@@ -79,6 +79,24 @@ func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram
 	return h
 }
 
+// RegisterCounter registers an existing Counter under name — the shape for
+// metrics owned by another layer (e.g. the durability counters the Service
+// maintains whether or not a metrics registry exists).
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	r.add(&entry{name: name, help: help, typ: "counter",
+		collect: func(emit func(string, string, float64)) {
+			emit("", "", float64(c.Value()))
+		}})
+}
+
+// RegisterGauge registers an existing Gauge under name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
+	r.add(&entry{name: name, help: help, typ: "gauge",
+		collect: func(emit func(string, string, float64)) {
+			emit("", "", g.Value())
+		}})
+}
+
 // NewCounterVec registers a counter family keyed by label values. Children
 // are created on first use and live forever; keep label cardinality small.
 func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {

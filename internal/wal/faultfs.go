@@ -1,0 +1,254 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// This file holds the fault-injection half of the package: an in-memory FS
+// that models fsync semantics precisely enough to simulate power cuts at
+// arbitrary byte offsets, and a wrapper FS that injects write and sync
+// failures. Both exist so crash-recovery behavior is a tested property,
+// not a hope; they live outside the _test files because qbets' own crash
+// and degradation tests drive them too.
+
+// MemFS is an in-memory FS that tracks, per file, which prefix has been
+// fsynced. Crash simulates a power cut: the synced prefix survives intact,
+// written-but-unsynced bytes survive only partially (and possibly
+// corrupted — a torn write), and all open handles go stale.
+type MemFS struct {
+	mu    sync.Mutex
+	gen   int // bumped by Crash; stale handles refuse writes
+	files map[string]*memFile
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, f: f, gen: m.gen}, nil
+}
+
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return nil, fmt.Errorf("memfs: open %s: file does not exist", name)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.data...))), nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: file does not exist", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == filepath.Clean(dir) {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Crash simulates a power cut. For every file, the fsynced prefix is kept;
+// of the written-but-unsynced suffix, a random-length prefix survives, and
+// sometimes one surviving unsynced byte is flipped (a torn sector carrying
+// garbage). All handles opened before the crash become stale: their writes
+// and syncs fail, as a killed process's file descriptors would. The
+// filesystem itself remains usable — reopen and replay, as a rebooted
+// process would.
+func (m *MemFS) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gen++
+	for _, f := range m.files {
+		if len(f.data) > f.synced {
+			keep := f.synced + rng.Intn(len(f.data)-f.synced+1)
+			if keep > f.synced && rng.Intn(2) == 0 {
+				i := f.synced + rng.Intn(keep-f.synced)
+				f.data[i] ^= 1 << uint(rng.Intn(8))
+			}
+			f.data = f.data[:keep]
+		}
+		// After reboot, whatever is on disk is all there is.
+		f.synced = len(f.data)
+	}
+}
+
+// TornAppend writes raw bytes to a file without marking them synced — the
+// shape of an append that was in flight when the power failed. Combine
+// with Crash to produce torn tails even when the WAL itself syncs every
+// record.
+func (m *MemFS) TornAppend(name string, b []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	f.data = append(f.data, b...)
+}
+
+var errStaleHandle = errors.New("memfs: handle is stale (filesystem crashed)")
+
+type memHandle struct {
+	fs  *MemFS
+	f   *memFile
+	gen int
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.gen != h.fs.gen {
+		return 0, errStaleHandle
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.gen != h.fs.gen {
+		return errStaleHandle
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// FaultFS wraps another FS and injects write and sync failures, for
+// testing how callers degrade when the log becomes unwritable (disk full,
+// dying device) — the failure mode behind qbets' read-only serving mode.
+type FaultFS struct {
+	inner FS
+
+	mu           sync.Mutex
+	writeBudget  int // writes remaining before failure; -1 = unlimited
+	writeErr     error
+	shortByHalf  bool // failed writes first persist half the buffer
+	syncErr      error
+	failedWrites int
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, writeBudget: -1}
+}
+
+// FailWritesAfter arms a write fault: the next n writes succeed, every
+// write after that returns err. If short is true a failing write first
+// persists half its buffer — a short write, the torn-tail case.
+func (f *FaultFS) FailWritesAfter(n int, err error, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget, f.writeErr, f.shortByHalf = n, err, short
+}
+
+// FailSyncs makes every Sync return err until cleared.
+func (f *FaultFS) FailSyncs(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// Clear disarms all faults.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget, f.writeErr, f.shortByHalf, f.syncErr = -1, nil, false, nil
+}
+
+// FailedWrites reports how many writes the fault has rejected.
+func (f *FaultFS) FailedWrites() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failedWrites
+}
+
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, file: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (io.ReadCloser, error) { return f.inner.Open(name) }
+func (f *FaultFS) Remove(name string) error                { return f.inner.Remove(name) }
+func (f *FaultFS) List(dir string) ([]string, error)       { return f.inner.List(dir) }
+
+type faultHandle struct {
+	fs   *FaultFS
+	file File
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	budget, werr, short := h.fs.writeBudget, h.fs.writeErr, h.fs.shortByHalf
+	if budget == 0 && werr != nil {
+		h.fs.failedWrites++
+	} else if budget > 0 {
+		h.fs.writeBudget--
+	}
+	h.fs.mu.Unlock()
+	if budget == 0 && werr != nil {
+		n := 0
+		if short && len(p) > 1 {
+			n, _ = h.file.Write(p[:len(p)/2])
+		}
+		return n, werr
+	}
+	return h.file.Write(p)
+}
+
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	serr := h.fs.syncErr
+	h.fs.mu.Unlock()
+	if serr != nil {
+		return serr
+	}
+	return h.file.Sync()
+}
+
+func (h *faultHandle) Close() error { return h.file.Close() }

@@ -1,0 +1,63 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the filesystem surface the WAL touches, so tests can inject
+// faults (failed writes, short writes, simulated power cuts) without a real
+// disk. Production code uses OSFS.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// List returns the base names of the regular files in dir (any order).
+	// A missing dir is reported as an empty listing, not an error.
+	List(dir string) ([]string, error)
+}
+
+// File is the writable handle an FS hands out: sequential appends plus the
+// durability barrier the WAL's sync policies are built on.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written bytes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real-disk FS.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, filepath.Base(e.Name()))
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,449 @@
+// Package wal implements a crash-safe write-ahead log of observation
+// records for the prediction service. The correctness guarantee of the
+// paper's method rides on the integrity of each stream's accumulated
+// history, so observations are made durable *before* they mutate predictor
+// state: qbets.Service appends here first, and on restart replays the log
+// tail on top of the latest snapshot.
+//
+// Layout: the log is a directory of segment files named
+// 00000000000000000001.wal, 00000000000000000002.wal, … Each segment
+// starts with an 8-byte magic header followed by CRC32C-framed records
+// (see record.go). Appends go to the newest segment; when it exceeds the
+// configured size the WAL rotates to a fresh one. A snapshot save rotates
+// and then deletes the segments the snapshot fully covers, bounding log
+// growth.
+//
+// Durability is governed by a sync policy: fsync after every record
+// (appends are acknowledged durable), on an interval (the loss window is
+// the interval), or only at rotation/close. Replay tolerates torn writes
+// and corrupt tails: each segment is consumed up to its first invalid
+// frame, the remainder is counted and dropped, and recovery proceeds —
+// a damaged log never prevents startup.
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// countRemaining drains r, returning how many bytes were left.
+func countRemaining(r io.Reader) int64 {
+	n, _ := io.Copy(io.Discard, r)
+	return n
+}
+
+// SyncMode selects when appended records are flushed and fsynced.
+type SyncMode int
+
+const (
+	// SyncEachRecord flushes and fsyncs after every append: a nil error
+	// from Append means the record is on stable storage.
+	SyncEachRecord SyncMode = iota
+	// SyncInterval flushes and fsyncs on a background ticker every
+	// Options.Interval; a crash can lose at most that window. The ticker
+	// (rather than a clock check on the append path) keeps Append free of
+	// time syscalls and bounds the loss window even when appends are
+	// sparse — a lone record never sits unsynced waiting for the next one.
+	SyncInterval
+	// SyncOff flushes and fsyncs only at rotation and Close.
+	SyncOff
+)
+
+// Options configures a WAL. The zero value means: 8 MiB segments, sync
+// every record, the real filesystem.
+type Options struct {
+	// SegmentBytes is the size at which the active segment rotates
+	// (default 8 MiB).
+	SegmentBytes int64
+	// Mode is the sync policy (default SyncEachRecord).
+	Mode SyncMode
+	// Interval is the SyncInterval period (default 1s).
+	Interval time.Duration
+	// FS is the filesystem to write through (default OSFS).
+	FS FS
+}
+
+// ReplayStats reports what Replay found.
+type ReplayStats struct {
+	// Segments is how many segment files were scanned.
+	Segments int
+	// Records is how many valid records were decoded and applied.
+	Records int
+	// MaxSeq is the highest sequence number seen (0 if none).
+	MaxSeq uint64
+	// Truncations counts segments whose tail was cut at an invalid frame
+	// (torn write or corruption).
+	Truncations int
+	// DroppedBytes is the total size of the discarded tails.
+	DroppedBytes int64
+}
+
+const segMagic = "QBWAL\x00v1"
+
+// WAL is an append-only observation log. It is safe for concurrent use.
+// The lifecycle is Open → Replay (exactly once) → Append/Rotate/… → Close.
+type WAL struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	replayed  bool
+	closed    bool
+	nextIndex uint64 // index the next opened segment receives
+	nextSeq   uint64
+	active    *segment
+	encBuf    []byte
+
+	// coarseNow is a cached wall clock (unix nanos), refreshed on every
+	// sync and by the interval ticker, so hot-path callers can timestamp
+	// records without a time syscall per append (see CoarseUnixNanos).
+	coarseNow atomic.Int64
+	stopTick  chan struct{}
+	tickDone  chan struct{}
+}
+
+type segment struct {
+	index uint64
+	f     File
+	w     *bufio.Writer
+	size  int64
+	// failed marks a segment whose tail may be torn by a failed write;
+	// the next append abandons it and opens a fresh segment so one bad
+	// write cannot shadow later good records at replay.
+	failed bool
+}
+
+var (
+	errNotReplayed = errors.New("wal: Replay must run before Append")
+	errClosed      = errors.New("wal: closed")
+	errReplayTwice = errors.New("wal: Replay already ran")
+)
+
+// Open prepares a WAL over dir, creating it if needed. No segment is
+// opened for writing until the first Append; call Replay first.
+func Open(dir string, opt Options) (*WAL, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = 8 << 20
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = time.Second
+	}
+	if opt.FS == nil {
+		opt.FS = OSFS{}
+	}
+	if err := opt.FS.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	indices, err := listSegments(opt.FS, dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	next := uint64(1)
+	if n := len(indices); n > 0 {
+		next = indices[n-1] + 1
+	}
+	w := &WAL{dir: dir, opt: opt, nextIndex: next, nextSeq: 1}
+	w.coarseNow.Store(time.Now().UnixNano())
+	if opt.Mode == SyncInterval {
+		w.stopTick = make(chan struct{})
+		w.tickDone = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// syncLoop is the SyncInterval background: every Interval it refreshes the
+// coarse clock and pushes buffered records to stable storage. A failed sync
+// poisons the active segment, so the next append abandons it and surfaces
+// the disk problem instead of silently extending the loss window.
+func (w *WAL) syncLoop() {
+	defer close(w.tickDone)
+	t := time.NewTicker(w.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopTick:
+			return
+		case <-t.C:
+			w.coarseNow.Store(time.Now().UnixNano())
+			w.mu.Lock()
+			if !w.closed && w.active != nil && !w.active.failed {
+				if err := w.syncLocked(); err != nil {
+					w.active.failed = true
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// CoarseUnixNanos returns a cached wall-clock timestamp suitable for
+// stamping records on the append hot path: exact to the last sync (or
+// interval tick), so stale by at most the sync policy's loss window. Use
+// time.Now when sub-interval precision matters.
+func (w *WAL) CoarseUnixNanos() int64 { return w.coarseNow.Load() }
+
+// listSegments returns the indices of the segment files in dir, ascending.
+func listSegments(fs FS, dir string) ([]uint64, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, name := range names {
+		if idx, ok := parseSegName(name); ok {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func segName(idx uint64) string { return fmt.Sprintf("%020d.wal", idx) }
+
+func parseSegName(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, ".wal")
+	if !ok || len(base) != 20 {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Replay scans every segment in order, invoking apply (which may be nil)
+// for each valid record, and positions the WAL to append after the highest
+// sequence number seen. Torn or corrupt tails are tolerated: the damaged
+// segment contributes its valid prefix, the rest is counted into the
+// returned stats, and replay continues with the next segment. The returned
+// error is reserved for real I/O failures (unreadable directory or file).
+func (w *WAL) Replay(apply func(Record)) (ReplayStats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var stats ReplayStats
+	if w.closed {
+		return stats, errClosed
+	}
+	if w.replayed {
+		return stats, errReplayTwice
+	}
+	indices, err := listSegments(w.opt.FS, w.dir)
+	if err != nil {
+		return stats, fmt.Errorf("wal: %w", err)
+	}
+	scratch := make([]byte, 0, 256)
+	for _, idx := range indices {
+		name := filepath.Join(w.dir, segName(idx))
+		f, err := w.opt.FS.Open(name)
+		if err != nil {
+			return stats, fmt.Errorf("wal: %w", err)
+		}
+		var rerr error
+		stats.Segments++
+		br := bufio.NewReaderSize(f, 64<<10)
+		magic := make([]byte, len(segMagic))
+		if n, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+			// Header torn or overwritten: the whole segment is dropped.
+			stats.Truncations++
+			stats.DroppedBytes += int64(n) + countRemaining(br)
+			f.Close()
+			continue
+		}
+		var badFrame int64
+		for {
+			var rec Record
+			rec, scratch, badFrame, rerr = readRecord(br, scratch)
+			if rerr != nil {
+				break
+			}
+			stats.Records++
+			if rec.Seq > stats.MaxSeq {
+				stats.MaxSeq = rec.Seq
+			}
+			if apply != nil {
+				apply(rec)
+			}
+		}
+		if rerr != io.EOF {
+			// Invalid frame: drop it and everything after it in this
+			// segment — the bad frame's own bytes plus whatever follows.
+			stats.Truncations++
+			stats.DroppedBytes += badFrame + countRemaining(br)
+		}
+		f.Close()
+	}
+	w.nextSeq = stats.MaxSeq + 1
+	w.replayed = true
+	return stats, nil
+}
+
+// Append logs one observation and returns its sequence number. Whether a
+// nil error implies durability depends on the sync policy (see SyncMode).
+// A failed append poisons the active segment; the next append starts a
+// fresh one, so replay after recovery is never blocked by one bad tail.
+func (w *WAL) Append(key string, wait float64, unixNanos int64) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errClosed
+	}
+	if !w.replayed {
+		return 0, errNotReplayed
+	}
+	if len(key) > MaxKeyLen {
+		return 0, fmt.Errorf("wal: key of %d bytes exceeds limit %d", len(key), MaxKeyLen)
+	}
+	if w.active == nil || w.active.failed {
+		if err := w.openSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+	// The sequence number is consumed even if the write fails: a torn
+	// frame may still be recovered whole at replay, and reusing its number
+	// would let two different records share a sequence.
+	seq := w.nextSeq
+	w.nextSeq++
+	w.encBuf = appendRecord(w.encBuf[:0], Record{Seq: seq, Key: key, Wait: wait, UnixNanos: unixNanos})
+	n, err := w.active.w.Write(w.encBuf)
+	w.active.size += int64(n)
+	if err != nil {
+		w.active.failed = true
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	// SyncInterval is handled off the append path by syncLoop's ticker;
+	// SyncOff waits for rotation or Close.
+	if w.opt.Mode == SyncEachRecord {
+		if err := w.syncLocked(); err != nil {
+			w.active.failed = true
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	if w.active.size >= w.opt.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			// The record is past its policy's durability point, but the
+			// rotation flush failed — surface it so the caller degrades
+			// rather than trusting a log that just refused a write.
+			return seq, fmt.Errorf("wal: rotate: %w", err)
+		}
+	}
+	return seq, nil
+}
+
+// Sync forces the active segment's buffered records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.active == nil {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// Rotate closes the active segment (flushing and syncing it) and returns
+// the cut index: every existing segment has an index below it, and every
+// future append lands at or above it. Callers snapshot after rotating,
+// then delete the covered segments with RemoveSegmentsBelow(cut).
+func (w *WAL) Rotate() (cut uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errClosed
+	}
+	err = w.rotateLocked()
+	return w.nextIndex, err
+}
+
+// RemoveSegmentsBelow deletes every segment file with index < cut. The
+// active segment is never removed.
+func (w *WAL) RemoveSegmentsBelow(cut uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	indices, err := listSegments(w.opt.FS, w.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var firstErr error
+	for _, idx := range indices {
+		if idx >= cut || (w.active != nil && idx == w.active.index) {
+			continue
+		}
+		if err := w.opt.FS.Remove(filepath.Join(w.dir, segName(idx))); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// Close flushes, syncs, and closes the active segment. The WAL refuses
+// further appends.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	// Mark closed first (rejecting new appends), release the lock so the
+	// sync loop can finish its current tick, and only then stop it and
+	// flush — the loop takes the same mutex, so waiting under it deadlocks.
+	w.closed = true
+	w.mu.Unlock()
+	if w.stopTick != nil {
+		close(w.stopTick)
+		<-w.tickDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotateLocked()
+}
+
+func (w *WAL) openSegmentLocked() error {
+	name := filepath.Join(w.dir, segName(w.nextIndex))
+	f, err := w.opt.FS.OpenAppend(name)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	seg := &segment{index: w.nextIndex, f: f, w: bufio.NewWriterSize(f, 64<<10)}
+	if _, err := seg.w.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	seg.size = int64(len(segMagic))
+	w.nextIndex++
+	w.active = seg
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.active.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.active.f.Sync(); err != nil {
+		return err
+	}
+	w.coarseNow.Store(time.Now().UnixNano())
+	return nil
+}
+
+// rotateLocked flushes, syncs, and closes the active segment (if any).
+func (w *WAL) rotateLocked() error {
+	if w.active == nil {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.active.f.Close(); err == nil {
+		err = cerr
+	}
+	w.active = nil
+	return err
+}

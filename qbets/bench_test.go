@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/wal"
 )
 
 // Concurrent mixed-workload benchmark: observes and forecasts spread over
@@ -72,6 +74,51 @@ func BenchmarkServiceConcurrentMixed(b *testing.B) {
 		run(b,
 			func(q string, w float64) { mu.Lock(); svc.Observe(q, 1, w); mu.Unlock() },
 			func(q string) { mu.Lock(); svc.Forecast(q, 1); mu.Unlock() })
+	})
+}
+
+// BenchmarkServiceObserve quantifies what durability costs on the observe
+// hot path: the in-memory baseline vs. the same workload logged through a
+// write-ahead log under each sync policy. Interval sync (the default
+// deployment mode) amortizes the fsync and should stay well under 2x the
+// no-WAL path; per-record sync pays a real fsync per observation and is
+// reported for contrast, not expected to be cheap.
+//
+//	go test -run '^$' -bench ServiceObserve ./qbets/
+func BenchmarkServiceObserve(b *testing.B) {
+	run := func(b *testing.B, svc *Service) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := svc.Observe("normal", 1, float64(i%1000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nowal", func(b *testing.B) {
+		run(b, NewService(false, WithSeed(3)))
+	})
+	b.Run("wal-interval", func(b *testing.B) {
+		w, err := wal.Open(b.TempDir(), wal.Options{Mode: wal.SyncInterval})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := NewService(false, WithSeed(3))
+		if _, err := svc.RecoverWAL(w); err != nil {
+			b.Fatal(err)
+		}
+		run(b, svc)
+	})
+	b.Run("wal-each-record", func(b *testing.B) {
+		w, err := wal.Open(b.TempDir(), wal.Options{Mode: wal.SyncEachRecord})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := NewService(false, WithSeed(3))
+		if _, err := svc.RecoverWAL(w); err != nil {
+			b.Fatal(err)
+		}
+		run(b, svc)
 	})
 }
 

@@ -1,0 +1,314 @@
+package qbets
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestServiceCrashRecoveryMatchesOracle is the service-level crash-safety
+// property: a service whose observations go through a write-ahead log,
+// killed by a power cut at an arbitrary byte offset, recovers into exactly
+// the state of an oracle service that was fed the surviving record prefix
+// directly. "Exactly" means per-stream observation counts and forecast
+// bounds, not just totals — the replayed history drives the same order
+// statistics the paper's predictor computes.
+func TestServiceCrashRecoveryMatchesOracle(t *testing.T) {
+	const trials = 100
+	queues := []string{"normal", "high", "low", "debug"}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%03d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)))
+			fs := wal.NewMemFS()
+
+			perRecordSync := trial%2 == 0
+			opt := wal.Options{FS: fs, SegmentBytes: int64(256 + rng.Intn(4096))}
+			if perRecordSync {
+				opt.Mode = wal.SyncEachRecord
+			} else {
+				opt.Mode = wal.SyncOff
+			}
+			w, err := wal.Open("wal", opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc := NewService(false, WithSeed(1))
+			if _, err := svc.RecoverWAL(w); err != nil {
+				t.Fatal(err)
+			}
+
+			// Random workload; acked tracks the prefix the sync policy has
+			// made durable.
+			type obsRec struct {
+				queue string
+				wait  float64
+			}
+			n := 50 + rng.Intn(300)
+			appended := make([]obsRec, 0, n)
+			acked := 0
+			for i := 0; i < n; i++ {
+				q := queues[rng.Intn(len(queues))]
+				wait := rng.ExpFloat64() * 600
+				if err := svc.Observe(q, 1, wait); err != nil {
+					t.Fatalf("observe %d: %v", i, err)
+				}
+				appended = append(appended, obsRec{q, wait})
+				if perRecordSync {
+					acked = len(appended)
+				}
+			}
+
+			// Power cut: only the synced prefix plus a random sliver of
+			// unsynced bytes (possibly bit-flipped) survives.
+			fs.Crash(rng)
+
+			// Recover into a fresh service.
+			w2, err := wal.Open("wal", wal.Options{FS: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recovered := NewService(false, WithSeed(1))
+			stats, err := recovered.RecoverWAL(w2)
+			if err != nil {
+				t.Fatalf("recovery must never fail on a crashed log: %v", err)
+			}
+			if stats.Records < acked {
+				t.Fatalf("replayed %d records, but %d were acked durable", stats.Records, acked)
+			}
+			if stats.Records > len(appended) {
+				t.Fatalf("replayed %d records, only %d were observed", stats.Records, len(appended))
+			}
+
+			// Oracle: a never-crashed service fed the surviving prefix
+			// directly, with the same seed so stream RNG assignment matches.
+			oracle := NewService(false, WithSeed(1))
+			for _, r := range appended[:stats.Records] {
+				if err := oracle.Observe(r.queue, 1, r.wait); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got, want := recovered.NumStreams(), oracle.NumStreams(); got != want {
+				t.Fatalf("recovered %d streams, oracle has %d", got, want)
+			}
+			for _, q := range queues {
+				gotN, wantN := recovered.Observations(q, 1), oracle.Observations(q, 1)
+				if gotN != wantN {
+					t.Fatalf("queue %s: recovered %d observations, oracle %d", q, gotN, wantN)
+				}
+				gotB, gotOK := recovered.Forecast(q, 1)
+				wantB, wantOK := oracle.Forecast(q, 1)
+				if gotOK != wantOK || gotB != wantB {
+					t.Fatalf("queue %s: recovered bound (%g,%v), oracle (%g,%v)", q, gotB, gotOK, wantB, wantOK)
+				}
+			}
+
+			// The recovered service keeps serving: appends resume cleanly.
+			if err := recovered.Observe("post", 1, 1); err != nil {
+				t.Fatalf("post-recovery observe: %v", err)
+			}
+		})
+	}
+}
+
+// TestCrashRecoverySnapshotPlusLogTail exercises the full durability story
+// on real files: snapshot mid-stream (which compacts the log), keep
+// observing, "crash" (drop the service), then recover snapshot + log tail
+// and compare against a continuous oracle. The per-stream sequence anchors
+// must make the merge exact — nothing double-applied across the snapshot
+// boundary, nothing lost after it.
+func TestCrashRecoverySnapshotPlusLogTail(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		dir := t.TempDir()
+		statePath := filepath.Join(dir, "state.bin")
+		walDir := filepath.Join(dir, "wal")
+
+		w, err := wal.Open(walDir, wal.Options{Mode: wal.SyncEachRecord, SegmentBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := NewService(false, WithSeed(1))
+		if _, err := svc.RecoverWAL(w); err != nil {
+			t.Fatal(err)
+		}
+		oracle := NewService(false, WithSeed(1))
+
+		queues := []string{"normal", "high"}
+		observe := func(k int) {
+			for i := 0; i < k; i++ {
+				q := queues[rng.Intn(len(queues))]
+				wait := rng.ExpFloat64() * 300
+				if err := svc.Observe(q, 1, wait); err != nil {
+					t.Fatal(err)
+				}
+				if err := oracle.Observe(q, 1, wait); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		observe(60 + rng.Intn(100))
+		if err := svc.SaveFile(statePath); err != nil {
+			t.Fatal(err)
+		}
+		observe(rng.Intn(120)) // the log tail the snapshot does not cover
+
+		// Crash: the process dies. SyncEachRecord means every observe above
+		// is on disk; a second snapshot never happens.
+		restored, err := LoadServiceFile(statePath, false, WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := wal.Open(walDir, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.RecoverWAL(w2); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, q := range queues {
+			if got, want := restored.Observations(q, 1), oracle.Observations(q, 1); got != want {
+				t.Fatalf("trial %d queue %s: restored %d observations, oracle %d", trial, q, got, want)
+			}
+			gotB, gotOK := restored.Forecast(q, 1)
+			wantB, wantOK := oracle.Forecast(q, 1)
+			if gotOK != wantOK || gotB != wantB {
+				t.Fatalf("trial %d queue %s: restored bound (%g,%v), oracle (%g,%v)", trial, q, gotB, gotOK, wantB, wantOK)
+			}
+		}
+	}
+}
+
+// TestSaveFileCompactsWAL verifies the snapshot path actually deletes the
+// log segments the snapshot covers, so the log's disk footprint is bounded
+// by the save interval rather than process lifetime.
+func TestSaveFileCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	w, err := wal.Open(walDir, wal.Options{Mode: wal.SyncEachRecord, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(false, WithSeed(1))
+	if _, err := svc.RecoverWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := svc.Observe("q", 1, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) < 2 {
+		t.Fatalf("expected multiple segments before compaction, got %d", len(before))
+	}
+	if err := svc.SaveFile(filepath.Join(dir, "state.bin")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything below the rotation cut is gone; only the fresh active
+	// segment (created by the next append) or nothing remains.
+	if len(after) > 1 {
+		t.Fatalf("compaction left %d segments, want <= 1", len(after))
+	}
+	for _, e := range after {
+		for _, b := range before {
+			if e.Name() == b.Name() {
+				t.Fatalf("segment %s survived compaction", e.Name())
+			}
+		}
+	}
+	if d := svc.Durability(); d.CompactionErrors != 0 {
+		t.Fatalf("compaction errors: %d", d.CompactionErrors)
+	}
+}
+
+// TestQuarantineStateFile covers the corrupt-snapshot startup path: the
+// bad file is moved aside (evidence preserved), not deleted, and the
+// original path is free for a fresh snapshot.
+func TestQuarantineStateFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadServiceFile(path, false); err == nil {
+		t.Fatal("corrupt state file loaded without error")
+	}
+	qpath, err := QuarantineStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qpath, ".corrupt-") {
+		t.Fatalf("quarantine path %q missing .corrupt- marker", qpath)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("original path still occupied after quarantine: %v", err)
+	}
+	moved, err := os.ReadFile(qpath)
+	if err != nil || string(moved) != "not json at all" {
+		t.Fatalf("quarantined contents lost: %q, %v", moved, err)
+	}
+}
+
+// TestServiceReadOnlyDegradation: when log appends fail, observes are
+// refused with ErrReadOnly (never silently unlogged), forecasts keep
+// serving, and the mode heals itself when the disk comes back.
+func TestServiceReadOnlyDegradation(t *testing.T) {
+	fs := wal.NewFaultFS(wal.NewMemFS())
+	w, err := wal.Open("wal", wal.Options{FS: fs, Mode: wal.SyncEachRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(false, WithSeed(1))
+	if _, err := svc.RecoverWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := svc.Observe("q", 1, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preBound, preOK := svc.Forecast("q", 1)
+
+	fs.FailWritesAfter(0, errors.New("disk full"), false)
+	if err := svc.Observe("q", 1, 1); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("observe during write failure: err = %v, want ErrReadOnly", err)
+	}
+	if !svc.ReadOnly() {
+		t.Fatal("service not read-only after append failure")
+	}
+	// Forecasts still serve, unchanged: the refused observation was not
+	// folded in.
+	if b, ok := svc.Forecast("q", 1); ok != preOK || b != preBound {
+		t.Fatalf("forecast changed during read-only: (%g,%v) vs (%g,%v)", b, ok, preBound, preOK)
+	}
+	if svc.Observations("q", 1) != 50 {
+		t.Fatalf("refused observation was applied: %d", svc.Observations("q", 1))
+	}
+
+	fs.Clear()
+	if err := svc.Observe("q", 1, 2); err != nil {
+		t.Fatalf("observe after heal: %v", err)
+	}
+	if svc.ReadOnly() {
+		t.Fatal("read-only did not self-heal on successful append")
+	}
+	if d := svc.Durability(); d.AppendErrors == 0 || d.Appends == 0 {
+		t.Fatalf("durability counters not tracking: %+v", d)
+	}
+}

@@ -74,10 +74,12 @@ func FuzzObserveRecord(f *testing.F) {
 
 		// Differential oracle for the handler contract: the payload is the
 		// first JSON value in the body — an array of records or a single
-		// record — and it is ingested iff every record has a queue and a
-		// non-negative wait. Anything else earns a 400 with a JSON error.
+		// record — and it is ingested iff it fits the body cap and every
+		// record has a queue and a finite non-negative wait (JSON cannot
+		// encode NaN or Inf, so the finiteness check is unreachable here but
+		// the cap is not). Anything else earns a 400 with a JSON error.
 		records, parses := decodeObservePayload(data)
-		valid := parses
+		valid := parses && len(data) <= maxObserveBody
 		for _, rec := range records {
 			if rec.Queue == "" || rec.WaitSeconds < 0 {
 				valid = false

@@ -2,7 +2,9 @@ package qbets
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -43,8 +45,14 @@ type Server struct {
 	httpRequests  *obs.CounterVec
 	observations  *obs.Counter
 	observeErrors *obs.Counter
+	panics        *obs.Counter
 	predLatency   *obs.Histogram
 }
+
+// maxObserveBody caps the POST /v1/observe request body. A batch of a few
+// thousand records fits comfortably; anything larger is a client bug or an
+// attack, and is rejected before it can exhaust memory.
+const maxObserveBody = 1 << 20
 
 // NewServer returns an HTTP server around a fresh Service. splitByProcs
 // and opts behave as in NewService. The reported quantile and confidence
@@ -66,8 +74,19 @@ func newServer(svc *Service) *Server {
 		httpRequests:  reg.NewCounterVec("qbets_http_requests_total", "HTTP requests served, by endpoint and status code.", "endpoint", "code"),
 		observations:  reg.NewCounter("qbets_observations_total", "Wait-time observations ingested."),
 		observeErrors: reg.NewCounter("qbets_observe_rejects_total", "Observe payloads rejected by validation."),
+		panics:        reg.NewCounter("qbets_panics_total", "Handler panics recovered by the server."),
 		predLatency:   reg.NewHistogram("qbets_prediction_latency_seconds", "Latency of forecast and profile computations.", obs.LatencyBuckets()),
 	}
+	// Durability metrics live on the Service (they tick whether or not a
+	// registry exists); the server exposes them.
+	d := svc.durabilityMetrics()
+	reg.RegisterGauge("qbets_readonly", "1 while observation-log appends are failing and observes are refused; forecasts still serve.", d.readonly)
+	reg.RegisterCounter("qbets_wal_appends_total", "Observation records appended to the write-ahead log.", d.appends)
+	reg.RegisterCounter("qbets_wal_append_errors_total", "Failed write-ahead log appends (each one refused an observe).", d.appendErrors)
+	reg.RegisterCounter("qbets_wal_replayed_records_total", "Observation records replayed from the write-ahead log at startup.", d.replayed)
+	reg.RegisterCounter("qbets_wal_replay_dropped_total", "Replay truncation events: torn or corrupt log tails dropped during recovery.", d.replayDropped)
+	reg.RegisterCounter("qbets_wal_replay_dropped_bytes_total", "Bytes discarded by replay truncations.", d.replayDroppedB)
+	reg.RegisterCounter("qbets_wal_compact_errors_total", "Write-ahead log compaction failures (the snapshot still succeeded; the log is just longer).", d.compactErrors)
 	qLabel := strconv.FormatFloat(svc.Quantile(), 'g', -1, 64)
 	cLabel := strconv.FormatFloat(svc.Confidence(), 'g', -1, 64)
 	reg.RegisterGaugeFunc("qbets_target_info",
@@ -172,10 +191,23 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. A panic in any handler is recovered
+// here — counted, answered with a 500 if nothing was written yet — so one
+// poisoned request cannot take down the connection's goroutine with the
+// default net/http crash trace as the only evidence.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	endpoint := "other"
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Inc()
+			sw.code = http.StatusInternalServerError
+			if !sw.wrote {
+				writeError(sw, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}
+		s.httpRequests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+	}()
 	switch r.URL.Path {
 	case "/v1/observe":
 		endpoint = "observe"
@@ -199,18 +231,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(sw, http.StatusNotFound, "no such endpoint: %s", r.URL.Path)
 	}
-	s.httpRequests.With(endpoint, strconv.Itoa(sw.code)).Inc()
 }
 
-// statusWriter records the status code a handler sends.
+// statusWriter records the status code a handler sends and whether the
+// header has gone out (after which a recovered panic can't send a 500).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
@@ -218,11 +257,16 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
 	// Accept a single record or an array.
 	var raw json.RawMessage
 	if err := dec.Decode(&raw); err != nil {
 		s.observeErrors.Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusBadRequest, "body exceeds %d bytes; split the batch", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
@@ -243,16 +287,30 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		records = append(records, one)
 	}
 	for i, rec := range records {
-		if rec.Queue == "" || rec.WaitSeconds < 0 {
+		if rec.Queue == "" || math.IsNaN(rec.WaitSeconds) || math.IsInf(rec.WaitSeconds, 0) || rec.WaitSeconds < 0 {
 			s.observeErrors.Inc()
-			writeError(w, http.StatusBadRequest, "record %d: queue required and wait_seconds must be >= 0", i)
+			writeError(w, http.StatusBadRequest, "record %d: queue required and wait_seconds must be finite and >= 0", i)
 			return
 		}
 	}
-	for _, rec := range records {
-		s.svc.Observe(rec.Queue, rec.Procs, rec.WaitSeconds)
+	applied := 0
+	for i, rec := range records {
+		if err := s.svc.Observe(rec.Queue, rec.Procs, rec.WaitSeconds); err != nil {
+			s.observations.Add(uint64(applied))
+			if errors.Is(err, ErrReadOnly) {
+				// Records before i were logged and applied; the client should
+				// retry the remainder once appends heal.
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "record %d: %v", i, err)
+				return
+			}
+			s.observeErrors.Inc()
+			writeError(w, http.StatusBadRequest, "record %d: %v", i, err)
+			return
+		}
+		applied++
 	}
-	s.observations.Add(uint64(len(records)))
+	s.observations.Add(uint64(applied))
 	w.WriteHeader(http.StatusNoContent)
 }
 

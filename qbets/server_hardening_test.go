@@ -1,0 +1,182 @@
+package qbets
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+func postObserve(t *testing.T, srv http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/observe", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestObserveRejectsOversizedBody(t *testing.T) {
+	srv := NewServer(false, WithSeed(1))
+	// A syntactically valid batch just over the cap: the limit, not the JSON
+	// parser, must be what rejects it.
+	var sb bytes.Buffer
+	sb.WriteByte('[')
+	rec := `{"queue":"normal","procs":8,"wait_seconds":123.456}`
+	for sb.Len() <= maxObserveBody {
+		if sb.Len() > 1 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(rec)
+	}
+	sb.WriteByte(']')
+
+	w := postObserve(t, srv, sb.String())
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", w.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || !strings.Contains(er.Error, "exceeds") {
+		t.Fatalf("oversized body error = %q, %v", er.Error, err)
+	}
+	if srv.Service().NumStreams() != 0 {
+		t.Fatal("oversized batch partially ingested")
+	}
+
+	// Just under the cap is fine.
+	small := fmt.Sprintf("[%s]", rec)
+	if w := postObserve(t, srv, small); w.Code != http.StatusNoContent {
+		t.Fatalf("small body: status %d, want 204", w.Code)
+	}
+}
+
+func TestObserveRejectsNonFiniteWaits(t *testing.T) {
+	// The HTTP layer: JSON cannot carry NaN/Inf literals, so they surface as
+	// parse errors; negative and overflowing values must be 400s too.
+	srv := NewServer(false, WithSeed(1))
+	for _, body := range []string{
+		`{"queue":"q","wait_seconds":-1}`,
+		`{"queue":"q","wait_seconds":NaN}`,
+		`{"queue":"q","wait_seconds":1e999}`,
+		`[{"queue":"q","wait_seconds":1},{"queue":"q","wait_seconds":-0.5}]`,
+	} {
+		if w := postObserve(t, srv, body); w.Code != http.StatusBadRequest {
+			t.Errorf("payload %s: status %d, want 400", body, w.Code)
+		}
+	}
+	if srv.Service().NumStreams() != 0 {
+		t.Fatal("invalid payload created streams")
+	}
+
+	// The Service layer rejects the same values uniformly, so a non-HTTP
+	// caller cannot poison the order statistics either.
+	svc := NewService(false, WithSeed(1))
+	for _, wait := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		if err := svc.Observe("q", 1, wait); !errors.Is(err, ErrInvalidWait) {
+			t.Errorf("Observe(%g) = %v, want ErrInvalidWait", wait, err)
+		}
+	}
+	if svc.NumStreams() != 0 {
+		t.Fatal("invalid wait created a stream")
+	}
+}
+
+func TestServerReadOnlyReturns503(t *testing.T) {
+	fs := wal.NewFaultFS(wal.NewMemFS())
+	w, err := wal.Open("wal", wal.Options{FS: fs, Mode: wal.SyncEachRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(false, WithSeed(1))
+	if _, err := svc.RecoverWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWith(svc)
+
+	if rr := postObserve(t, srv, `{"queue":"q","wait_seconds":10}`); rr.Code != http.StatusNoContent {
+		t.Fatalf("healthy observe: status %d", rr.Code)
+	}
+
+	fs.FailWritesAfter(0, errors.New("disk full"), false)
+	rr := postObserve(t, srv, `{"queue":"q","wait_seconds":11}`)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("read-only observe: status %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// Forecasts degrade gracefully: still served while observes are refused.
+	req := httptest.NewRequest(http.MethodGet, "/v1/forecast?queue=q", nil)
+	fw := httptest.NewRecorder()
+	srv.ServeHTTP(fw, req)
+	if fw.Code != http.StatusOK {
+		t.Fatalf("forecast during read-only: status %d", fw.Code)
+	}
+
+	// The gauge is visible on /metrics while degraded.
+	mw := httptest.NewRecorder()
+	srv.ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mw.Body.String(), "qbets_readonly 1") {
+		t.Fatal("metrics missing qbets_readonly 1 while degraded")
+	}
+
+	fs.Clear()
+	if rr := postObserve(t, srv, `{"queue":"q","wait_seconds":12}`); rr.Code != http.StatusNoContent {
+		t.Fatalf("observe after heal: status %d", rr.Code)
+	}
+	mw = httptest.NewRecorder()
+	srv.ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := mw.Body.String()
+	if !strings.Contains(body, "qbets_readonly 0") {
+		t.Fatal("metrics missing qbets_readonly 0 after heal")
+	}
+	for _, name := range []string{
+		"qbets_wal_appends_total",
+		"qbets_wal_append_errors_total",
+		"qbets_wal_replayed_records_total",
+		"qbets_wal_replay_dropped_total",
+		"qbets_wal_replay_dropped_bytes_total",
+		"qbets_wal_compact_errors_total",
+		"qbets_panics_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+}
+
+func TestServerRecoversHandlerPanics(t *testing.T) {
+	srv := NewServer(false, WithSeed(1))
+	srv.svc = nil // any handler touching the service now panics
+
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/status", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", w.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+		t.Fatalf("500 without JSON error body: %s", w.Body.String())
+	}
+	if srv.panics.Value() != 1 {
+		t.Fatalf("panics counter = %d, want 1", srv.panics.Value())
+	}
+	if srv.httpRequests.With("status", "500").Value() != 1 {
+		t.Fatal("panicked request not counted under its endpoint/code")
+	}
+
+	// One panic does not poison the server: later requests still work.
+	srv.svc = NewService(false, WithSeed(1))
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz after panic: status %d", w.Code)
+	}
+}

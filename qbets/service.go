@@ -1,11 +1,15 @@
 package qbets
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Service manages one Forecaster per (queue, processor category), the
@@ -33,7 +37,34 @@ type Service struct {
 	shards   [serviceShards]serviceShard
 	nStreams atomic.Int64
 	nextSeed atomic.Int64
+
+	// Durability. wal is attached once by RecoverWAL before traffic and
+	// never changes; nil means observations are held in memory between
+	// snapshots, the pre-WAL behavior. readonly is 1 while log appends are
+	// failing (observes are refused rather than silently losing data) and
+	// self-heals on the next successful append. The counters feed the
+	// server's /metrics.
+	wal               *wal.WAL
+	readonly          obs.Gauge
+	walAppends        obs.Counter
+	walAppendErrors   obs.Counter
+	walReplayed       obs.Counter
+	walReplayDropped  obs.Counter // replay truncation events (torn/corrupt tails)
+	walReplayDroppedB obs.Counter // bytes discarded by those truncations
+	walCompactErrors  obs.Counter
 }
+
+// ErrInvalidWait rejects observations whose wait is NaN, infinite, or
+// negative — none of which can be a queue delay, and any of which would
+// poison the order statistics every future bound is computed from.
+var ErrInvalidWait = errors.New("qbets: wait_seconds must be finite and non-negative")
+
+// ErrReadOnly reports that the service is refusing observations because
+// write-ahead-log appends are failing: accepting an observation it cannot
+// make durable would silently violate the crash-safety contract. Forecasts
+// and status reads keep working; the mode clears itself as soon as an
+// append succeeds again.
+var ErrReadOnly = errors.New("qbets: read-only: observation log appends are failing")
 
 const serviceShards = 64
 
@@ -61,6 +92,13 @@ type stream struct {
 	// recorded as it happens.
 	trimsSeen    int
 	lastTrimUnix int64
+
+	// lastSeq (guarded by mu) is the WAL sequence number of the newest
+	// observation folded into fc — 0 before any logged observation. It is
+	// serialized with the stream, which is what makes snapshot + log-tail
+	// recovery exact: replay skips records at or below it, so nothing is
+	// double-applied and nothing is lost.
+	lastSeq uint64
 }
 
 // StreamStatus is a point-in-time snapshot of one stream's state and
@@ -168,21 +206,62 @@ func (s *Service) newStream(key string) *stream {
 }
 
 // adoptStream wraps a restored forecaster (state.go's restore path).
-func adoptStream(key string, fc *Forecaster) *stream {
+// lastSeq is the WAL sequence number the snapshot covers for this stream.
+func adoptStream(key string, fc *Forecaster, lastSeq uint64) *stream {
 	fc.Forecast() // settle the lazy refit before concurrent reads start
-	return &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow), trimsSeen: fc.ChangePoints()}
+	return &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow), trimsSeen: fc.ChangePoints(), lastSeq: lastSeq}
 }
 
-// observe records a wait under the stream's write lock, scoring the bound
-// the arriving job would have been quoted and keeping the bound fresh.
-func (st *stream) observe(waitSeconds float64) {
+// observe records a wait under the stream's write lock: the observation is
+// appended to the service's WAL first (if one is attached), then folded
+// into the forecaster, scoring the bound the arriving job would have been
+// quoted and keeping the bound fresh. Holding the write lock across
+// append-then-apply is what keeps (forecaster state, lastSeq) consistent —
+// a snapshot taken concurrently sees either both effects or neither.
+func (st *stream) observe(s *Service, waitSeconds float64) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if bound, ok := st.fc.Forecast(); ok {
-		st.hit.Record(waitSeconds <= bound)
+	var seq uint64
+	if s.wal != nil {
+		var err error
+		// Records carry the WAL's coarse clock (exact to the last sync):
+		// the timestamp is forensic — recovery replays by sequence, not
+		// time — and a per-observe time syscall is the hot path's single
+		// largest avoidable cost.
+		seq, err = s.wal.Append(st.key, waitSeconds, s.wal.CoarseUnixNanos())
+		if err != nil {
+			s.walAppendErrors.Inc()
+			s.readonly.Set(1)
+			return fmt.Errorf("%w: %v", ErrReadOnly, err)
+		}
+		s.walAppends.Inc()
+		// Clear the read-only latch only when it is actually set: an
+		// unconditional store would bounce the gauge's cacheline between
+		// every observing core.
+		if s.readonly.Value() != 0 {
+			s.readonly.Set(0)
+		}
+	}
+	st.applyLocked(waitSeconds, seq, true)
+	return nil
+}
+
+// applyLocked folds a wait into the forecaster. scoreHit is false on the
+// replay path: recovered observations update predictor state exactly as
+// they did in the crashed process, but the rolling correctness monitor
+// only scores quotes this process actually made (the same rule snapshot
+// restore follows).
+func (st *stream) applyLocked(waitSeconds float64, seq uint64, scoreHit bool) {
+	if scoreHit {
+		if bound, ok := st.fc.Forecast(); ok {
+			st.hit.Record(waitSeconds <= bound)
+		}
 	}
 	st.fc.Observe(waitSeconds)
 	st.fc.Forecast() // eager refit: read paths must never find a stale bound
+	if seq > st.lastSeq {
+		st.lastSeq = seq
+	}
 	if tr := st.fc.ChangePoints(); tr != st.trimsSeen {
 		st.trimsSeen = tr
 		st.lastTrimUnix = time.Now().Unix()
@@ -212,9 +291,16 @@ func (st *stream) status(q, c float64) StreamStatus {
 	}
 }
 
-// Observe records a completed wait for a queue and processor count.
-func (s *Service) Observe(queue string, procs int, waitSeconds float64) {
-	s.getOrCreate(s.key(queue, procs)).observe(waitSeconds)
+// Observe records a completed wait for a queue and processor count. It
+// returns ErrInvalidWait for waits that cannot be queue delays (NaN, Inf,
+// negative) and ErrReadOnly (wrapped, with the cause) when a write-ahead
+// log is attached and the append failed — in that case the observation was
+// NOT recorded, by design: refusing is recoverable, silent loss is not.
+func (s *Service) Observe(queue string, procs int, waitSeconds float64) error {
+	if math.IsNaN(waitSeconds) || math.IsInf(waitSeconds, 0) || waitSeconds < 0 {
+		return ErrInvalidWait
+	}
+	return s.getOrCreate(s.key(queue, procs)).observe(s, waitSeconds)
 }
 
 // Forecast returns the bound a job with the given shape would be quoted.
@@ -323,6 +409,90 @@ func (s *Service) replaceStreams(streams map[string]*stream) {
 		sh.mu.Unlock()
 	}
 	s.nStreams.Store(n)
+}
+
+// RecoverWAL replays w's surviving records on top of the service's current
+// state — typically a freshly restored snapshot — and attaches w so every
+// subsequent Observe is logged before it mutates a stream. Records a
+// stream's snapshot already covers (sequence number at or below the
+// stream's persisted lastSeq) are skipped, so the merge is exact: each
+// observation lands exactly once whatever the crash timing. Torn or
+// corrupt log tails are tolerated (truncated and counted, never fatal).
+//
+// RecoverWAL must be called once, before the service takes traffic.
+func (s *Service) RecoverWAL(w *wal.WAL) (wal.ReplayStats, error) {
+	stats, err := w.Replay(func(r wal.Record) {
+		st := s.getOrCreate(r.Key)
+		st.mu.Lock()
+		if r.Seq > st.lastSeq {
+			st.applyLocked(r.Wait, r.Seq, false)
+		}
+		st.mu.Unlock()
+	})
+	if err != nil {
+		return stats, err
+	}
+	s.wal = w
+	s.walReplayed.Add(uint64(stats.Records))
+	s.walReplayDropped.Add(uint64(stats.Truncations))
+	s.walReplayDroppedB.Add(uint64(stats.DroppedBytes))
+	return stats, nil
+}
+
+// ReadOnly reports whether the service is currently refusing observations
+// because WAL appends are failing (see ErrReadOnly).
+func (s *Service) ReadOnly() bool { return s.readonly.Value() != 0 }
+
+// DurabilityStats is a snapshot of the service's durability counters.
+type DurabilityStats struct {
+	// WALAttached is true when observations are logged before being applied.
+	WALAttached bool
+	// ReadOnly mirrors Service.ReadOnly.
+	ReadOnly bool
+	// Appends / AppendErrors count WAL appends since process start.
+	Appends, AppendErrors uint64
+	// ReplayedRecords is how many log records startup recovery applied or
+	// skipped as already-snapshotted; ReplayTruncations / ReplayDroppedBytes
+	// describe the torn or corrupt tails recovery discarded.
+	ReplayedRecords, ReplayTruncations, ReplayDroppedBytes uint64
+	// CompactionErrors counts failed best-effort segment deletions after
+	// snapshots (the snapshot itself succeeded; the log is just longer
+	// than it needs to be).
+	CompactionErrors uint64
+}
+
+// Durability returns the service's durability counters.
+func (s *Service) Durability() DurabilityStats {
+	return DurabilityStats{
+		WALAttached:        s.wal != nil,
+		ReadOnly:           s.ReadOnly(),
+		Appends:            s.walAppends.Value(),
+		AppendErrors:       s.walAppendErrors.Value(),
+		ReplayedRecords:    s.walReplayed.Value(),
+		ReplayTruncations:  s.walReplayDropped.Value(),
+		ReplayDroppedBytes: s.walReplayDroppedB.Value(),
+		CompactionErrors:   s.walCompactErrors.Value(),
+	}
+}
+
+// durabilityMetricRefs hands the server pointers to the service-owned
+// durability counters so it can expose them on /metrics without mirroring.
+type durabilityMetricRefs struct {
+	readonly                                                       *obs.Gauge
+	appends, appendErrors, replayed, replayDropped, replayDroppedB *obs.Counter
+	compactErrors                                                  *obs.Counter
+}
+
+func (s *Service) durabilityMetrics() durabilityMetricRefs {
+	return durabilityMetricRefs{
+		readonly:       &s.readonly,
+		appends:        &s.walAppends,
+		appendErrors:   &s.walAppendErrors,
+		replayed:       &s.walReplayed,
+		replayDropped:  &s.walReplayDropped,
+		replayDroppedB: &s.walReplayDroppedB,
+		compactErrors:  &s.walCompactErrors,
+	}
 }
 
 // snapshotStreams returns the current stream set (state.go's save path).

@@ -7,9 +7,13 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/wal"
 )
 
 // The tests in this file exist to be run under the race detector
@@ -68,9 +72,10 @@ func TestServiceConcurrentStress(t *testing.T) {
 	if len(stats) == 0 || svc.NumStreams() != len(stats) {
 		t.Fatalf("stats/NumStreams disagree: %d vs %d", len(stats), svc.NumStreams())
 	}
-	total := 0
+	total, trims := 0, 0
 	for _, st := range stats {
 		total += st.Observations
+		trims += st.Trims
 		if st.RollingHitRate < 0 || st.RollingHitRate > 1 {
 			t.Errorf("stream %s hit rate %g out of range", st.Stream, st.RollingHitRate)
 		}
@@ -78,10 +83,18 @@ func TestServiceConcurrentStress(t *testing.T) {
 			t.Errorf("stream %s rolling resolved %d exceeds lifetime %d", st.Stream, st.RollingResolved, st.LifetimeResolved)
 		}
 	}
-	// i%5 in {0,1} → 2 observes per 5 iterations exactly (iters divisible by 5).
+	// i%5 in {0,1} → 2 observes per 5 iterations exactly (iters divisible
+	// by 5). Observations reports current history length, which shrinks
+	// when a change-point trim fires — and whether one fires depends on
+	// each stream's observation order, which the scheduler interleaving
+	// decides. Exact conservation therefore only holds on trim-free runs;
+	// with trims the count may only have gone down.
 	want := 400 + goroutines*iters*2/5
-	if total != want {
+	if trims == 0 && total != want {
 		t.Errorf("total observations = %d, want %d", total, want)
+	}
+	if total > want {
+		t.Errorf("total observations = %d exceeds %d ingested", total, want)
 	}
 }
 
@@ -125,6 +138,113 @@ func TestServiceConcurrentSaveLoad(t *testing.T) {
 	wg.Wait()
 	if _, ok := svc.Forecast("normal", 2); !ok {
 		t.Error("stream lost after concurrent save/load")
+	}
+}
+
+// TestServiceConcurrentSaveCompactWAL races WAL-logged observes against
+// repeated snapshots (each of which rotates and compacts the log) and then
+// checks conservation the hard way: a fresh process recovering from the
+// last snapshot plus the surviving log must be byte-equivalent, per
+// stream, to an oracle that observed the same data with no snapshots, no
+// WAL, and no crash — whatever interleaving the scheduler produced. Each
+// goroutine owns its queue so every stream's observation order is
+// deterministic and the oracle is exact (history length alone would not
+// be: change-point trims shrink it). Run under -race this also exercises
+// the Rotate/Append and MarshalBinary/observe lock interplay.
+func TestServiceConcurrentSaveCompactWAL(t *testing.T) {
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.bin")
+	walDir := filepath.Join(dir, "wal")
+
+	w, err := wal.Open(walDir, wal.Options{Mode: wal.SyncEachRecord, SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(false, WithSeed(19))
+	if _, err := svc.RecoverWAL(w); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 150
+	waitFor := func(g, i int) float64 {
+		return math.Exp(math.Sin(float64(g*perG+i))) * 60 // deterministic, stationary-ish
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := fmt.Sprintf("q%d", g)
+			for i := 0; i < perG; i++ {
+				if err := svc.Observe(q, 1, waitFor(g, i)); err != nil {
+					t.Errorf("observe: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	var saves atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if err := svc.SaveFile(statePath); err != nil {
+				t.Errorf("save: %v", err)
+				return
+			}
+			saves.Add(1)
+		}
+	}()
+	wg.Wait()
+	// A final quiescent save so the snapshot on disk plus the log tail is a
+	// complete picture regardless of where the racing saves landed.
+	if err := svc.SaveFile(statePath); err != nil {
+		t.Fatal(err)
+	}
+	d := svc.Durability()
+	if d.CompactionErrors != 0 || d.AppendErrors != 0 {
+		t.Fatalf("durability errors under concurrency: %+v", d)
+	}
+	if want := uint64(goroutines * perG); d.Appends != want {
+		t.Fatalf("WAL saw %d appends, want %d", d.Appends, want)
+	}
+
+	restored, err := LoadServiceFile(statePath, false, WithSeed(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.RecoverWAL(w2); err != nil {
+		t.Fatal(err)
+	}
+
+	oracle := NewService(false, WithSeed(19))
+	for g := 0; g < goroutines; g++ {
+		q := fmt.Sprintf("q%d", g)
+		for i := 0; i < perG; i++ {
+			if err := oracle.Observe(q, 1, waitFor(g, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if restored.NumStreams() != oracle.NumStreams() {
+		t.Fatalf("restored %d streams, oracle %d", restored.NumStreams(), oracle.NumStreams())
+	}
+	for g := 0; g < goroutines; g++ {
+		q := fmt.Sprintf("q%d", g)
+		gotN, wantN := restored.Observations(q, 1), oracle.Observations(q, 1)
+		if gotN != wantN {
+			t.Fatalf("queue %s: restored %d observations, oracle %d (saves: %d)", q, gotN, wantN, saves.Load())
+		}
+		gotB, gotOK := restored.Forecast(q, 1)
+		wantB, wantOK := oracle.Forecast(q, 1)
+		if gotOK != wantOK || gotB != wantB {
+			t.Fatalf("queue %s: restored bound (%g,%v), oracle (%g,%v)", q, gotB, gotOK, wantB, wantOK)
+		}
 	}
 }
 

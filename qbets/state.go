@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // State persistence: a deployed forecaster accumulates months of history;
@@ -86,31 +87,41 @@ func LoadFile(path string) (*Forecaster, error) {
 // accumulated history intact.
 
 // serviceBlob is the JSON-framed container; each stream's forecaster state
-// rides inside as the binary blob the core format defines.
+// rides inside as the binary blob the core format defines. StreamSeqs
+// records, per stream, the WAL sequence number of the newest observation
+// the snapshot includes — the anchor that lets startup recovery merge the
+// log tail exactly (older snapshots without the field replay from zero,
+// which only matters if a WAL predating the snapshot format is kept).
 type serviceBlob struct {
-	ByProcs  bool              `json:"by_procs"`
-	NextSeed int64             `json:"next_seed"`
-	Streams  map[string][]byte `json:"streams"`
+	ByProcs    bool              `json:"by_procs"`
+	NextSeed   int64             `json:"next_seed"`
+	Streams    map[string][]byte `json:"streams"`
+	StreamSeqs map[string]uint64 `json:"stream_seqs,omitempty"`
 }
 
 // MarshalBinary encodes every stream's forecaster state. It is safe to
 // call while serving: each stream is read-locked only while its own
-// forecaster serializes.
+// forecaster serializes, and the per-stream WAL sequence number is read
+// under that same lock, so each stream's (state, seq) pair is consistent
+// even mid-traffic.
 func (s *Service) MarshalBinary() ([]byte, error) {
 	streams := s.snapshotStreams()
 	blob := serviceBlob{
-		ByProcs:  s.byProcs.Load(),
-		NextSeed: s.nextSeed.Load(),
-		Streams:  make(map[string][]byte, len(streams)),
+		ByProcs:    s.byProcs.Load(),
+		NextSeed:   s.nextSeed.Load(),
+		Streams:    make(map[string][]byte, len(streams)),
+		StreamSeqs: make(map[string]uint64, len(streams)),
 	}
 	for k, st := range streams {
 		st.mu.RLock()
 		b, err := st.fc.MarshalBinary()
+		seq := st.lastSeq
 		st.mu.RUnlock()
 		if err != nil {
 			return nil, fmt.Errorf("qbets: stream %q: %w", k, err)
 		}
 		blob.Streams[k] = b
+		blob.StreamSeqs[k] = seq
 	}
 	return json.Marshal(blob)
 }
@@ -132,7 +143,7 @@ func (s *Service) UnmarshalBinary(data []byte) error {
 		if err := fc.UnmarshalBinary(fb); err != nil {
 			return fmt.Errorf("qbets: stream %q: %w", k, err)
 		}
-		restored[k] = adoptStream(k, fc)
+		restored[k] = adoptStream(k, fc, blob.StreamSeqs[k])
 	}
 	s.byProcs.Store(blob.ByProcs)
 	s.nextSeed.Store(blob.NextSeed)
@@ -140,13 +151,52 @@ func (s *Service) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-// SaveFile writes the service's state to a file.
+// SaveFile writes the service's state to a file. When a write-ahead log is
+// attached, a successful save also compacts it: the log is rotated before
+// the snapshot is taken, and once the snapshot is durably on disk the
+// segments it fully covers are deleted. The ordering makes the window
+// crash-safe in both directions — a crash before the snapshot lands leaves
+// every segment in place (recovery replays a little extra, skipped via the
+// per-stream sequence numbers), and segments are only deleted after the
+// snapshot that supersedes them is readable. Compaction failures are
+// counted but do not fail the save: the snapshot is good, the log is
+// merely longer than necessary.
 func (s *Service) SaveFile(path string) error {
+	var cut uint64
+	rotated := false
+	if s.wal != nil {
+		var err error
+		if cut, err = s.wal.Rotate(); err == nil {
+			rotated = true
+		} else {
+			s.walCompactErrors.Inc()
+		}
+	}
 	blob, err := s.MarshalBinary()
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, blob)
+	if err := writeFileAtomic(path, blob); err != nil {
+		return err
+	}
+	if rotated {
+		if err := s.wal.RemoveSegmentsBelow(cut); err != nil {
+			s.walCompactErrors.Inc()
+		}
+	}
+	return nil
+}
+
+// QuarantineStateFile moves an unreadable state file aside to
+// <path>.corrupt-<unixtime> so the process can start fresh without
+// destroying the evidence (or the chance of manual recovery). It returns
+// the quarantine path.
+func QuarantineStateFile(path string) (string, error) {
+	quarantine := fmt.Sprintf("%s.corrupt-%d", path, time.Now().Unix())
+	if err := os.Rename(path, quarantine); err != nil {
+		return "", err
+	}
+	return quarantine, nil
 }
 
 // LoadServiceFile restores a Service from a state file. splitByProcs and
