@@ -80,6 +80,12 @@ func main() {
 			log.Printf("restored state from %s (%d streams)", *statePath, server.Service().NumStreams())
 		case os.IsNotExist(err):
 			log.Printf("no state at %s yet; starting fresh", *statePath)
+		case !errors.Is(err, qbets.ErrCorruptState):
+			// An I/O or permission failure, not corruption: the file may be
+			// perfectly intact, so quarantining it would throw away good
+			// state. Fail fast and let the operator (or supervisor restart)
+			// resolve it.
+			log.Fatalf("loading %s: %v", *statePath, err)
 		case *strictState:
 			log.Fatalf("loading %s: %v (-strict-state)", *statePath, err)
 		default:

@@ -71,6 +71,11 @@ func (m *MemFS) Remove(name string) error {
 	return nil
 }
 
+// SyncDir is a no-op: MemFS models per-file sync state only, treating
+// directory entries as durable at creation. (Directory-entry loss is the
+// real-disk failure mode OSFS.SyncDir exists to close.)
+func (m *MemFS) SyncDir(string) error { return nil }
+
 func (m *MemFS) List(dir string) ([]string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -216,6 +221,11 @@ func (f *FaultFS) OpenAppend(name string) (File, error) {
 func (f *FaultFS) Open(name string) (io.ReadCloser, error) { return f.inner.Open(name) }
 func (f *FaultFS) Remove(name string) error                { return f.inner.Remove(name) }
 func (f *FaultFS) List(dir string) ([]string, error)       { return f.inner.List(dir) }
+
+// SyncDir passes through unfaulted: the armed faults model a file-level
+// failing disk, and coupling them to directory syncs would make segment
+// creation itself fail before the write/sync paths under test are reached.
+func (f *FaultFS) SyncDir(dir string) error { return f.inner.SyncDir(dir) }
 
 type faultHandle struct {
 	fs   *FaultFS

@@ -21,6 +21,11 @@ type FS interface {
 	// List returns the base names of the regular files in dir (any order).
 	// A missing dir is reported as an empty listing, not an error.
 	List(dir string) ([]string, error)
+	// SyncDir flushes dir's metadata, making entries created or removed in
+	// it durable. Without it a power cut can forget a freshly created
+	// segment file — records fsynced into it vanish from replay because
+	// the file itself was never linked.
+	SyncDir(dir string) error
 }
 
 // File is the writable handle an FS hands out: sequential appends plus the
@@ -44,6 +49,18 @@ func (OSFS) OpenAppend(name string) (File, error) {
 func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
 
 func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func (OSFS) List(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)

@@ -102,6 +102,13 @@ type WAL struct {
 	nextSeq   uint64
 	active    *segment
 	encBuf    []byte
+	// syncErr is the sticky record of a failed background sync
+	// (SyncInterval mode only): records acknowledged since the previous
+	// successful sync may be lost even though the process never crashed,
+	// so Append refuses with this error — pushing the service into
+	// read-only — until syncLoop's recovery probe proves the disk takes
+	// durable writes again.
+	syncErr error
 
 	// coarseNow is a cached wall clock (unix nanos), refreshed on every
 	// sync and by the interval ticker, so hot-path callers can timestamp
@@ -163,8 +170,11 @@ func Open(dir string, opt Options) (*WAL, error) {
 
 // syncLoop is the SyncInterval background: every Interval it refreshes the
 // coarse clock and pushes buffered records to stable storage. A failed sync
-// poisons the active segment, so the next append abandons it and surfaces
-// the disk problem instead of silently extending the loss window.
+// is recorded stickily on the WAL (see syncErr): the poisoned segment is
+// abandoned — after an fsync error the kernel may have dropped its dirty
+// pages, and a retried fsync on the same file can falsely succeed — and
+// every Append returns the error until a once-per-interval probe proves a
+// fresh segment accepts a durable write.
 func (w *WAL) syncLoop() {
 	defer close(w.tickDone)
 	t := time.NewTicker(w.opt.Interval)
@@ -176,13 +186,39 @@ func (w *WAL) syncLoop() {
 		case <-t.C:
 			w.coarseNow.Store(time.Now().UnixNano())
 			w.mu.Lock()
-			if !w.closed && w.active != nil && !w.active.failed {
+			switch {
+			case w.closed:
+			case w.syncErr != nil:
+				// Recovery probe: open a fresh segment and sync it. Only
+				// success clears the sticky error and lets appends resume;
+				// compaction reclaims any probe segments this leaves behind.
+				w.abandonLocked()
+				if err := w.openSegmentLocked(); err == nil {
+					if err := w.syncLocked(); err == nil {
+						w.syncErr = nil
+					} else {
+						w.abandonLocked()
+					}
+				}
+			case w.active != nil && !w.active.failed:
 				if err := w.syncLocked(); err != nil {
-					w.active.failed = true
+					w.syncErr = err
+					w.abandonLocked()
 				}
 			}
 			w.mu.Unlock()
 		}
+	}
+}
+
+// abandonLocked closes and drops the active segment without flushing it:
+// once a write or sync on the segment has failed, its buffered tail can no
+// longer be trusted to reach disk, so the only safe move is to leave what
+// did land for replay's torn-tail handling and start fresh.
+func (w *WAL) abandonLocked() {
+	if w.active != nil {
+		w.active.f.Close()
+		w.active = nil
 	}
 }
 
@@ -304,7 +340,17 @@ func (w *WAL) Append(key string, wait float64, unixNanos int64) (uint64, error) 
 	if len(key) > MaxKeyLen {
 		return 0, fmt.Errorf("wal: key of %d bytes exceeds limit %d", len(key), MaxKeyLen)
 	}
-	if w.active == nil || w.active.failed {
+	if w.syncErr != nil {
+		// A background sync failed since the last append: the log is
+		// dropping acknowledged data, so refuse — stickily, until the
+		// recovery probe in syncLoop clears the error — rather than keep
+		// acking records that may never reach disk.
+		return 0, fmt.Errorf("wal: background sync failed: %w", w.syncErr)
+	}
+	if w.active != nil && w.active.failed {
+		w.abandonLocked()
+	}
+	if w.active == nil {
 		if err := w.openSegmentLocked(); err != nil {
 			return 0, err
 		}
@@ -340,14 +386,25 @@ func (w *WAL) Append(key string, wait float64, unixNanos int64) (uint64, error) 
 	return seq, nil
 }
 
-// Sync forces the active segment's buffered records to stable storage.
+// Sync forces the active segment's buffered records to stable storage. A
+// pending background sync failure is reported here too.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.syncErr != nil {
+		return fmt.Errorf("wal: background sync failed: %w", w.syncErr)
+	}
 	if w.active == nil {
 		return nil
 	}
-	return w.syncLocked()
+	if err := w.syncLocked(); err != nil {
+		w.active.failed = true
+		if w.opt.Mode == SyncInterval {
+			w.syncErr = err
+		}
+		return err
+	}
+	return nil
 }
 
 // Rotate closes the active segment (flushing and syncing it) and returns
@@ -374,11 +431,21 @@ func (w *WAL) RemoveSegmentsBelow(cut uint64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	var firstErr error
+	removed := false
 	for _, idx := range indices {
 		if idx >= cut || (w.active != nil && idx == w.active.index) {
 			continue
 		}
-		if err := w.opt.FS.Remove(filepath.Join(w.dir, segName(idx))); err != nil && firstErr == nil {
+		if err := w.opt.FS.Remove(filepath.Join(w.dir, segName(idx))); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wal: %w", err)
+			}
+		} else {
+			removed = true
+		}
+	}
+	if removed {
+		if err := w.opt.FS.SyncDir(w.dir); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("wal: %w", err)
 		}
 	}
@@ -404,13 +471,26 @@ func (w *WAL) Close() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.rotateLocked()
+	err := w.rotateLocked()
+	if err == nil && w.syncErr != nil {
+		// The final flush had nothing to sync (the poisoned segment was
+		// abandoned), but acknowledged records were lost: say so.
+		err = fmt.Errorf("wal: background sync failed: %w", w.syncErr)
+	}
+	return err
 }
 
 func (w *WAL) openSegmentLocked() error {
 	name := filepath.Join(w.dir, segName(w.nextIndex))
 	f, err := w.opt.FS.OpenAppend(name)
 	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Make the directory entry durable before any record lands in the
+	// file: fsyncing record bytes is worthless if a power cut forgets the
+	// file was ever created.
+	if err := w.opt.FS.SyncDir(w.dir); err != nil {
+		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
 	seg := &segment{index: w.nextIndex, f: f, w: bufio.NewWriterSize(f, 64<<10)}

@@ -341,6 +341,70 @@ func TestSyncIntervalPolicy(t *testing.T) {
 	}
 }
 
+// TestSyncIntervalStickyFailure: a failed background sync must not stay
+// invisible — the next Append returns the error (stickily), so the service
+// degrades to read-only instead of acking records into a log that is
+// silently dropping them. Once the disk recovers, the per-interval probe
+// clears the error and appends resume on a fresh segment.
+func TestSyncIntervalStickyFailure(t *testing.T) {
+	fs := NewFaultFS(NewMemFS())
+	w, err := Open("wal", Options{FS: fs, Mode: SyncInterval, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append("q", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	bang := errors.New("sync: input/output error")
+	fs.FailSyncs(bang)
+	// The ticker's next sync fails; from then on Append must refuse.
+	deadline := time.Now().Add(5 * time.Second)
+	var appendErr error
+	for time.Now().Before(deadline) {
+		if _, appendErr = w.Append("q", 2, 0); appendErr != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(appendErr, bang) {
+		t.Fatalf("append after failed background sync: err = %v, want wrapped %v", appendErr, bang)
+	}
+	if err := w.Sync(); !errors.Is(err, bang) {
+		t.Fatalf("explicit Sync hides pending failure: %v", err)
+	}
+	// While the fault persists the error stays sticky.
+	if _, err := w.Append("q", 3, 0); !errors.Is(err, bang) {
+		t.Fatalf("sticky error cleared without a successful sync: %v", err)
+	}
+	// Disk recovers: the probe clears the error within an interval or two
+	// and appends become durable again.
+	fs.Clear()
+	var seq uint64
+	for time.Now().Before(deadline) {
+		if seq, err = w.Append("q", 4, 0); err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("append never recovered after fault cleared: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := Open("wal", Options{FS: fs})
+	found := false
+	if _, err := w2.Replay(func(r Record) { found = found || r.Seq == seq }); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatalf("post-recovery record %d missing from replay", seq)
+	}
+}
+
 func TestAppendBeforeReplayRejected(t *testing.T) {
 	w, err := Open("wal", Options{FS: NewMemFS()})
 	if err != nil {

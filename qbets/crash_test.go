@@ -246,8 +246,13 @@ func TestQuarantineStateFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadServiceFile(path, false); err == nil {
-		t.Fatal("corrupt state file loaded without error")
+	if _, err := LoadServiceFile(path, false); !errors.Is(err, ErrCorruptState) {
+		t.Fatalf("corrupt state file: err = %v, want ErrCorruptState (it gates quarantine)", err)
+	}
+	// An I/O failure is not corruption: the startup path must fail fast on
+	// it instead of quarantining a possibly intact file.
+	if _, err := LoadServiceFile(dir, false); err == nil || errors.Is(err, ErrCorruptState) {
+		t.Fatalf("read error misclassified as corruption: %v", err)
 	}
 	qpath, err := QuarantineStateFile(path)
 	if err != nil {

@@ -2,11 +2,19 @@ package qbets
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 )
+
+// ErrCorruptState marks state blobs that fail to decode. Callers use it to
+// tell a damaged snapshot (quarantine it and start fresh) apart from I/O
+// failures such as permission errors, where the file may be perfectly
+// intact and moving it aside would discard good state.
+var ErrCorruptState = errors.New("state file is corrupt")
 
 // State persistence: a deployed forecaster accumulates months of history;
 // these helpers let it survive process restarts without retraining.
@@ -42,18 +50,47 @@ func (f *Forecaster) SaveFile(path string) error {
 	return writeFileAtomic(path, blob)
 }
 
-// writeFileAtomic writes via a temp file + rename so a crash mid-save
-// never leaves a truncated state file behind.
+// writeFileAtomic writes via a temp file + fsync + rename + directory
+// fsync. The rename keeps a crash mid-save from leaving a truncated state
+// file; the two fsyncs make the new contents and the directory entry
+// durable before the caller acts on the save — without them a power cut
+// after rename can surface the old file, an empty one, or nothing, even
+// though the save reported success (and, worse, triggered WAL compaction).
 func writeFileAtomic(path string, blob []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(blob)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making renames and unlinks within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load restores a forecaster from a state blob written by Save.
@@ -135,13 +172,13 @@ func (s *Service) MarshalBinary() ([]byte, error) {
 func (s *Service) UnmarshalBinary(data []byte) error {
 	var blob serviceBlob
 	if err := json.Unmarshal(data, &blob); err != nil {
-		return fmt.Errorf("qbets: service state: %w", err)
+		return fmt.Errorf("qbets: %w: %v", ErrCorruptState, err)
 	}
 	restored := make(map[string]*stream, len(blob.Streams))
 	for k, fb := range blob.Streams {
 		fc := New()
 		if err := fc.UnmarshalBinary(fb); err != nil {
-			return fmt.Errorf("qbets: stream %q: %w", k, err)
+			return fmt.Errorf("qbets: %w: stream %q: %v", ErrCorruptState, k, err)
 		}
 		restored[k] = adoptStream(k, fc, blob.StreamSeqs[k])
 	}
