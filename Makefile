@@ -1,0 +1,30 @@
+# BENCH_JSON is where `make bench` drops its machine-readable results;
+# CI uploads it as an artifact so the perf trajectory is recorded per PR.
+BENCH_JSON ?= BENCH_PR4.json
+
+.PHONY: build test race crash bench
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+race:
+	go test -race ./...
+
+crash:
+	go test -run Crash -count=5 ./internal/wal/ ./qbets/
+
+# bench runs the key hot-path benchmarks (prediction latency, service
+# observe with and without a WAL, the batched HTTP ingest path) and emits
+# $(BENCH_JSON): one entry per benchmark with ns/op, B/op, allocs/op, and
+# any custom metrics such as records/s.
+bench:
+	@set -e; \
+	out=$$(mktemp); \
+	go test -run '^$$' -bench PredictionLatency -benchmem . >> $$out; \
+	go test -run '^$$' -bench 'ServiceObserve|ServerObserveBatch' -benchmem ./qbets/ >> $$out; \
+	go run ./cmd/benchjson < $$out > $(BENCH_JSON); \
+	rm -f $$out; \
+	echo "wrote $(BENCH_JSON)"

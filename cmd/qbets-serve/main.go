@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,10 +66,15 @@ func main() {
 		saveEvery   = flag.Duration("save-interval", 5*time.Minute, "state save period (with -state)")
 		walDir      = flag.String("wal", "", "write-ahead log directory: observations are logged before being applied and replayed on startup")
 		walSync     = flag.String("wal-sync", "1s", `WAL fsync policy: "always", "off", or a flush interval like "1s" (with -wal)`)
+		walGroup    = flag.Bool("wal-group-commit", false, "coalesce concurrent WAL commits into shared fsyncs (with -wal-sync always)")
 		strictState = flag.Bool("strict-state", false, "refuse to start on a corrupt state file instead of quarantining it and starting fresh")
 		logRequests = flag.Bool("log-requests", false, "log every request (method, path, status, duration)")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics listener (requires -metrics-addr)")
 	)
 	flag.Parse()
+	if *pprofOn && *metricsAddr == "" {
+		log.Fatal("-pprof requires -metrics-addr: profiling endpoints are never exposed on the public listener")
+	}
 
 	server := qbets.NewServer(*byProcs,
 		qbets.WithQuantile(*quantile),
@@ -106,7 +112,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		obsLog, err = wal.Open(*walDir, wal.Options{Mode: mode, Interval: interval})
+		obsLog, err = wal.Open(*walDir, wal.Options{Mode: mode, Interval: interval, GroupCommit: *walGroup})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -165,16 +171,30 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", server.Metrics().Handler())
+		writeTimeout := 30 * time.Second
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			// CPU profiles and traces stream for ?seconds=N; leave headroom
+			// beyond pprof's 30s default so captures aren't cut off mid-write.
+			writeTimeout = 90 * time.Second
+		}
 		metricsServer = &http.Server{
 			Addr:              *metricsAddr,
 			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 			ReadTimeout:       30 * time.Second,
-			WriteTimeout:      30 * time.Second,
+			WriteTimeout:      writeTimeout,
 			IdleTimeout:       2 * time.Minute,
 		}
 		go func() { errc <- metricsServer.ListenAndServe() }()
 		log.Printf("metrics on %s/metrics", *metricsAddr)
+		if *pprofOn {
+			log.Printf("pprof on %s/debug/pprof/", *metricsAddr)
+		}
 	}
 
 	log.Printf("listening on %s (quantile %.2f, confidence %.2f, by-procs %v)",

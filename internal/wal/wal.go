@@ -68,6 +68,15 @@ type Options struct {
 	Mode SyncMode
 	// Interval is the SyncInterval period (default 1s).
 	Interval time.Duration
+	// GroupCommit enables the concurrent-committer group commit path for
+	// SyncEachRecord: an appender arriving while another appender's fsync
+	// is in flight buffers its frames and waits, and the next fsync (led by
+	// whoever arrives first once the disk is free) covers every waiter at
+	// once — N concurrent committers share ~1 fsync instead of paying N.
+	// Unlike SyncInterval this does not widen the loss window: no append is
+	// acknowledged until its own records are on stable storage. Ignored
+	// under other sync modes, which already amortize or defer syncs.
+	GroupCommit bool
 	// FS is the filesystem to write through (default OSFS).
 	FS FS
 }
@@ -116,6 +125,28 @@ type WAL struct {
 	coarseNow atomic.Int64
 	stopTick  chan struct{}
 	tickDone  chan struct{}
+
+	// syncedSeq is the durability watermark: every sequence number at or
+	// below it was flushed and fsynced by a successful sync. Written under
+	// mu (syncLocked), read locklessly by group-commit waiters — a waiter
+	// acks once the watermark passes its batch *and* its segment has not
+	// failed (the watermark alone can lie after a failed segment is
+	// abandoned and a fresh one syncs past the lost sequence numbers).
+	syncedSeq atomic.Uint64
+
+	// gc coordinates group commit (SyncEachRecord + Options.GroupCommit):
+	// at most one leader fsyncs at a time; followers wait on cond and
+	// re-check the watermark and their segment's failed flag on each wake.
+	// gc.mu is never held together with w.mu.
+	gc struct {
+		mu      sync.Mutex
+		cond    *sync.Cond
+		syncing bool
+		// err remembers the most recent commit failure, for error text
+		// only — the authoritative per-waiter failure signal is the failed
+		// flag on the waiter's own segment.
+		err error
+	}
 }
 
 type segment struct {
@@ -123,10 +154,13 @@ type segment struct {
 	f     File
 	w     *bufio.Writer
 	size  int64
-	// failed marks a segment whose tail may be torn by a failed write;
-	// the next append abandons it and opens a fresh segment so one bad
-	// write cannot shadow later good records at replay.
-	failed bool
+	// failed marks a segment whose tail may be torn by a failed write or
+	// sync; the next append abandons it and opens a fresh segment so one
+	// bad write cannot shadow later good records at replay. Atomic because
+	// group-commit waiters read it without holding the WAL mutex: once set
+	// it never clears, so a waiter that observes it can safely report its
+	// records lost.
+	failed atomic.Bool
 }
 
 var (
@@ -159,6 +193,7 @@ func Open(dir string, opt Options) (*WAL, error) {
 		next = indices[n-1] + 1
 	}
 	w := &WAL{dir: dir, opt: opt, nextIndex: next, nextSeq: 1}
+	w.gc.cond = sync.NewCond(&w.gc.mu)
 	w.coarseNow.Store(time.Now().UnixNano())
 	if opt.Mode == SyncInterval {
 		w.stopTick = make(chan struct{})
@@ -200,7 +235,7 @@ func (w *WAL) syncLoop() {
 						w.abandonLocked()
 					}
 				}
-			case w.active != nil && !w.active.failed:
+			case w.active != nil && !w.active.failed.Load():
 				if err := w.syncLocked(); err != nil {
 					w.syncErr = err
 					w.abandonLocked()
@@ -324,36 +359,76 @@ func (w *WAL) Replay(apply func(Record)) (ReplayStats, error) {
 	return stats, nil
 }
 
-// Append logs one observation and returns its sequence number. Whether a
-// nil error implies durability depends on the sync policy (see SyncMode).
-// A failed append poisons the active segment; the next append starts a
-// fresh one, so replay after recovery is never blocked by one bad tail.
-func (w *WAL) Append(key string, wait float64, unixNanos int64) (uint64, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+// appendPrepareLocked runs the checks and segment management every append
+// path shares: lifecycle state, sticky background-sync failure, abandoning
+// a poisoned segment, and opening a fresh one when needed.
+func (w *WAL) appendPrepareLocked() error {
 	if w.closed {
-		return 0, errClosed
+		return errClosed
 	}
 	if !w.replayed {
-		return 0, errNotReplayed
-	}
-	if len(key) > MaxKeyLen {
-		return 0, fmt.Errorf("wal: key of %d bytes exceeds limit %d", len(key), MaxKeyLen)
+		return errNotReplayed
 	}
 	if w.syncErr != nil {
 		// A background sync failed since the last append: the log is
 		// dropping acknowledged data, so refuse — stickily, until the
 		// recovery probe in syncLoop clears the error — rather than keep
 		// acking records that may never reach disk.
-		return 0, fmt.Errorf("wal: background sync failed: %w", w.syncErr)
+		return fmt.Errorf("wal: background sync failed: %w", w.syncErr)
 	}
-	if w.active != nil && w.active.failed {
+	if w.active != nil && w.active.failed.Load() {
 		w.abandonLocked()
 	}
 	if w.active == nil {
-		if err := w.openSegmentLocked(); err != nil {
-			return 0, err
+		return w.openSegmentLocked()
+	}
+	return nil
+}
+
+// appendFinishLocked completes an append whose frames are already in the
+// active segment's buffer: it applies the sync policy and the rotation
+// check, then releases w.mu. The group-commit path must drop the lock
+// itself, before potentially waiting behind a concurrent committer's fsync.
+func (w *WAL) appendFinishLocked(last uint64) error {
+	if w.opt.Mode == SyncEachRecord && w.opt.GroupCommit {
+		seg := w.active
+		w.mu.Unlock()
+		return w.commit(last, seg)
+	}
+	defer w.mu.Unlock()
+	// SyncInterval is handled off the append path by syncLoop's ticker;
+	// SyncOff waits for rotation or Close.
+	if w.opt.Mode == SyncEachRecord {
+		if err := w.syncLocked(); err != nil {
+			w.active.failed.Store(true)
+			return fmt.Errorf("wal: sync: %w", err)
 		}
+	}
+	if w.active.size >= w.opt.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			// The records are past their policy's durability point, but the
+			// rotation flush failed — surface it so the caller degrades
+			// rather than trusting a log that just refused a write.
+			return fmt.Errorf("wal: rotate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Append logs one observation and returns its sequence number. Whether a
+// nil error implies durability depends on the sync policy (see SyncMode).
+// A failed append poisons the active segment; the next append starts a
+// fresh one, so replay after recovery is never blocked by one bad tail.
+// On error the returned sequence number must not be trusted.
+func (w *WAL) Append(key string, wait float64, unixNanos int64) (uint64, error) {
+	w.mu.Lock()
+	if err := w.appendPrepareLocked(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	if len(key) > MaxKeyLen {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("wal: key of %d bytes exceeds limit %d", len(key), MaxKeyLen)
 	}
 	// The sequence number is consumed even if the write fails: a torn
 	// frame may still be recovered whole at replay, and reusing its number
@@ -364,26 +439,167 @@ func (w *WAL) Append(key string, wait float64, unixNanos int64) (uint64, error) 
 	n, err := w.active.w.Write(w.encBuf)
 	w.active.size += int64(n)
 	if err != nil {
-		w.active.failed = true
+		w.active.failed.Store(true)
+		w.mu.Unlock()
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
-	// SyncInterval is handled off the append path by syncLoop's ticker;
-	// SyncOff waits for rotation or Close.
-	if w.opt.Mode == SyncEachRecord {
-		if err := w.syncLocked(); err != nil {
-			w.active.failed = true
-			return 0, fmt.Errorf("wal: sync: %w", err)
+	return seq, w.appendFinishLocked(seq)
+}
+
+// Entry is one observation in an AppendBatch: a Record minus the sequence
+// number, which the WAL assigns at append time.
+type Entry struct {
+	Key       string
+	Wait      float64
+	UnixNanos int64
+}
+
+// maxEncBuf bounds how much encode-buffer capacity a large batch may pin
+// between appends; anything bigger is released after use.
+const maxEncBuf = 1 << 20
+
+// AppendBatch logs a batch of observations as consecutive records and
+// returns the sequence number assigned to entries[0]; entry i carries
+// firstSeq+i. The whole batch is framed into one buffer and issued as a
+// single write, and under SyncEachRecord it is made durable by a single
+// fsync (or one group commit) — bulk ingest pays per batch what Append
+// pays per record. The frames are ordinary records, so a power cut
+// mid-batch tears at a record boundary: replay recovers a prefix of the
+// batch, exactly as if the same records had been appended individually.
+// On error no entry is acknowledged; as with Append, frames that reached
+// the disk anyway are recovered at replay and deduplicated by the caller's
+// sequence anchoring.
+func (w *WAL) AppendBatch(entries []Entry) (firstSeq uint64, err error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	w.mu.Lock()
+	if err := w.appendPrepareLocked(); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	for i := range entries {
+		if len(entries[i].Key) > MaxKeyLen {
+			w.mu.Unlock()
+			return 0, fmt.Errorf("wal: key of %d bytes exceeds limit %d", len(entries[i].Key), MaxKeyLen)
 		}
 	}
-	if w.active.size >= w.opt.SegmentBytes {
-		if err := w.rotateLocked(); err != nil {
-			// The record is past its policy's durability point, but the
-			// rotation flush failed — surface it so the caller degrades
-			// rather than trusting a log that just refused a write.
-			return seq, fmt.Errorf("wal: rotate: %w", err)
+	firstSeq = w.nextSeq
+	w.nextSeq += uint64(len(entries))
+	buf := w.encBuf[:0]
+	for i, e := range entries {
+		buf = appendRecord(buf, Record{Seq: firstSeq + uint64(i), Key: e.Key, Wait: e.Wait, UnixNanos: e.UnixNanos})
+	}
+	if cap(buf) <= maxEncBuf {
+		w.encBuf = buf
+	}
+	n, werr := w.active.w.Write(buf)
+	w.active.size += int64(n)
+	if werr != nil {
+		w.active.failed.Store(true)
+		w.mu.Unlock()
+		return 0, fmt.Errorf("wal: append: %w", werr)
+	}
+	return firstSeq, w.appendFinishLocked(firstSeq + uint64(len(entries)) - 1)
+}
+
+// commit makes every sequence number up to last durable under the group
+// commit protocol. The caller's frames are already buffered in seg (the
+// segment it appended to); commit returns once a successful sync's
+// watermark covers last — possibly a sync some other goroutine led while
+// we waited — or once seg is known failed. The first committer to find no
+// sync in flight becomes the leader and fsyncs once for everything
+// buffered so far, including frames from appenders that arrived after it;
+// appenders arriving during that fsync coalesce into the next one.
+func (w *WAL) commit(last uint64, seg *segment) error {
+	g := &w.gc
+	g.mu.Lock()
+	for {
+		// Order matters: a failed segment is checked before the watermark,
+		// because after seg is abandoned a fresh segment's sync can push
+		// the watermark past sequence numbers that never reached disk.
+		if seg.failed.Load() {
+			err := g.err
+			g.mu.Unlock()
+			if err == nil {
+				err = errors.New("segment abandoned after a failed write")
+			}
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		if w.syncedSeq.Load() >= last {
+			g.mu.Unlock()
+			return nil
+		}
+		if !g.syncing {
+			break // no sync in flight: lead one
+		}
+		g.cond.Wait()
+	}
+	g.syncing = true
+	g.mu.Unlock()
+
+	// Leader: one fsync covers every frame flushed up to this instant. The
+	// fsync itself runs outside w.mu so appenders arriving during it keep
+	// buffering frames — they become the next commit's coalesced wave —
+	// while gc.syncing keeps a second leader from starting.
+	w.mu.Lock()
+	var err error
+	if w.active == seg && !seg.failed.Load() {
+		cover := w.nextSeq - 1
+		if err = seg.w.Flush(); err == nil {
+			w.mu.Unlock()
+			err = seg.f.Sync()
+			w.mu.Lock()
+			if err != nil && w.syncedSeq.Load() >= cover {
+				// A concurrent rotation (snapshot path) synced and closed
+				// the segment under our in-flight fsync: everything we were
+				// committing is durable, the EBADF-shaped error is noise.
+				err = nil
+			}
+			if err == nil {
+				if cover > w.syncedSeq.Load() {
+					w.syncedSeq.Store(cover)
+				}
+				w.coarseNow.Store(time.Now().UnixNano())
+				if w.active == seg && seg.size >= w.opt.SegmentBytes {
+					// A failed rotation poisons the segment (rotateLocked
+					// marks it) but not this commit: everything covered by
+					// it was just synced.
+					_ = w.rotateLocked()
+				}
+			}
+		}
+		if err != nil {
+			// Mark before returning so every waiter on this segment sees
+			// its records lost; the next append abandons it.
+			seg.failed.Store(true)
 		}
 	}
-	return seq, nil
+	// Otherwise seg was rotated out (its sync already advanced the
+	// watermark) or failed; the re-check below settles our own fate.
+	w.mu.Unlock()
+
+	g.mu.Lock()
+	g.syncing = false
+	if err != nil {
+		g.err = err
+	}
+	g.cond.Broadcast()
+	if seg.failed.Load() {
+		gerr := g.err
+		g.mu.Unlock()
+		if gerr == nil {
+			gerr = errors.New("segment abandoned after a failed write")
+		}
+		return fmt.Errorf("wal: sync: %w", gerr)
+	}
+	g.mu.Unlock()
+	if w.syncedSeq.Load() >= last {
+		return nil
+	}
+	// Neither durable nor failed: seg must have been mid-rotation or the
+	// WAL closed under us — re-enter the wait loop rather than guess.
+	return w.commit(last, seg)
 }
 
 // Sync forces the active segment's buffered records to stable storage. A
@@ -398,7 +614,7 @@ func (w *WAL) Sync() error {
 		return nil
 	}
 	if err := w.syncLocked(); err != nil {
-		w.active.failed = true
+		w.active.failed.Store(true)
 		if w.opt.Mode == SyncInterval {
 			w.syncErr = err
 		}
@@ -511,11 +727,16 @@ func (w *WAL) syncLocked() error {
 	if err := w.active.f.Sync(); err != nil {
 		return err
 	}
+	// Everything appended so far is on stable storage (appends happen only
+	// under w.mu, which we hold): publish the group-commit watermark.
+	w.syncedSeq.Store(w.nextSeq - 1)
 	w.coarseNow.Store(time.Now().UnixNano())
 	return nil
 }
 
-// rotateLocked flushes, syncs, and closes the active segment (if any).
+// rotateLocked flushes, syncs, and closes the active segment (if any). A
+// failed rotation poisons the segment so group-commit waiters buffered in
+// it see their records lost rather than trusting a later watermark.
 func (w *WAL) rotateLocked() error {
 	if w.active == nil {
 		return nil
@@ -523,6 +744,9 @@ func (w *WAL) rotateLocked() error {
 	err := w.syncLocked()
 	if cerr := w.active.f.Close(); err == nil {
 		err = cerr
+	}
+	if err != nil {
+		w.active.failed.Store(true)
 	}
 	w.active = nil
 	return err

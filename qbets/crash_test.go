@@ -44,8 +44,10 @@ func TestServiceCrashRecoveryMatchesOracle(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// Random workload; acked tracks the prefix the sync policy has
-			// made durable.
+			// Random workload mixing single observes and batches (the crash
+			// can land mid-batch-frame); acked tracks the prefix the sync
+			// policy has made durable — a successful ObserveBatch under
+			// per-record sync acks all of its records.
 			type obsRec struct {
 				queue string
 				wait  float64
@@ -53,13 +55,33 @@ func TestServiceCrashRecoveryMatchesOracle(t *testing.T) {
 			n := 50 + rng.Intn(300)
 			appended := make([]obsRec, 0, n)
 			acked := 0
-			for i := 0; i < n; i++ {
-				q := queues[rng.Intn(len(queues))]
-				wait := rng.ExpFloat64() * 600
-				if err := svc.Observe(q, 1, wait); err != nil {
-					t.Fatalf("observe %d: %v", i, err)
+			for i := 0; i < n; {
+				if rng.Intn(3) == 0 {
+					m := 1 + rng.Intn(12)
+					batch := make([]ObserveRecord, m)
+					for j := range batch {
+						batch[j] = ObserveRecord{
+							Queue:       queues[rng.Intn(len(queues))],
+							Procs:       1,
+							WaitSeconds: rng.ExpFloat64() * 600,
+						}
+					}
+					if applied, err := svc.ObserveBatch(batch); err != nil || applied != m {
+						t.Fatalf("batch at %d: applied %d, %v", i, applied, err)
+					}
+					for _, r := range batch {
+						appended = append(appended, obsRec{r.Queue, r.WaitSeconds})
+					}
+					i += m
+				} else {
+					q := queues[rng.Intn(len(queues))]
+					wait := rng.ExpFloat64() * 600
+					if err := svc.Observe(q, 1, wait); err != nil {
+						t.Fatalf("observe %d: %v", i, err)
+					}
+					appended = append(appended, obsRec{q, wait})
+					i++
 				}
-				appended = append(appended, obsRec{q, wait})
 				if perRecordSync {
 					acked = len(appended)
 				}

@@ -1,6 +1,7 @@
 package qbets
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -252,66 +254,197 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// internedQueue is a string whose JSON decoding routes through a bounded
+// intern cache keyed by the raw token bytes, so repeated queue names — the
+// overwhelmingly common case in scheduler-log ingest — decode without
+// allocating a fresh string per record. Decoding semantics are exactly
+// encoding/json's for a plain string field: cache misses delegate to
+// json.Unmarshal and memoize its result, so identical raw bytes always
+// yield the identical value, and anything the standard decoder rejects is
+// rejected here too.
+type internedQueue string
+
+// maxInternedQueues caps the intern cache; a flood of distinct queue names
+// (an attack, not a workload) degrades to per-record allocation, never to
+// unbounded memory.
+const maxInternedQueues = 4096
+
+var queueInterner = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+func (q *internedQueue) UnmarshalJSON(b []byte) error {
+	// JSON null leaves the value unchanged, exactly as encoding/json
+	// treats a plain string field.
+	if string(b) == "null" {
+		return nil
+	}
+	queueInterner.RLock()
+	v, ok := queueInterner.m[string(b)]
+	queueInterner.RUnlock()
+	if !ok {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v = s
+		queueInterner.Lock()
+		if len(queueInterner.m) < maxInternedQueues {
+			queueInterner.m[string(b)] = s
+		}
+		queueInterner.Unlock()
+	}
+	*q = internedQueue(v)
+	return nil
+}
+
+// observeWire mirrors ObserveRecord for the decode hot path, with the
+// queue routed through the intern cache. Kept separate so the public
+// ObserveRecord type stays a plain-string struct.
+type observeWire struct {
+	Queue       internedQueue `json:"queue"`
+	Procs       int           `json:"procs"`
+	WaitSeconds float64       `json:"wait_seconds"`
+}
+
+// maxPooledObserveRecords bounds the record capacity a pooled batch may
+// retain between requests.
+const maxPooledObserveRecords = 8192
+
+// observeBatch is the pooled per-request state of handleObserve: the
+// decoded records, the peek buffer, and the scratch record the streaming
+// decoder fills — so in steady state the ingest path allocates only what
+// encoding/json's decoder itself needs, nothing per record.
+type observeBatch struct {
+	recs []ObserveRecord
+	br   *bufio.Reader
+	wire observeWire
+}
+
+var observeBatchPool = sync.Pool{
+	New: func() any { return &observeBatch{br: bufio.NewReaderSize(nil, 4096)} },
+}
+
+func (b *observeBatch) release() {
+	b.br.Reset(nil)
+	b.wire = observeWire{}
+	clear(b.recs)
+	b.recs = b.recs[:0]
+	if cap(b.recs) > maxPooledObserveRecords {
+		b.recs = nil
+	}
+	observeBatchPool.Put(b)
+}
+
+// peekNonSpace returns the first non-whitespace byte without consuming it,
+// skipping exactly the JSON whitespace set (space, tab, CR, LF).
+func peekNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return c, br.UnreadByte()
+	}
+}
+
+// writeDecodeError maps a body-decode failure to its 400: the body-cap
+// error gets its dedicated message, everything else is formatted with the
+// caller's context ("bad JSON", "bad JSON object", "bad JSON array").
+func writeDecodeError(w http.ResponseWriter, err error, format string) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusBadRequest, "body exceeds %d bytes; split the batch", tooBig.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, format, err)
+}
+
+// handleObserve ingests a single record or an array of records: the first
+// JSON value in the body (trailing bytes are ignored), decoded in one
+// streaming pass with validation fused into the walk, then applied through
+// the service's batch path. Nothing is ingested unless the whole payload
+// decodes and validates — partial application happens only when the
+// observation log degrades mid-batch, reported as a 503 with Retry-After
+// and the index of the first unapplied record.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
-	// Accept a single record or an array.
-	var raw json.RawMessage
-	if err := dec.Decode(&raw); err != nil {
+	b := observeBatchPool.Get().(*observeBatch)
+	defer b.release()
+	b.br.Reset(http.MaxBytesReader(w, r.Body, maxObserveBody))
+	first, err := peekNonSpace(b.br)
+	if err != nil {
 		s.observeErrors.Inc()
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusBadRequest, "body exceeds %d bytes; split the batch", tooBig.Limit)
-			return
-		}
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		writeDecodeError(w, err, "bad JSON: %v")
 		return
 	}
-	var records []ObserveRecord
-	if len(raw) > 0 && raw[0] == '[' {
-		if err := json.Unmarshal(raw, &records); err != nil {
+	dec := json.NewDecoder(b.br)
+	if first == '[' {
+		if _, err := dec.Token(); err != nil { // consume '['
 			s.observeErrors.Inc()
-			writeError(w, http.StatusBadRequest, "bad JSON array: %v", err)
+			writeDecodeError(w, err, "bad JSON array: %v")
+			return
+		}
+		for i := 0; dec.More(); i++ {
+			b.wire = observeWire{}
+			if err := dec.Decode(&b.wire); err != nil {
+				s.observeErrors.Inc()
+				writeDecodeError(w, err, "bad JSON array: %v")
+				return
+			}
+			if !validWire(&b.wire) {
+				s.observeErrors.Inc()
+				writeError(w, http.StatusBadRequest, "record %d: queue required and wait_seconds must be finite and >= 0", i)
+				return
+			}
+			b.recs = append(b.recs, ObserveRecord{Queue: string(b.wire.Queue), Procs: b.wire.Procs, WaitSeconds: b.wire.WaitSeconds})
+		}
+		if _, err := dec.Token(); err != nil { // consume ']'
+			s.observeErrors.Inc()
+			writeDecodeError(w, err, "bad JSON array: %v")
 			return
 		}
 	} else {
-		var one ObserveRecord
-		if err := json.Unmarshal(raw, &one); err != nil {
+		b.wire = observeWire{}
+		if err := dec.Decode(&b.wire); err != nil {
 			s.observeErrors.Inc()
-			writeError(w, http.StatusBadRequest, "bad JSON object: %v", err)
+			writeDecodeError(w, err, "bad JSON object: %v")
 			return
 		}
-		records = append(records, one)
-	}
-	for i, rec := range records {
-		if rec.Queue == "" || math.IsNaN(rec.WaitSeconds) || math.IsInf(rec.WaitSeconds, 0) || rec.WaitSeconds < 0 {
+		if !validWire(&b.wire) {
 			s.observeErrors.Inc()
-			writeError(w, http.StatusBadRequest, "record %d: queue required and wait_seconds must be finite and >= 0", i)
+			writeError(w, http.StatusBadRequest, "record 0: queue required and wait_seconds must be finite and >= 0")
 			return
 		}
+		b.recs = append(b.recs, ObserveRecord{Queue: string(b.wire.Queue), Procs: b.wire.Procs, WaitSeconds: b.wire.WaitSeconds})
 	}
-	applied := 0
-	for i, rec := range records {
-		if err := s.svc.Observe(rec.Queue, rec.Procs, rec.WaitSeconds); err != nil {
-			s.observations.Add(uint64(applied))
-			if errors.Is(err, ErrReadOnly) {
-				// Records before i were logged and applied; the client should
-				// retry the remainder once appends heal.
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusServiceUnavailable, "record %d: %v", i, err)
-				return
-			}
-			s.observeErrors.Inc()
-			writeError(w, http.StatusBadRequest, "record %d: %v", i, err)
-			return
-		}
-		applied++
-	}
+	applied, err := s.svc.ObserveBatch(b.recs)
 	s.observations.Add(uint64(applied))
+	if err != nil {
+		if errors.Is(err, ErrReadOnly) {
+			// Records before the reported index were logged and applied; the
+			// client should retry the remainder once appends heal.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		s.observeErrors.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func validWire(rec *observeWire) bool {
+	return rec.Queue != "" && !math.IsNaN(rec.WaitSeconds) && !math.IsInf(rec.WaitSeconds, 0) && rec.WaitSeconds >= 0
 }
 
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
