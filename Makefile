@@ -1,6 +1,6 @@
 # BENCH_JSON is where `make bench` drops its machine-readable results;
 # CI uploads it as an artifact so the perf trajectory is recorded per PR.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 
 .PHONY: build test race crash bench
 
@@ -17,14 +17,18 @@ crash:
 	go test -run Crash -count=5 ./internal/wal/ ./qbets/
 
 # bench runs the key hot-path benchmarks (prediction latency, service
-# observe with and without a WAL, the batched HTTP ingest path) and emits
-# $(BENCH_JSON): one entry per benchmark with ns/op, B/op, allocs/op, and
-# any custom metrics such as records/s.
+# observe with and without a WAL, the batched HTTP ingest path, and the
+# lock-free read plane against its RWMutex baselines) and emits
+# $(BENCH_JSON): one entry per benchmark with ns/op, B/op, allocs/op,
+# cpus, and any custom metrics such as records/s. The read-plane benches
+# run at -cpu 1,4 so contention behaviour is on record alongside the
+# single-threaded numbers.
 bench:
 	@set -e; \
 	out=$$(mktemp); \
 	go test -run '^$$' -bench PredictionLatency -benchmem . >> $$out; \
 	go test -run '^$$' -bench 'ServiceObserve|ServerObserveBatch' -benchmem ./qbets/ >> $$out; \
+	go test -run '^$$' -bench 'ServiceForecast|ServiceProfile|ServiceReadWhileIngest|ServerForecast' -cpu 1,4 -benchmem ./qbets/ >> $$out; \
 	go run ./cmd/benchjson < $$out > $(BENCH_JSON); \
 	rm -f $$out; \
 	echo "wrote $(BENCH_JSON)"

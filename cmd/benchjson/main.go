@@ -17,6 +17,7 @@ import (
 
 type result struct {
 	Name        string             `json:"name"`
+	Cpus        int                `json:"cpus,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BPerOp      float64            `json:"b_per_op,omitempty"`
@@ -63,7 +64,18 @@ func parse(line string) (result, bool) {
 	if err != nil {
 		return result{}, false
 	}
-	r := result{Name: fields[0], Iterations: iters}
+	name, cpus := fields[0], 1
+	// go test suffixes the name with "-GOMAXPROCS" when running at more
+	// than one CPU (e.g. from -cpu 1,4); split it out so the same logical
+	// benchmark keeps one name across CPU counts. Sub-benchmark names in
+	// this repo avoid trailing "-<digits>" segments, keeping this split
+	// unambiguous.
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			name, cpus = name[:i], n
+		}
+	}
+	r := result{Name: name, Cpus: cpus, Iterations: iters}
 	sawNs := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)

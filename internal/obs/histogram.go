@@ -72,3 +72,10 @@ func ExponentialBuckets(start, factor float64, n int) []float64 {
 // LatencyBuckets covers 1µs to ~4s, suiting microsecond-scale prediction
 // paths with room for degenerate tail behavior.
 func LatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 2, 22) }
+
+// SizeBuckets covers request batch sizes from single-item to the
+// practical maximum in a 1-2-5 progression — the natural shape for
+// "how big are the batches clients send" histograms.
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+}

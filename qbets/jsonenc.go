@@ -1,0 +1,197 @@
+package qbets
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// Append-based JSON encoding for the read-plane responses. The forecast
+// and profile endpoints answer with tiny, fixed-shape payloads at the
+// service's highest request rates; routing them through encoding/json
+// costs reflection walks and a fresh encoder state per response. These
+// helpers render the same bytes — including encoding/json's HTML-escaping
+// and float formatting, verified by differential tests — into a pooled
+// buffer, so the steady-state read path allocates nothing per request.
+
+// maxPooledResponseBuf bounds the capacity a pooled response buffer may
+// retain; a giant batch response's buffer is dropped rather than pinned.
+const maxPooledResponseBuf = 1 << 18
+
+type responseBuf struct {
+	b []byte
+}
+
+var responseBufPool = sync.Pool{
+	New: func() any { return &responseBuf{b: make([]byte, 0, 512)} },
+}
+
+func getResponseBuf() *responseBuf { return responseBufPool.Get().(*responseBuf) }
+
+func (rb *responseBuf) release() {
+	if cap(rb.b) > maxPooledResponseBuf {
+		rb.b = nil
+	}
+	rb.b = rb.b[:0]
+	responseBufPool.Put(rb)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal with exactly
+// encoding/json's default escaping: quotes, backslashes, control bytes,
+// the HTML-sensitive characters <, >, &, the line separators U+2028 and
+// U+2029, and invalid UTF-8 replaced by U+FFFD.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest representation, fixed notation except for very small or very
+// large magnitudes, with the exponent's leading zero stripped. NaN and
+// infinities cannot reach this encoder (every encoded value is either a
+// validated wait or a configured level); they render as 0 rather than
+// corrupt the document.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, '0')
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Match encoding/json: e-09 → e-9.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+func appendJSONBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendForecastHead opens a ForecastResponse object through its queue and
+// procs fields; appendForecastLevels / appendForecastTail complete it. The
+// split lets the serving path splice in the server's pre-rendered
+// quantile/confidence bytes — those two floats are fixed at construction,
+// and shortest-float formatting is the most expensive part of the encode.
+func appendForecastHead(dst []byte, queue string, procs int) []byte {
+	dst = append(dst, `{"queue":`...)
+	dst = appendJSONString(dst, queue)
+	dst = append(dst, `,"procs":`...)
+	return strconv.AppendInt(dst, int64(procs), 10)
+}
+
+// appendForecastLevels renders the quantile and confidence fields; the
+// server caches this fragment once (see Server.levelsJSON).
+func appendForecastLevels(dst []byte, quantile, confidence float64) []byte {
+	dst = append(dst, `,"quantile":`...)
+	dst = appendJSONFloat(dst, quantile)
+	dst = append(dst, `,"confidence":`...)
+	return appendJSONFloat(dst, confidence)
+}
+
+// appendForecastTail closes a ForecastResponse with its per-stream fields.
+func appendForecastTail(dst []byte, boundSeconds float64, ok bool, observations int) []byte {
+	dst = append(dst, `,"bound_seconds":`...)
+	dst = appendJSONFloat(dst, boundSeconds)
+	dst = append(dst, `,"ok":`...)
+	dst = appendJSONBool(dst, ok)
+	dst = append(dst, `,"observations":`...)
+	dst = strconv.AppendInt(dst, int64(observations), 10)
+	return append(dst, '}')
+}
+
+// appendForecastResponse renders one ForecastResponse object, field-for-
+// field what encoding/json produces for the struct.
+func appendForecastResponse(dst []byte, r *ForecastResponse) []byte {
+	dst = appendForecastHead(dst, r.Queue, r.Procs)
+	dst = appendForecastLevels(dst, r.Quantile, r.Confidence)
+	return appendForecastTail(dst, r.BoundSeconds, r.OK, r.Observations)
+}
+
+// appendProfileEntries renders a Table 8 profile as the JSON array of
+// ProfileEntry objects the profile endpoint has always served, straight
+// from the published immutable []Bound.
+func appendProfileEntries(dst []byte, bounds []Bound) []byte {
+	dst = append(dst, '[')
+	for i := range bounds {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		b := &bounds[i]
+		dst = append(dst, `{"quantile":`...)
+		dst = appendJSONFloat(dst, b.Quantile)
+		dst = append(dst, `,"confidence":`...)
+		dst = appendJSONFloat(dst, b.Confidence)
+		dst = append(dst, `,"side":`...)
+		if b.Lower {
+			dst = append(dst, `"lower"`...)
+		} else {
+			dst = append(dst, `"upper"`...)
+		}
+		dst = append(dst, `,"seconds":`...)
+		dst = appendJSONFloat(dst, b.Seconds)
+		dst = append(dst, `,"ok":`...)
+		dst = appendJSONBool(dst, b.OK)
+		dst = append(dst, '}')
+	}
+	return append(dst, ']')
+}

@@ -1,0 +1,155 @@
+package qbets
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The append encoder's whole contract is "the same bytes encoding/json
+// would produce"; these tests enforce it differentially rather than
+// against golden strings, so any divergence — escaping, float format,
+// field order — fails loudly.
+
+func TestAppendJSONStringDifferential(t *testing.T) {
+	cases := []string{
+		"",
+		"normal",
+		"with space",
+		`quote " and backslash \`,
+		"tab\tnewline\ncarriage\rreturn",
+		"control\x00\x01\x1f",
+		"html <b>&amp;</b>",
+		"unicode: héllo wörld — naïve",
+		"emoji: \U0001F680\U0001F9EA",
+		"line seps: \u2028 and \u2029", // valid JSON but breaks JS eval; encoding/json escapes them
+		"invalid utf8: \xff\xfe",
+		"truncated rune: \xe2\x82",
+		"mixed \xc3\x28 bad continuation",
+		"\ufffd real replacement char",
+		strings.Repeat("long/queue-name_", 100),
+		"queue/512+",
+	}
+	// Every single byte value as a 1-byte string: covers the full ASCII
+	// escape table and every invalid-UTF-8 lead byte.
+	for b := 0; b < 256; b++ {
+		cases = append(cases, string([]byte{byte(b)}))
+	}
+	// Random byte soup: arbitrary invalid sequences.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		buf := make([]byte, 1+rng.Intn(40))
+		rng.Read(buf)
+		cases = append(cases, string(buf))
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("json.Marshal(%q): %v", s, err)
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			t.Errorf("appendJSONString(%q)\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendJSONFloatDifferential(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 1.5, 2.0 / 3.0,
+		1e-5, 1e-6, 9.999999e-7, 1e-7, 1e-9, 5e-324,
+		1e20, 9.99e20, 1e21, 1.0000001e21, 1e22, math.MaxFloat64,
+		123456789.123456789, 0.95, 0.99, 86400, 3.14159265358979,
+		-2.5e-8, -7.25e22, math.SmallestNonzeroFloat64,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		f := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(50)-25))
+		cases = append(cases, f)
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", f, err)
+		}
+		if got := appendJSONFloat(nil, f); string(got) != string(want) {
+			t.Errorf("appendJSONFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+	// NaN/Inf: encoding/json errors; the append encoder degrades to 0 by
+	// documented design (they are unreachable from validated inputs).
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := appendJSONFloat(nil, f); string(got) != "0" {
+			t.Errorf("appendJSONFloat(%v) = %s, want 0", f, got)
+		}
+	}
+}
+
+func TestAppendForecastResponseDifferential(t *testing.T) {
+	cases := []ForecastResponse{
+		{},
+		{Queue: "normal", Procs: 8, Quantile: 0.95, Confidence: 0.95, BoundSeconds: 1234.5, OK: true, Observations: 200},
+		{Queue: `we"ird/queue<&>`, Procs: 1, Quantile: 0.5, Confidence: 0.99, BoundSeconds: 1e-7, OK: false, Observations: 0},
+		{Queue: "bad\xffutf8", Procs: 512, Quantile: 0.95, Confidence: 0.95, BoundSeconds: 2.5e21, OK: true, Observations: 1 << 30},
+		{Queue: "sep\u2028arated", Procs: 64, Quantile: 0.75, Confidence: 0.9, BoundSeconds: 0, OK: true, Observations: 59},
+	}
+	for _, r := range cases {
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendForecastResponse(nil, &r); string(got) != string(want) {
+			t.Errorf("appendForecastResponse(%+v)\n got %s\nwant %s", r, got, want)
+		}
+	}
+}
+
+func TestAppendProfileEntriesDifferential(t *testing.T) {
+	cases := [][]Bound{
+		nil,
+		{},
+		{{Quantile: 0.95, Confidence: 0.95, Lower: false, Seconds: 4521.25, OK: true}},
+		{
+			{Quantile: 0.5, Confidence: 0.95, Lower: false, Seconds: 100, OK: true},
+			{Quantile: 0.95, Confidence: 0.95, Lower: true, Seconds: 1e-8, OK: false},
+			{Quantile: 0.99, Confidence: 0.99, Lower: false, Seconds: 3e21, OK: true},
+		},
+	}
+	for _, bounds := range cases {
+		entries := make([]ProfileEntry, len(bounds))
+		for i, b := range bounds {
+			side := "upper"
+			if b.Lower {
+				side = "lower"
+			}
+			entries[i] = ProfileEntry{Quantile: b.Quantile, Confidence: b.Confidence, Side: side, Seconds: b.Seconds, OK: b.OK}
+		}
+		want, err := json.Marshal(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendProfileEntries(nil, bounds); string(got) != string(want) {
+			t.Errorf("appendProfileEntries(%+v)\n got %s\nwant %s", bounds, got, want)
+		}
+	}
+}
+
+// TestResponseBufPoolBoundsRetention: oversized buffers are dropped, small
+// ones are reset and reused.
+func TestResponseBufPoolBoundsRetention(t *testing.T) {
+	rb := getResponseBuf()
+	rb.b = append(rb.b, make([]byte, maxPooledResponseBuf+1)...)
+	rb.release()
+	if rb.b != nil {
+		t.Error("oversized buffer retained by the pool")
+	}
+	rb2 := getResponseBuf()
+	rb2.b = append(rb2.b, "leftover"...)
+	rb2.release()
+	rb3 := getResponseBuf()
+	if len(rb3.b) != 0 {
+		t.Errorf("pooled buffer not reset: %q", rb3.b)
+	}
+	rb3.release()
+}

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,16 +26,18 @@ import (
 //	POST /v1/observe   {"queue":"normal","procs":8,"wait_seconds":123}
 //	                   (or a JSON array of such records)
 //	GET  /v1/forecast?queue=normal&procs=8
+//	POST /v1/forecast  [{"queue":"normal","procs":8}, ...]  (batch)
 //	GET  /v1/profile?queue=normal&procs=8
 //	GET  /v1/status
 //	GET  /metrics      (Prometheus text exposition)
 //	GET  /healthz
 //
-// Server is safe for concurrent use. Requests on different streams do not
-// contend: the underlying Service shards its stream registry and gives
-// each stream its own reader/writer lock, so observes and forecasts for
-// distinct queues proceed in parallel. Errors are reported as JSON bodies
-// of the form {"error": "..."} with a matching status code.
+// Server is safe for concurrent use, and the forecast plane never blocks:
+// forecast, profile, and status reads are served from the Service's
+// RCU-published snapshots with no locking, so they cannot contend with
+// ingest, refits, or snapshot saves — and ingest on distinct streams still
+// proceeds in parallel through the sharded registry. Errors are reported
+// as JSON bodies of the form {"error": "..."} with a matching status code.
 //
 // The server instruments itself through internal/obs: request counts by
 // endpoint and status code, a prediction-latency histogram, ingested
@@ -44,11 +49,45 @@ type Server struct {
 	svc *Service
 	reg *obs.Registry
 
-	httpRequests  *obs.CounterVec
-	observations  *obs.Counter
-	observeErrors *obs.Counter
-	panics        *obs.Counter
-	predLatency   *obs.Histogram
+	httpRequests      *obs.CounterVec
+	observations      *obs.Counter
+	observeErrors     *obs.Counter
+	panics            *obs.Counter
+	predLatency       *obs.Histogram
+	forecastBatchSize *obs.Histogram
+
+	// levelsJSON is the pre-rendered `,"quantile":…,"confidence":…`
+	// fragment of every ForecastResponse: the two floats are fixed at
+	// construction, and shortest-float formatting is the most expensive
+	// part of the encode, so the serving path splices these bytes instead
+	// of re-deriving them per response.
+	levelsJSON []byte
+
+	// reqCounters memoizes httpRequests.With per (endpoint, status): the
+	// label-key formatting in CounterVec.With is a handful of allocations,
+	// which the per-request accounting on the zero-alloc read path should
+	// not pay twice for the same pair.
+	reqCountersMu sync.RWMutex
+	reqCounters   map[reqCounterKey]*obs.Counter
+}
+
+type reqCounterKey struct {
+	endpoint string
+	code     int
+}
+
+func (s *Server) requestCounter(endpoint string, code int) *obs.Counter {
+	k := reqCounterKey{endpoint, code}
+	s.reqCountersMu.RLock()
+	c := s.reqCounters[k]
+	s.reqCountersMu.RUnlock()
+	if c == nil {
+		c = s.httpRequests.With(endpoint, strconv.Itoa(code))
+		s.reqCountersMu.Lock()
+		s.reqCounters[k] = c
+		s.reqCountersMu.Unlock()
+	}
+	return c
 }
 
 // maxObserveBody caps the POST /v1/observe request body. A batch of a few
@@ -71,14 +110,17 @@ func NewServerWith(svc *Service) *Server { return newServer(svc) }
 func newServer(svc *Service) *Server {
 	reg := obs.NewRegistry()
 	s := &Server{
-		svc:           svc,
-		reg:           reg,
-		httpRequests:  reg.NewCounterVec("qbets_http_requests_total", "HTTP requests served, by endpoint and status code.", "endpoint", "code"),
-		observations:  reg.NewCounter("qbets_observations_total", "Wait-time observations ingested."),
-		observeErrors: reg.NewCounter("qbets_observe_rejects_total", "Observe payloads rejected by validation."),
-		panics:        reg.NewCounter("qbets_panics_total", "Handler panics recovered by the server."),
-		predLatency:   reg.NewHistogram("qbets_prediction_latency_seconds", "Latency of forecast and profile computations.", obs.LatencyBuckets()),
+		svc:               svc,
+		reg:               reg,
+		httpRequests:      reg.NewCounterVec("qbets_http_requests_total", "HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+		observations:      reg.NewCounter("qbets_observations_total", "Wait-time observations ingested."),
+		observeErrors:     reg.NewCounter("qbets_observe_rejects_total", "Observe payloads rejected by validation."),
+		panics:            reg.NewCounter("qbets_panics_total", "Handler panics recovered by the server."),
+		predLatency:       reg.NewHistogram("qbets_prediction_latency_seconds", "Latency of forecast and profile computations.", obs.LatencyBuckets()),
+		forecastBatchSize: reg.NewHistogram("qbets_forecast_batch_size", "Shapes per batch forecast request (POST /v1/forecast).", obs.SizeBuckets()),
+		reqCounters:       make(map[reqCounterKey]*obs.Counter),
 	}
+	s.levelsJSON = appendForecastLevels(nil, svc.Quantile(), svc.Confidence())
 	// Durability metrics live on the Service (they tick whether or not a
 	// registry exists); the server exposes them.
 	d := svc.durabilityMetrics()
@@ -125,6 +167,15 @@ func newServer(svc *Service) *Server {
 		func(emit func(string, float64)) {
 			for _, st := range svc.Stats() {
 				emit(obs.Labels("stream", st.Stream), float64(st.Trims))
+			}
+		})
+	// A gauge, not a counter: a wholesale state restore replaces streams,
+	// whose generations restart at 1.
+	reg.RegisterGaugeFunc("qbets_forecast_generation",
+		"Per-stream forecast snapshot generation: 1 at stream creation, +1 per applied observation, batch chunk, or replay group. A stalled generation under ingest means the read plane is serving stale bounds.",
+		func(emit func(string, float64)) {
+			for _, st := range svc.Stats() {
+				emit(obs.Labels("stream", st.Stream), float64(st.Generation))
 			}
 		})
 	return s
@@ -208,7 +259,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				writeError(sw, http.StatusInternalServerError, "internal error: %v", p)
 			}
 		}
-		s.httpRequests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+		s.requestCounter(endpoint, sw.code).Inc()
 	}()
 	switch r.URL.Path {
 	case "/v1/observe":
@@ -280,20 +331,9 @@ func (q *internedQueue) UnmarshalJSON(b []byte) error {
 	if string(b) == "null" {
 		return nil
 	}
-	queueInterner.RLock()
-	v, ok := queueInterner.m[string(b)]
-	queueInterner.RUnlock()
-	if !ok {
-		var s string
-		if err := json.Unmarshal(b, &s); err != nil {
-			return err
-		}
-		v = s
-		queueInterner.Lock()
-		if len(queueInterner.m) < maxInternedQueues {
-			queueInterner.m[string(b)] = s
-		}
-		queueInterner.Unlock()
+	v, err := internQueueToken(b)
+	if err != nil {
+		return err
 	}
 	*q = internedQueue(v)
 	return nil
@@ -447,7 +487,21 @@ func validWire(rec *observeWire) bool {
 	return rec.Queue != "" && !math.IsNaN(rec.WaitSeconds) && !math.IsInf(rec.WaitSeconds, 0) && rec.WaitSeconds >= 0
 }
 
+// handleForecast serves the read plane's hot endpoint. GET answers one
+// (queue, procs) shape; POST answers a whole batch of shapes in one
+// request (see handleForecastBatch). Both run lock-free against the
+// service's published snapshots and render through the pooled append
+// encoder, so the steady-state cost is decode + two atomic loads + one
+// buffer write.
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleForecastBatch(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+		return
+	}
 	queue, procs, ok := s.shapeParams(w, r)
 	if !ok {
 		return
@@ -459,15 +513,136 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream for queue %q, procs %d: no observations yet", queue, procs)
 		return
 	}
-	writeJSON(w, ForecastResponse{
-		Queue:        queue,
-		Procs:        procs,
-		Quantile:     s.svc.Quantile(),
-		Confidence:   s.svc.Confidence(),
-		BoundSeconds: st.BoundSeconds,
-		OK:           st.BoundOK,
-		Observations: st.Observations,
-	})
+	rb := getResponseBuf()
+	rb.b = appendForecastHead(rb.b, queue, procs)
+	rb.b = append(rb.b, s.levelsJSON...)
+	rb.b = appendForecastTail(rb.b, st.BoundSeconds, st.BoundOK, st.Observations)
+	rb.b = append(rb.b, '\n')
+	writeRawJSON(w, rb.b)
+	rb.release()
+}
+
+// maxForecastBody caps the POST /v1/forecast request body; thousands of
+// shapes fit comfortably.
+const maxForecastBody = 1 << 20
+
+// forecastShape is one resolved (queue, procs) request within a batch.
+type forecastShape struct {
+	queue string
+	procs int
+}
+
+// maxPooledForecastShapes bounds the shape capacity a pooled batch may
+// retain between requests; maxPooledForecastBody does the same for the
+// body buffer.
+const (
+	maxPooledForecastShapes = 8192
+	maxPooledForecastBody   = 1 << 18
+)
+
+// forecastBatch is the pooled per-request state of handleForecastBatch:
+// the raw body and the decoded shapes, both capacity-retained so the
+// steady-state batch path allocates nothing per request.
+type forecastBatch struct {
+	shapes []forecastShape
+	buf    []byte
+}
+
+var forecastBatchPool = sync.Pool{
+	New: func() any { return &forecastBatch{buf: make([]byte, 0, 4096)} },
+}
+
+func (b *forecastBatch) release() {
+	clear(b.shapes)
+	b.shapes = b.shapes[:0]
+	if cap(b.shapes) > maxPooledForecastShapes {
+		b.shapes = nil
+	}
+	b.buf = b.buf[:0]
+	if cap(b.buf) > maxPooledForecastBody {
+		b.buf = nil
+	}
+	forecastBatchPool.Put(b)
+}
+
+// readBody slurps r into the pooled buffer, growing it as needed.
+func (b *forecastBatch) readBody(r io.Reader) ([]byte, error) {
+	for {
+		if len(b.buf) == cap(b.buf) {
+			b.buf = append(b.buf, 0)[:len(b.buf)]
+		}
+		n, err := r.Read(b.buf[len(b.buf):cap(b.buf)])
+		b.buf = b.buf[:len(b.buf)+n]
+		if err == io.EOF {
+			return b.buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// handleForecastBatch answers POST /v1/forecast: a JSON array of
+// {queue, procs} shapes, answered by a JSON array of ForecastResponse in
+// the same order — the shape an urgent-workload scheduler polls before
+// placement, quoting bounds for many candidate job shapes in one round
+// trip. Unlike the single-shape GET, an unknown stream is not a 404: its
+// entry comes back with ok=false and zero observations, so one cold shape
+// cannot fail the whole batch. procs omitted or 0 defaults to 1, matching
+// the GET parameter.
+func (s *Server) handleForecastBatch(w http.ResponseWriter, r *http.Request) {
+	b := forecastBatchPool.Get().(*forecastBatch)
+	defer b.release()
+	body, err := b.readBody(http.MaxBytesReader(w, r.Body, maxForecastBody))
+	if err != nil {
+		writeDecodeError(w, err, "bad JSON: %v")
+		return
+	}
+	i := 0
+	for i < len(body) && (body[i] == ' ' || body[i] == '\t' || body[i] == '\r' || body[i] == '\n') {
+		i++
+	}
+	if i == len(body) {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", errShapeEOF)
+		return
+	}
+	if body[i] != '[' {
+		writeError(w, http.StatusBadRequest, "batch forecast body must be a JSON array of {queue, procs} shapes")
+		return
+	}
+	b.shapes, err = parseForecastShapes(b.shapes[:0], body[i:])
+	if err != nil {
+		var fe *shapeFieldError
+		if errors.As(err, &fe) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad JSON array: %v", err)
+		}
+		return
+	}
+	s.forecastBatchSize.Observe(float64(len(b.shapes)))
+	rb := getResponseBuf()
+	rb.b = append(rb.b, '[')
+	start := time.Now()
+	for i := range b.shapes {
+		sh := &b.shapes[i]
+		if i > 0 {
+			rb.b = append(rb.b, ',')
+		}
+		rb.b = appendForecastHead(rb.b, sh.queue, sh.procs)
+		rb.b = append(rb.b, s.levelsJSON...)
+		// An unknown stream degrades to ok=false with zero observations
+		// rather than failing the batch; asking never creates a stream.
+		if st, known := s.svc.StreamStats(sh.queue, sh.procs); known {
+			rb.b = appendForecastTail(rb.b, st.BoundSeconds, st.BoundOK, st.Observations)
+		} else {
+			rb.b = appendForecastTail(rb.b, 0, false, 0)
+		}
+	}
+	s.predLatency.Observe(time.Since(start).Seconds())
+	rb.b = append(rb.b, ']', '\n')
+	writeRawJSON(w, rb.b)
+	rb.release()
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
@@ -482,21 +657,13 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream for queue %q, procs %d: no observations yet", queue, procs)
 		return
 	}
-	out := make([]ProfileEntry, len(bounds))
-	for i, b := range bounds {
-		side := "upper"
-		if b.Lower {
-			side = "lower"
-		}
-		out[i] = ProfileEntry{
-			Quantile:   b.Quantile,
-			Confidence: b.Confidence,
-			Side:       side,
-			Seconds:    b.Seconds,
-			OK:         b.OK,
-		}
-	}
-	writeJSON(w, out)
+	// bounds is the published immutable snapshot slice — rendered in
+	// place, never mutated.
+	rb := getResponseBuf()
+	rb.b = appendProfileEntries(rb.b, bounds)
+	rb.b = append(rb.b, '\n')
+	writeRawJSON(w, rb.b)
+	rb.release()
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -551,13 +718,13 @@ func (s *Server) shapeParams(w http.ResponseWriter, r *http.Request) (queue stri
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return "", 0, false
 	}
-	queue = r.URL.Query().Get("queue")
+	queue = queryParam(r.URL.RawQuery, "queue")
 	if queue == "" {
 		writeError(w, http.StatusBadRequest, "queue parameter required")
 		return "", 0, false
 	}
 	procs = 1
-	if p := r.URL.Query().Get("procs"); p != "" {
+	if p := queryParam(r.URL.RawQuery, "procs"); p != "" {
 		v, err := strconv.Atoi(p)
 		if err != nil || v < 1 {
 			writeError(w, http.StatusBadRequest, "procs must be a positive integer")
@@ -566,6 +733,61 @@ func (s *Server) shapeParams(w http.ResponseWriter, r *http.Request) (queue stri
 		procs = v
 	}
 	return queue, procs, true
+}
+
+// queryParam extracts the first value of key from a raw query string
+// without materializing a url.Values map — the single-shape GETs are the
+// read plane's hottest requests, and parsing two known keys by hand keeps
+// them allocation-free in the common (unescaped) case. Escaped values fall
+// back to url.QueryUnescape; pairs net/url would reject (embedded
+// semicolons) are skipped, matching r.URL.Query()'s drop-on-error
+// behavior.
+func queryParam(raw, key string) string {
+	for len(raw) > 0 {
+		pair := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue
+		}
+		k, v := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			k, v = pair[:i], pair[i+1:]
+		}
+		if k != key {
+			if strings.IndexByte(k, '%') < 0 && strings.IndexByte(k, '+') < 0 {
+				continue
+			}
+			u, err := url.QueryUnescape(k)
+			if err != nil || u != key {
+				continue
+			}
+		}
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			u, err := url.QueryUnescape(v)
+			if err != nil {
+				continue // matches url.Values: malformed pair is dropped
+			}
+			v = u
+		}
+		return v
+	}
+	return ""
+}
+
+// contentTypeJSON is the shared Content-Type header value for the
+// pre-rendered read-plane responses; assigning the cached slice instead of
+// Header().Set avoids the per-response []string allocation.
+var contentTypeJSON = []string{"application/json"}
+
+// writeRawJSON sends a pre-rendered JSON body (already newline-terminated,
+// matching json.Encoder output byte for byte).
+func writeRawJSON(w http.ResponseWriter, body []byte) {
+	w.Header()["Content-Type"] = contentTypeJSON
+	_, _ = w.Write(body)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -1,0 +1,181 @@
+package qbets
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Batch forecast (POST /v1/forecast): one round trip answers many shapes,
+// entry-for-entry identical to the single-shape GET — except that unknown
+// streams degrade to ok=false entries instead of failing the batch.
+
+func TestServerBatchForecast(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// 100 observations in the 1-4 proc bucket gives "alpha" a real bound.
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{"queue":"alpha","procs":2,"wait_seconds":` + string(rune('1'+i%9)) + `00}`)
+	}
+	sb.WriteByte(']')
+	if resp := postJSON(t, ts.URL+"/v1/observe", sb.String()); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("observe status %d", resp.StatusCode)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/forecast",
+		`[{"queue":"alpha","procs":2},{"queue":"alpha"},{"queue":"ghost","procs":4}]`)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+		t.Errorf("batch body not newline-terminated: %q", raw)
+	}
+	var batch []ForecastResponse
+	if err := json.Unmarshal(raw, &batch); err != nil {
+		t.Fatalf("batch body: %v", err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch returned %d entries, want 3", len(batch))
+	}
+
+	// Entry 0 must byte-match the single-shape GET's decoded response.
+	get, err := http.Get(ts.URL + "/v1/forecast?queue=alpha&procs=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var single ForecastResponse
+	if err := json.NewDecoder(get.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch[0], single) {
+		t.Errorf("batch[0] = %+v differs from single GET %+v", batch[0], single)
+	}
+	if !batch[0].OK || batch[0].Observations != 100 {
+		t.Errorf("batch[0] = %+v, want ok with 100 observations", batch[0])
+	}
+
+	// Entry 1: omitted procs defaults to 1, same bucket as procs=2.
+	if batch[1].Procs != 1 || batch[1].Observations != 100 || batch[1].BoundSeconds != batch[0].BoundSeconds {
+		t.Errorf("batch[1] = %+v, want defaulted procs=1 hitting the same stream", batch[1])
+	}
+
+	// Entry 2: unknown stream degrades, does not 404, echoes the shape.
+	if batch[2].Queue != "ghost" || batch[2].Procs != 4 || batch[2].OK || batch[2].Observations != 0 {
+		t.Errorf("batch[2] = %+v, want ghost/4 with ok=false", batch[2])
+	}
+	if batch[2].Quantile != 0.95 || batch[2].Confidence != 0.95 {
+		t.Errorf("batch[2] levels = %+v", batch[2])
+	}
+
+	// Asking about ghost must not have created a stream.
+	g, err := http.Get(ts.URL + "/v1/forecast?queue=ghost&procs=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost GET after batch: status %d, want 404 (batch must not create streams)", g.StatusCode)
+	}
+}
+
+func TestServerBatchForecastEmpty(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/forecast", `[]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "[]\n" {
+		t.Errorf("empty batch body = %q, want []\\n", raw)
+	}
+}
+
+func TestServerBatchForecastOversizedBody(t *testing.T) {
+	s := NewServer(true, WithSeed(1))
+	body := `[{"queue":"` + strings.Repeat("a", maxForecastBody) + `","procs":1}]`
+	req := httptest.NewRequest(http.MethodPost, "/v1/forecast", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "body exceeds") {
+		t.Errorf("body = %q, want cap message", w.Body.String())
+	}
+}
+
+// TestServerBatchForecastMatchesEncodingJSON renders a mixed batch through
+// the server and re-encodes the decoded result with encoding/json: the
+// bytes must be identical, proving the pooled append encoder is not just
+// semantically but literally the standard encoding.
+func TestServerBatchForecastMatchesEncodingJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/observe", `[{"queue":"q<&>","procs":1,"wait_seconds":42.5}]`)
+
+	resp := postJSON(t, ts.URL+"/v1/forecast", `[{"queue":"q<&>","procs":1},{"queue":"nope","procs":9}]`)
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []ForecastResponse
+	if err := json.Unmarshal(raw, &batch); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(want)+"\n" {
+		t.Errorf("batch bytes diverge from encoding/json:\n got %q\nwant %q", raw, string(want)+"\n")
+	}
+}
+
+// TestServerForecastGetAllocsBounded pins the single-shape GET's
+// allocation budget: the handler itself (decode params, snapshot read,
+// pooled encode, raw write) is zero-alloc in steady state; the full
+// ServeHTTP wrapper adds only a fixed handful for instrumentation (status
+// writer, request-counter labels), independent of payload.
+func TestServerForecastGetAllocsBounded(t *testing.T) {
+	s := NewServer(true, WithSeed(1))
+	req := httptest.NewRequest(http.MethodPost, "/v1/observe", strings.NewReader(`[{"queue":"q","procs":8,"wait_seconds":10}]`))
+	s.ServeHTTP(httptest.NewRecorder(), req)
+
+	w := &nopResponseWriter{h: make(http.Header)}
+	greq := httptest.NewRequest(http.MethodGet, "/v1/forecast?queue=q&procs=8", nil)
+	for i := 0; i < 10; i++ { // warm pools
+		s.ServeHTTP(w, greq)
+	}
+	if n := testing.AllocsPerRun(200, func() { s.handleForecast(w, greq) }); n != 0 {
+		t.Errorf("forecast GET handler allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { s.ServeHTTP(w, greq) }); n > 8 {
+		t.Errorf("forecast GET allocates %v/op through ServeHTTP; instrumentation overhead grew", n)
+	}
+}
+
+type nopResponseWriter struct{ h http.Header }
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nopResponseWriter) WriteHeader(int)             {}

@@ -172,7 +172,11 @@ func TestServerValidation(t *testing.T) {
 		{"negative wait", "POST", "/v1/observe", `{"queue":"q","wait_seconds":-1}`, http.StatusBadRequest, "wait_seconds"},
 		{"bad record in batch", "POST", "/v1/observe", `[{"queue":"q","wait_seconds":1},{"queue":"","wait_seconds":2}]`, http.StatusBadRequest, "record 1"},
 		{"observe wrong method", "GET", "/v1/observe", "", http.StatusMethodNotAllowed, "POST required"},
-		{"forecast wrong method", "POST", "/v1/forecast?queue=q", "", http.StatusMethodNotAllowed, "GET required"},
+		{"forecast wrong method", "DELETE", "/v1/forecast?queue=q", "", http.StatusMethodNotAllowed, "GET or POST required"},
+		{"batch forecast bad json", "POST", "/v1/forecast", `[{"queue":`, http.StatusBadRequest, "bad JSON"},
+		{"batch forecast non-array", "POST", "/v1/forecast", `{"queue":"q"}`, http.StatusBadRequest, "JSON array"},
+		{"batch forecast missing queue", "POST", "/v1/forecast", `[{"queue":"known"},{"procs":2}]`, http.StatusBadRequest, "shape 1: queue required"},
+		{"batch forecast bad procs", "POST", "/v1/forecast", `[{"queue":"known","procs":-3}]`, http.StatusBadRequest, "shape 0: procs"},
 		{"forecast missing queue", "GET", "/v1/forecast", "", http.StatusBadRequest, "queue parameter required"},
 		{"forecast bad procs", "GET", "/v1/forecast?queue=q&procs=zero", "", http.StatusBadRequest, "procs"},
 		{"forecast negative procs", "GET", "/v1/forecast?queue=q&procs=-2", "", http.StatusBadRequest, "procs"},

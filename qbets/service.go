@@ -19,12 +19,25 @@ import (
 // deployment shape the paper's Section 6.2 evaluates: users ask "how long
 // would a 32-processor job submitted to normal wait, at worst?".
 //
-// Service is safe for concurrent use and designed so traffic on distinct
-// streams never contends: streams live in a fixed array of lock-striped
-// shards (hashed by stream key), and each stream carries its own RWMutex.
-// Observes take the stream's write lock; forecasts, profiles, and status
-// reads take its read lock, which is sound because the write path refits
-// the bound eagerly — read paths never mutate forecaster state.
+// Service is safe for concurrent use and designed so readers never wait:
+// streams live in a fixed array of lock-striped shards (hashed by stream
+// key) that only the write and admin paths touch, while every read API —
+// Forecast, Profile, Observations, StreamStats, Stats — runs lock-free
+// against two RCU-published immutable structures:
+//
+//   - a copy-on-write stream index (one atomic pointer load resolves a
+//     (queue, processor-category) shape to its stream with no locking and
+//     no key construction), rebuilt only when a stream is created or the
+//     stream set is replaced wholesale, both rare; and
+//   - a per-stream forecastSnapshot (bound, quantile profile, monitoring
+//     counters, generation number) republished under the stream's write
+//     lock every time an observation, batch chunk, trim, or replay settles
+//     the forecaster.
+//
+// Readers therefore never acquire a stream's mutex and can never observe a
+// half-applied batch chunk: a snapshot is the forecaster's state at some
+// chunk boundary, and its generation number advances by exactly one per
+// publication, which is what the coherence tests key on.
 //
 // Each stream also self-monitors the paper's correctness metric online:
 // every observation whose wait can be compared against the bound quoted at
@@ -41,12 +54,14 @@ type Service struct {
 	nStreams atomic.Int64
 	nextSeed atomic.Int64
 
-	// scache short-circuits the (queue, processor category) → *stream
-	// resolution on the observe hot path: building the composite stream key
-	// costs a string concatenation per call, which at batch-ingest rates is
-	// the dominant per-record allocation. Entries are invalidated wholesale
-	// (generation bump) when replaceStreams swaps the stream set.
-	scache streamCache
+	// index is the copy-on-write read path: an immutable snapshot of the
+	// stream registry, swapped wholesale under indexMu whenever a stream is
+	// created or replaceStreams installs a restored set. The hot read path
+	// is one atomic load plus one or two map lookups — no locks, no key
+	// concatenation — and the write path's stream resolution uses the same
+	// structure as its fast path.
+	index   atomic.Pointer[streamIndex]
+	indexMu sync.Mutex
 
 	// Durability. wal is attached once by RecoverWAL before traffic and
 	// never changes; nil means observations are held in memory between
@@ -78,19 +93,51 @@ var ErrReadOnly = errors.New("qbets: read-only: observation log appends are fail
 
 const serviceShards = 64
 
-// cacheSlotWhole is the streamCache slot for whole-queue streams (byProcs
+// cacheSlotWhole is the stream-index slot for whole-queue streams (byProcs
 // off); slots below it are indexed by processor category.
 const cacheSlotWhole = int(trace.NumProcBuckets)
 
-// streamCache maps a queue name to its resolved streams, one slot per
-// processor category plus one for the whole-queue stream. Reads take the
-// RLock for the whole lookup (slot pointers are written under the full
-// lock); gen guards against caching a stream from a set that
-// replaceStreams has since swapped out.
-type streamCache struct {
-	mu  sync.RWMutex
-	gen uint64
-	m   map[string]*[cacheSlotWhole + 1]*stream
+// streamIndex is one immutable snapshot of the stream registry, published
+// via Service.index. byQueue resolves the hot (queue, slot) shape without
+// building a composite key; byKey resolves full registry keys; keys holds
+// every stream key in sorted order so Queues and Stats are deterministic.
+// A streamIndex is never mutated after publication — rebuilds allocate a
+// fresh one — which is what makes the read path safe with zero locking.
+type streamIndex struct {
+	byKey   map[string]*stream
+	byQueue map[string]*[cacheSlotWhole + 1]*stream
+	keys    []string
+}
+
+// emptyStreamIndex is what NewService installs so readers never nil-check.
+func emptyStreamIndex() *streamIndex {
+	return &streamIndex{
+		byKey:   map[string]*stream{},
+		byQueue: map[string]*[cacheSlotWhole + 1]*stream{},
+	}
+}
+
+// forecastSnapshot is the immutable answer the read plane serves: the
+// stream's current bound, quantile profile, and self-monitoring state,
+// republished (a fresh allocation, never mutated) under the stream's write
+// lock each time the forecaster settles. gen starts at 1 on stream
+// creation and advances by exactly one per publication — one Observe, one
+// ObserveBatch chunk, or one replay group — so a reader can order the
+// states it sees and tests can assert that every visible state lies on a
+// chunk boundary.
+type forecastSnapshot struct {
+	gen              uint64
+	boundSeconds     float64
+	boundOK          bool
+	observations     int
+	minObservations  int
+	profile          []Bound // immutable; shared with Profile callers
+	rollingHitRate   float64
+	rollingResolved  int
+	lifetimeHits     uint64
+	lifetimeResolved uint64
+	trims            int
+	lastTrimUnix     int64
 }
 
 // hitRateWindow is the number of resolved predictions the rolling
@@ -106,11 +153,15 @@ type serviceShard struct {
 }
 
 // stream couples one Forecaster with its own lock and monitoring state.
+// The lock serializes writers (observe, batch apply, replay, serialize);
+// readers go through snap, the RCU-published forecastSnapshot, and never
+// touch mu.
 type stream struct {
-	key string
-	mu  sync.RWMutex
-	fc  *Forecaster
-	hit *obs.RollingRate
+	key  string
+	mu   sync.RWMutex
+	fc   *Forecaster
+	hit  *obs.RollingRate
+	snap atomic.Pointer[forecastSnapshot]
 
 	// Trim tracking (guarded by mu): trimsSeen mirrors fc.ChangePoints()
 	// after each observe so the wall-clock time of the latest trim can be
@@ -154,6 +205,12 @@ type StreamStatus struct {
 	// TargetQuantile / TargetConfidence echo the service configuration.
 	TargetQuantile   float64
 	TargetConfidence float64
+	// Generation numbers the published forecast snapshot this status was
+	// read from: 1 at stream creation, +1 per applied observation, batch
+	// chunk, or replay group. It is monotone for the life of a stream (a
+	// wholesale restore starts new streams over at 1) and is exported as
+	// the qbets_forecast_generation metric.
+	Generation uint64
 }
 
 // NewService returns an empty Service. splitByProcs selects whether each
@@ -165,7 +222,7 @@ func NewService(splitByProcs bool, opts ...Option) *Service {
 	}
 	s := &Service{opts: opts, quantile: c.quantile, confidence: c.confidence}
 	s.byProcs.Store(splitByProcs)
-	s.scache.m = make(map[string]*[cacheSlotWhole + 1]*stream)
+	s.index.Store(emptyStreamIndex())
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*stream)
 	}
@@ -195,30 +252,94 @@ func shardOf(key string) uint32 {
 	return h % serviceShards
 }
 
-// lookup returns the stream for a key without creating it.
+// lookup returns the stream for a key without creating it: one atomic load
+// of the published index, no locking. A stream whose creation has not yet
+// republished the index is momentarily invisible here, which reads the
+// same as arriving just before the creation — the shard maps stay the
+// authority for the write path.
 func (s *Service) lookup(key string) *stream {
-	sh := &s.shards[shardOf(key)]
-	sh.mu.RLock()
-	st := sh.m[key]
-	sh.mu.RUnlock()
-	return st
+	return s.index.Load().byKey[key]
 }
 
-// getOrCreate returns the stream for a key, creating it on first use.
+// getOrCreate returns the stream for a key, creating it on first use. The
+// index is rebuilt after the shard insert (outside the shard lock —
+// rebuildIndex read-locks every shard), so by the time this returns the
+// new stream is visible to lock-free readers.
 func (s *Service) getOrCreate(key string) *stream {
 	if st := s.lookup(key); st != nil {
 		return st
 	}
 	sh := &s.shards[shardOf(key)]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if st := sh.m[key]; st != nil {
-		return st
+	st := sh.m[key]
+	created := st == nil
+	if created {
+		st = s.newStream(key)
+		sh.m[key] = st
+		s.nStreams.Add(1)
 	}
-	st := s.newStream(key)
-	sh.m[key] = st
-	s.nStreams.Add(1)
+	sh.mu.Unlock()
+	if created {
+		s.rebuildIndex()
+	}
 	return st
+}
+
+// rebuildIndex publishes a fresh immutable streamIndex from the shard
+// maps. indexMu serializes rebuilds so publications are ordered; a rebuild
+// racing a concurrent insert may miss it, but the inserter performs its
+// own rebuild afterwards, so the index always catches up. Creation and
+// wholesale restore are the only triggers — both rare, so the O(streams)
+// rebuild never sits on a hot path.
+func (s *Service) rebuildIndex() {
+	s.indexMu.Lock()
+	defer s.indexMu.Unlock()
+	byProcs := s.byProcs.Load()
+	idx := &streamIndex{
+		byKey:   make(map[string]*stream, s.nStreams.Load()),
+		byQueue: make(map[string]*[cacheSlotWhole + 1]*stream),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, st := range sh.m {
+			idx.byKey[k] = st
+			idx.keys = append(idx.keys, k)
+			queue, slot, ok := splitKey(k, byProcs)
+			if !ok {
+				// A key that does not parse under the current routing mode
+				// (e.g. restored from a blob written in the other mode) is
+				// unreachable through the (queue, procs) APIs but stays
+				// listed in Queues/Stats via byKey.
+				continue
+			}
+			arr := idx.byQueue[queue]
+			if arr == nil {
+				arr = new([cacheSlotWhole + 1]*stream)
+				idx.byQueue[queue] = arr
+			}
+			arr[slot] = st
+		}
+		sh.mu.RUnlock()
+	}
+	slices.Sort(idx.keys)
+	s.index.Store(idx)
+}
+
+// splitKey inverts keyForSlot under a routing mode: whole-queue keys map
+// to the queue itself, per-category keys split at the trailing
+// "/<bucket label>".
+func splitKey(key string, byProcs bool) (queue string, slot int, ok bool) {
+	if !byProcs {
+		return key, cacheSlotWhole, true
+	}
+	for b := 0; b < int(trace.NumProcBuckets); b++ {
+		label := ProcCategory(b).Label()
+		if len(key) > len(label)+1 && key[len(key)-len(label)-1] == '/' && key[len(key)-len(label):] == label {
+			return key[:len(key)-len(label)-1], b, true
+		}
+	}
+	return "", 0, false
 }
 
 // slotOf maps a processor count to its streamCache slot under the current
@@ -240,35 +361,29 @@ func (s *Service) keyForSlot(queue string, slot int) string {
 	return queue + "/" + ProcCategory(slot).Label()
 }
 
-// streamForSlot resolves (queue, slot) to its stream through the cache,
-// falling back to key construction + getOrCreate on a miss.
+// streamForSlot resolves (queue, slot) to its stream through the published
+// index — the hot ingest path, one atomic load and two map reads with no
+// key construction — falling back to key construction + getOrCreate on a
+// miss. There is no insert-back step: getOrCreate rebuilds the index, so
+// the next call hits.
 func (s *Service) streamForSlot(queue string, slot int) *stream {
-	c := &s.scache
-	c.mu.RLock()
-	var st *stream
-	gen := c.gen
-	if arr := c.m[queue]; arr != nil {
-		st = arr[slot]
-	}
-	c.mu.RUnlock()
-	if st != nil {
-		return st
-	}
-	st = s.getOrCreate(s.keyForSlot(queue, slot))
-	c.mu.Lock()
-	if c.gen == gen {
-		// Only cache if the stream set has not been swapped since the
-		// lookup: a stale entry would silently route traffic to an orphaned
-		// stream forever, where a miss merely costs the slow path once.
-		arr := c.m[queue]
-		if arr == nil {
-			arr = new([cacheSlotWhole + 1]*stream)
-			c.m[queue] = arr
+	if arr := s.index.Load().byQueue[queue]; arr != nil {
+		if st := arr[slot]; st != nil {
+			return st
 		}
-		arr[slot] = st
 	}
-	c.mu.Unlock()
-	return st
+	return s.getOrCreate(s.keyForSlot(queue, slot))
+}
+
+// readStream is the forecast-plane lookup: (queue, procs) to stream with
+// zero locks and zero allocations, never creating anything. nil means the
+// shape is unknown.
+func (s *Service) readStream(queue string, procs int) *stream {
+	arr := s.index.Load().byQueue[queue]
+	if arr == nil {
+		return nil
+	}
+	return arr[s.slotOf(procs)]
 }
 
 // streamFor is the hot-path form of getOrCreate(key(queue, procs)).
@@ -277,20 +392,60 @@ func (s *Service) streamFor(queue string, procs int) *stream {
 }
 
 // newStream builds a settled stream: the forecaster's lazily-computed
-// bound is materialized up front so read paths stay mutation-free.
+// bound is materialized up front so read paths stay mutation-free, and the
+// first forecast snapshot (generation 1) is published before the stream
+// becomes reachable.
 func (s *Service) newStream(key string) *stream {
 	seed := s.nextSeed.Add(1) - 1
 	opts := append([]Option{WithSeed(seed)}, s.opts...)
 	fc := New(opts...)
 	fc.Forecast()
-	return &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow)}
+	st := &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow)}
+	st.publishLocked()
+	return st
 }
 
 // adoptStream wraps a restored forecaster (state.go's restore path).
 // lastSeq is the WAL sequence number the snapshot covers for this stream.
+// The restored state's forecast snapshot is installed here, before
+// replaceStreams publishes the stream — a reader that resolves the new
+// stream can never see a stale or missing snapshot.
 func adoptStream(key string, fc *Forecaster, lastSeq uint64) *stream {
 	fc.Forecast() // settle the lazy refit before concurrent reads start
-	return &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow), trimsSeen: fc.ChangePoints(), lastSeq: lastSeq}
+	st := &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow), trimsSeen: fc.ChangePoints(), lastSeq: lastSeq}
+	st.publishLocked()
+	return st
+}
+
+// publishLocked derives a fresh immutable forecastSnapshot from the
+// forecaster and monitoring state and RCU-publishes it. Callers hold the
+// stream's write lock (or, on the creation paths, sole ownership). The
+// forecaster must be settled — every write path refits eagerly before
+// publishing. This is the single point where the read plane learns about
+// writes: one publication per observation, batch chunk, or replay group,
+// with the generation advancing by exactly one.
+func (st *stream) publishLocked() {
+	var gen uint64 = 1
+	if prev := st.snap.Load(); prev != nil {
+		gen = prev.gen + 1
+	}
+	bound, ok := st.fc.Forecast()
+	rate, n := st.hit.Rate()
+	hits, total := st.hit.Lifetime()
+	st.snap.Store(&forecastSnapshot{
+		gen:              gen,
+		boundSeconds:     bound,
+		boundOK:          ok,
+		observations:     st.fc.Observations(),
+		minObservations:  st.fc.MinObservations(),
+		profile:          st.fc.Profile(),
+		rollingHitRate:   rate,
+		rollingResolved:  n,
+		lifetimeHits:     hits,
+		lifetimeResolved: total,
+		trims:            st.fc.ChangePoints(),
+		lastTrimUnix:     st.lastTrimUnix,
+	})
 }
 
 // observe records a wait under the stream's write lock: the observation is
@@ -347,6 +502,7 @@ func (st *stream) applyLocked(waitSeconds float64, seq uint64, scoreHit bool) {
 		st.trimsSeen = tr
 		st.lastTrimUnix = time.Now().Unix()
 	}
+	st.publishLocked()
 }
 
 // applyGroupLocked folds one batch group into the forecaster under the
@@ -373,6 +529,8 @@ func (st *stream) applyGroupLocked(chunk []ObserveRecord, idxs []int32, lastSeq 
 		st.trimsSeen = tr
 		st.lastTrimUnix = time.Now().Unix()
 	}
+	// One publication per chunk: readers see whole chunks or nothing.
+	st.publishLocked()
 }
 
 // replayGroupLocked is applyGroupLocked's recovery-path sibling: recovered
@@ -398,6 +556,7 @@ func (st *stream) replayGroupLocked(waits []float64, seqs []uint64) {
 		st.trimsSeen = tr
 		st.lastTrimUnix = time.Now().Unix()
 	}
+	st.publishLocked()
 }
 
 // BatchError reports a batch that was refused or cut short at a specific
@@ -571,26 +730,25 @@ func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
 	return nil
 }
 
+// status renders the stream's published snapshot as a StreamStatus — a
+// pure read of immutable data, no locks, no allocations.
 func (st *stream) status(q, c float64) StreamStatus {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	bound, ok := st.fc.Forecast()
-	rate, n := st.hit.Rate()
-	hits, total := st.hit.Lifetime()
+	snap := st.snap.Load()
 	return StreamStatus{
 		Stream:           st.key,
-		Observations:     st.fc.Observations(),
-		MinObservations:  st.fc.MinObservations(),
-		BoundSeconds:     bound,
-		BoundOK:          ok,
-		RollingHitRate:   rate,
-		RollingResolved:  n,
-		LifetimeHits:     hits,
-		LifetimeResolved: total,
-		Trims:            st.fc.ChangePoints(),
-		LastTrimUnix:     st.lastTrimUnix,
+		Observations:     snap.observations,
+		MinObservations:  snap.minObservations,
+		BoundSeconds:     snap.boundSeconds,
+		BoundOK:          snap.boundOK,
+		RollingHitRate:   snap.rollingHitRate,
+		RollingResolved:  snap.rollingResolved,
+		LifetimeHits:     snap.lifetimeHits,
+		LifetimeResolved: snap.lifetimeResolved,
+		Trims:            snap.trims,
+		LastTrimUnix:     snap.lastTrimUnix,
 		TargetQuantile:   q,
 		TargetConfidence: c,
+		Generation:       snap.gen,
 	}
 }
 
@@ -609,84 +767,71 @@ func (s *Service) Observe(queue string, procs int, waitSeconds float64) error {
 // Forecast returns the bound a job with the given shape would be quoted.
 // ok is false when the stream is unknown or its history is too short;
 // asking about a never-observed shape does not create a stream.
+//
+// Forecast is wait-free and allocation-free: one atomic index load, one
+// atomic snapshot load, no locks — it cannot be delayed by concurrent
+// ingest, refits, or snapshot saves on the same stream.
 func (s *Service) Forecast(queue string, procs int) (seconds float64, ok bool) {
-	st := s.lookup(s.key(queue, procs))
+	st := s.readStream(queue, procs)
 	if st == nil {
 		return 0, false
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.fc.Forecast()
+	snap := st.snap.Load()
+	return snap.boundSeconds, snap.boundOK
 }
 
 // Profile returns the Table 8 quantile profile for a job shape, or nil if
 // the stream is unknown.
+//
+// The returned slice is the published immutable snapshot itself, shared
+// with every concurrent caller — treat it as read-only. Mutating it is a
+// data race. This is what makes Profile allocation-free; copy it if you
+// need to edit.
 func (s *Service) Profile(queue string, procs int) []Bound {
-	st := s.lookup(s.key(queue, procs))
+	st := s.readStream(queue, procs)
 	if st == nil {
 		return nil
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.fc.Profile()
+	return st.snap.Load().profile
 }
 
 // Observations returns the history length behind a job shape's stream
 // (0 for unknown streams).
 func (s *Service) Observations(queue string, procs int) int {
-	st := s.lookup(s.key(queue, procs))
+	st := s.readStream(queue, procs)
 	if st == nil {
 		return 0
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.fc.Observations()
+	return st.snap.Load().observations
 }
 
-// Queues lists the streams the service currently tracks (unordered).
+// Queues lists the streams the service currently tracks, sorted by stream
+// key.
 func (s *Service) Queues() []string {
-	out := make([]string, 0, s.nStreams.Load())
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for k := range sh.m {
-			out = append(out, k)
-		}
-		sh.mu.RUnlock()
-	}
-	return out
+	return slices.Clone(s.index.Load().keys)
 }
 
 // NumStreams returns how many streams the service tracks.
 func (s *Service) NumStreams() int { return int(s.nStreams.Load()) }
 
 // StreamStats returns the status snapshot for one job shape. ok is false
-// for unknown streams.
+// for unknown streams. Like Forecast, it is lock-free and allocation-free.
 func (s *Service) StreamStats(queue string, procs int) (StreamStatus, bool) {
-	st := s.lookup(s.key(queue, procs))
+	st := s.readStream(queue, procs)
 	if st == nil {
 		return StreamStatus{}, false
 	}
 	return st.status(s.quantile, s.confidence), true
 }
 
-// Stats returns status snapshots for every stream (unordered; callers that
-// display them sort by Stream).
+// Stats returns status snapshots for every stream, sorted by stream key.
+// It walks the published index, so it takes no locks and cannot stall or
+// be stalled by ingest.
 func (s *Service) Stats() []StreamStatus {
-	out := make([]StreamStatus, 0, s.nStreams.Load())
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		streams := make([]*stream, 0, len(sh.m))
-		for _, st := range sh.m {
-			streams = append(streams, st)
-		}
-		sh.mu.RUnlock()
-		// Take per-stream locks outside the shard lock so a slow stream
-		// cannot stall unrelated creations in its shard.
-		for _, st := range streams {
-			out = append(out, st.status(s.quantile, s.confidence))
-		}
+	idx := s.index.Load()
+	out := make([]StreamStatus, 0, len(idx.keys))
+	for _, k := range idx.keys {
+		out = append(out, idx.byKey[k].status(s.quantile, s.confidence))
 	}
 	return out
 }
@@ -712,13 +857,11 @@ func (s *Service) replaceStreams(streams map[string]*stream) {
 		sh.mu.Unlock()
 	}
 	s.nStreams.Store(n)
-	// Drop the hot-path cache: every cached *stream belongs to the old set.
-	// The generation bump also stops in-flight streamForSlot calls from
-	// re-inserting old-set streams they resolved before the swap.
-	s.scache.mu.Lock()
-	s.scache.gen++
-	s.scache.m = make(map[string]*[cacheSlotWhole + 1]*stream)
-	s.scache.mu.Unlock()
+	// Republish the index from the new shard maps. The rebuild always
+	// reads current shard state, so it can never resurrect an old-set
+	// stream; once this returns, every lock-free reader resolves streams
+	// (and therefore forecast snapshots) from the restored set only.
+	s.rebuildIndex()
 }
 
 // RecoverWAL replays w's surviving records on top of the service's current

@@ -169,6 +169,13 @@ func (s *Service) MarshalBinary() ([]byte, error) {
 // their own serialized configuration. Self-monitoring hit-rate windows
 // restart empty — the correctness metric describes the running deployment,
 // not the archived history.
+//
+// Restore is safe while serving: every restored stream has its forecast
+// snapshot computed and published (adoptStream) before replaceStreams
+// republishes the lock-free read index, so once UnmarshalBinary returns,
+// no reader can resolve a pre-restore stream or see a stale bound —
+// readers mid-flight on old stream pointers finish against the old,
+// internally consistent snapshots.
 func (s *Service) UnmarshalBinary(data []byte) error {
 	var blob serviceBlob
 	if err := json.Unmarshal(data, &blob); err != nil {
