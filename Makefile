@@ -1,8 +1,10 @@
 # BENCH_JSON is where `make bench` drops its machine-readable results;
 # CI uploads it as an artifact so the perf trajectory is recorded per PR.
-BENCH_JSON ?= BENCH_PR5.json
+# BENCH_BASELINE is what `make bench-compare` diffs against.
+BENCH_JSON ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR5.json
 
-.PHONY: build test race crash bench
+.PHONY: build test race crash bench bench-compare
 
 build:
 	go build ./...
@@ -22,13 +24,24 @@ crash:
 # $(BENCH_JSON): one entry per benchmark with ns/op, B/op, allocs/op,
 # cpus, and any custom metrics such as records/s. The read-plane benches
 # run at -cpu 1,4 so contention behaviour is on record alongside the
-# single-threaded numbers.
+# single-threaded numbers. The scale benches (million-stream registry,
+# stream-creation churn) are sized one-shot runs, so they go at
+# -benchtime=1x; their custom metrics (create-ns/stream, heapB/stream,
+# read-p50/p99-ns) land in "metrics".
 bench:
 	@set -e; \
 	out=$$(mktemp); \
 	go test -run '^$$' -bench PredictionLatency -benchmem . >> $$out; \
 	go test -run '^$$' -bench 'ServiceObserve|ServerObserveBatch' -benchmem ./qbets/ >> $$out; \
 	go test -run '^$$' -bench 'ServiceForecast|ServiceProfile|ServiceReadWhileIngest|ServerForecast' -cpu 1,4 -benchmem ./qbets/ >> $$out; \
+	go test -run '^$$' -bench 'MillionStreams|StreamCreationChurn' -benchtime=1x -timeout 30m ./qbets/ >> $$out; \
 	go run ./cmd/benchjson < $$out > $(BENCH_JSON); \
 	rm -f $$out; \
 	echo "wrote $(BENCH_JSON)"
+
+# bench-compare diffs the fresh results against the recorded baseline and
+# fails if an allowlisted write-path benchmark regressed more than 25%.
+# Read benches with sub-20ns baselines and the one-shot scale benches are
+# reported but advisory — they are too noisy to gate on.
+bench-compare:
+	go run ./cmd/benchjson -compare $(BENCH_BASELINE) $(BENCH_JSON)

@@ -4,13 +4,25 @@
 // reported via b.ReportMetric (e.g. records/s) land in "metrics". Lines
 // that are not benchmark results pass through to stderr so the harness log
 // keeps the full context.
+//
+// With -compare it instead diffs two such JSON files:
+//
+//	benchjson -compare BENCH_PR5.json BENCH_PR6.json
+//
+// printing a per-benchmark delta table and exiting non-zero if any
+// benchmark in the write-path allowlist regressed by more than -threshold
+// (default 1.25, i.e. >25% slower ns/op). Benchmarks outside the allowlist
+// are reported but never fail the run — scale and one-shot benches are too
+// noisy to gate on.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -25,7 +37,28 @@ type result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// guardedPrefixes is the write-path allowlist: the steady-state ingest
+// benchmarks whose ns/op is stable enough to gate on. One-shot sized runs
+// (scale benches) and read benches with sub-20ns baselines stay advisory.
+var guardedPrefixes = []string{
+	"BenchmarkServiceObserve/nowal",
+	"BenchmarkServiceObserveBatch/nowal",
+	"BenchmarkServiceObserveBatch/wal-interval",
+	"BenchmarkServerObserveBatch/nowal",
+}
+
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchjson files (old new) instead of converting stdin")
+	threshold := flag.Float64("threshold", 1.25, "with -compare: max allowed new/old ns/op ratio for allowlisted write-path benchmarks")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -48,6 +81,98 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
 		os.Exit(1)
 	}
+}
+
+// benchKey identifies one logical benchmark across files: same name, same
+// GOMAXPROCS.
+type benchKey struct {
+	name string
+	cpus int
+}
+
+func loadResults(path string) (map[benchKey]result, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(doc, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[benchKey]result, len(rs))
+	for _, r := range rs {
+		m[benchKey{r.Name, r.Cpus}] = r
+	}
+	return m, nil
+}
+
+func guarded(name string) bool {
+	for _, p := range guardedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// runCompare prints the delta table and returns the process exit code: 1
+// if an allowlisted benchmark regressed past the threshold, else 0.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldR, err := loadResults(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: ", err)
+		return 2
+	}
+	newR, err := loadResults(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: ", err)
+		return 2
+	}
+	keys := make([]benchKey, 0, len(newR))
+	for k := range newR {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].cpus < keys[j].cpus
+	})
+
+	fmt.Printf("%-64s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "")
+	failed := 0
+	for _, k := range keys {
+		n := newR[k]
+		o, ok := oldR[k]
+		label := k.name
+		if k.cpus > 1 {
+			label = fmt.Sprintf("%s-%d", k.name, k.cpus)
+		}
+		if !ok || o.NsPerOp == 0 {
+			fmt.Printf("%-64s %12s %12.1f %8s  new\n", label, "-", n.NsPerOp, "-")
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		note := ""
+		if guarded(k.name) {
+			note = "guarded"
+			if ratio > threshold {
+				note = fmt.Sprintf("REGRESSED (> %.2fx)", threshold)
+				failed++
+			}
+		}
+		fmt.Printf("%-64s %12.1f %12.1f %7.2fx  %s\n", label, o.NsPerOp, n.NsPerOp, ratio, note)
+	}
+	for k := range oldR {
+		if _, ok := newR[k]; !ok {
+			fmt.Printf("%-64s %12.1f %12s %8s  removed\n", k.name, oldR[k].NsPerOp, "-", "-")
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d allowlisted write-path benchmark(s) regressed more than %.2fx\n", failed, threshold)
+		return 1
+	}
+	return 0
 }
 
 // parse decodes one benchmark result line:

@@ -68,6 +68,9 @@ func main() {
 		walSync     = flag.String("wal-sync", "1s", `WAL fsync policy: "always", "off", or a flush interval like "1s" (with -wal)`)
 		walGroup    = flag.Bool("wal-group-commit", false, "coalesce concurrent WAL commits into shared fsyncs (with -wal-sync always)")
 		strictState = flag.Bool("strict-state", false, "refuse to start on a corrupt state file instead of quarantining it and starting fresh")
+		stateShards = flag.Int("state-shards", 0, "save state as a sharded directory with this many shard files instead of one blob (large registries; -state names a directory)")
+		streamTTL   = flag.Duration("stream-ttl", 0, "evict streams idle longer than this to compact cold state (0 disables; reads keep serving, the next write rehydrates)")
+		maxStreams  = flag.Int("max-streams", 0, "cap on hydrated streams: the longest-idle are evicted past it (0 disables)")
 		logRequests = flag.Bool("log-requests", false, "log every request (method, path, status, duration)")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics listener (requires -metrics-addr)")
 	)
@@ -80,8 +83,23 @@ func main() {
 		qbets.WithQuantile(*quantile),
 		qbets.WithConfidence(*confidence),
 	)
+	// saveState abstracts over the two state formats: one JSON blob
+	// (default) or a sharded directory (-state-shards, the million-stream
+	// format — parallel save, cold-adopting parallel load).
+	saveState := func() error {
+		if *stateShards > 0 {
+			return server.SaveShards(*statePath, *stateShards)
+		}
+		return server.SaveFile(*statePath)
+	}
+	loadState := func() error {
+		if *stateShards > 0 {
+			return server.LoadShards(*statePath)
+		}
+		return server.LoadFile(*statePath)
+	}
 	if *statePath != "" {
-		switch err := server.LoadFile(*statePath); {
+		switch err := loadState(); {
 		case err == nil:
 			log.Printf("restored state from %s (%d streams)", *statePath, server.Service().NumStreams())
 		case os.IsNotExist(err):
@@ -139,7 +157,7 @@ func main() {
 			for {
 				select {
 				case <-tick.C:
-					if err := server.SaveFile(*statePath); err != nil {
+					if err := saveState(); err != nil {
 						log.Printf("state save failed: %v", err)
 					}
 				case <-ctx.Done():
@@ -147,6 +165,39 @@ func main() {
 				}
 			}
 		}()
+	}
+
+	// Stream lifecycle: a background pass evicts idle streams to compact
+	// cold state and enforces the hydrated-stream cap. The pass cadence
+	// also sets the activity clock's resolution, so it runs a few times
+	// per TTL (floored at 1s, capped at 30s between passes).
+	if *streamTTL > 0 || *maxStreams > 0 {
+		interval := 30 * time.Second
+		if *streamTTL > 0 && *streamTTL/4 < interval {
+			interval = *streamTTL / 4
+		}
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					svc := server.Service()
+					if *streamTTL > 0 {
+						svc.EvictIdle(*streamTTL)
+					}
+					if *maxStreams > 0 {
+						svc.EvictToCap(*maxStreams)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		log.Printf("stream lifecycle: ttl %s, max hydrated %d, pass every %s", *streamTTL, *maxStreams, interval)
 	}
 
 	var handler http.Handler = server
@@ -222,7 +273,7 @@ func main() {
 		}
 	}
 	if *statePath != "" {
-		if err := server.SaveFile(*statePath); err != nil {
+		if err := saveState(); err != nil {
 			log.Printf("final state save failed: %v", err)
 		} else {
 			log.Printf("state saved to %s", *statePath)

@@ -11,7 +11,8 @@ import "sync"
 // *now*, not just on average since startup.
 type RollingRate struct {
 	mu     sync.Mutex
-	window []bool
+	size   int
+	window []bool // allocated on first Record: most streams never resolve
 	idx    int
 	filled int
 	hits   int
@@ -21,18 +22,23 @@ type RollingRate struct {
 }
 
 // NewRollingRate returns a tracker over a window of the last n outcomes.
-// n < 1 is treated as 1.
+// n < 1 is treated as 1. The window itself is allocated lazily on the
+// first Record — a registry of mostly-idle streams pays nothing for
+// trackers that never resolve a prediction.
 func NewRollingRate(n int) *RollingRate {
 	if n < 1 {
 		n = 1
 	}
-	return &RollingRate{window: make([]bool, n)}
+	return &RollingRate{size: n}
 }
 
 // Record adds one outcome.
 func (r *RollingRate) Record(hit bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.window == nil {
+		r.window = make([]bool, r.size)
+	}
 	if r.filled == len(r.window) {
 		if r.window[r.idx] {
 			r.hits--

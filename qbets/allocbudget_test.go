@@ -1,0 +1,64 @@
+package qbets
+
+import "testing"
+
+// Alloc budgets for the steady-state write plane. The benchmarks report
+// allocs/op but CI doesn't fail on them; these tests do. The budget is
+// deliberately fractional: the hot path itself is alloc-free, but history
+// growth inside the forecaster and the 1-in-publishBacklog eager snapshot
+// publish amortize to well under half an allocation per observe. A
+// regression that puts even one allocation on the per-record path lands at
+// ≥1.0 and fails loudly.
+const writePathAllocBudget = 0.5
+
+// TestObserveAllocBudget pins the single-record write path (the
+// BenchmarkServiceObserve/nowal subject) at amortized-zero allocations.
+func TestObserveAllocBudget(t *testing.T) {
+	svc := NewService(false, WithSeed(3))
+	// Warm: create the stream, settle the forecaster, grow early buffers.
+	for i := 0; i < 2000; i++ {
+		if err := svc.Observe("normal", 1, float64(i%1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(4000, func() {
+		if err := svc.Observe("normal", 1, float64(i%1000)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg > writePathAllocBudget {
+		t.Fatalf("Observe averaged %.3f allocs/op, budget %.1f", avg, writePathAllocBudget)
+	}
+}
+
+// TestObserveBatchAllocBudget pins the batched write path (the
+// BenchmarkServiceObserveBatch/nowal subjects) per record, across the
+// benchmarked batch sizes.
+func TestObserveBatchAllocBudget(t *testing.T) {
+	for _, size := range []int{1, 10, 100} {
+		svc := NewService(false, WithSeed(3))
+		recs := make([]ObserveRecord, size)
+		for i := range recs {
+			recs[i] = ObserveRecord{Queue: "normal", Procs: 1, WaitSeconds: float64(10 + i%1000)}
+		}
+		for i := 0; i < 2000/size+1; i++ {
+			if _, err := svc.ObserveBatch(recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runs := 4000 / size
+		if runs < 200 {
+			runs = 200
+		}
+		avg := testing.AllocsPerRun(runs, func() {
+			if _, err := svc.ObserveBatch(recs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if perRec := avg / float64(size); perRec > writePathAllocBudget {
+			t.Fatalf("ObserveBatch size %d averaged %.3f allocs/record, budget %.1f", size, perRec, writePathAllocBudget)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package qbets
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestIndexChurnCoherence hammers stream creation across partitions while
+// readers enumerate, asserting the enumeration invariants the k-way merge
+// promises: ascending key order, no duplicates, and — once the dust
+// settles — every created key present exactly once. Run under -race this
+// also checks the copy-on-write publication discipline.
+func TestIndexChurnCoherence(t *testing.T) {
+	svc := NewService(false, WithSeed(7))
+	const creators = 8
+	perCreator := 400
+	if testing.Short() {
+		perCreator = 100
+	}
+
+	var creatorsWG, readersWG sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				qs := svc.Queues()
+				for i := 1; i < len(qs); i++ {
+					if qs[i-1] >= qs[i] {
+						t.Errorf("Queues() unsorted or duplicated at %d: %q >= %q", i, qs[i-1], qs[i])
+						return
+					}
+				}
+				stats := svc.Stats()
+				for i := 1; i < len(stats); i++ {
+					if stats[i-1].Stream >= stats[i].Stream {
+						t.Errorf("Stats() unsorted or duplicated at %d: %q >= %q", i, stats[i-1].Stream, stats[i].Stream)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for c := 0; c < creators; c++ {
+		creatorsWG.Add(1)
+		go func(c int) {
+			defer creatorsWG.Done()
+			for i := 0; i < perCreator; i++ {
+				q := fmt.Sprintf("c%d-q%05d", c, i)
+				if err := svc.Observe(q, 1, float64(i%100)); err != nil {
+					t.Errorf("observe %s: %v", q, err)
+					return
+				}
+				// A created stream must be immediately resolvable through
+				// the published index.
+				if n := svc.Observations(q, 1); n < 1 {
+					t.Errorf("stream %s invisible right after creation", q)
+					return
+				}
+			}
+		}(c)
+	}
+	// Wait for creators, then stop readers: enumeration correctness is
+	// checked throughout, membership at the end.
+	creatorsWG.Wait()
+	close(stopReaders)
+	readersWG.Wait()
+
+	want := creators * perCreator
+	if got := svc.NumStreams(); got != want {
+		t.Fatalf("NumStreams = %d, want %d", got, want)
+	}
+	qs := svc.Queues()
+	if len(qs) != want {
+		t.Fatalf("Queues() returned %d keys, want %d", len(qs), want)
+	}
+	if !sort.StringsAreSorted(qs) {
+		t.Fatal("final Queues() not sorted")
+	}
+	seen := make(map[string]bool, len(qs))
+	for _, q := range qs {
+		if seen[q] {
+			t.Fatalf("duplicate key %q in enumeration", q)
+		}
+		seen[q] = true
+	}
+	for c := 0; c < creators; c++ {
+		for i := 0; i < perCreator; i++ {
+			if q := fmt.Sprintf("c%d-q%05d", c, i); !seen[q] {
+				t.Fatalf("key %q lost from index", q)
+			}
+		}
+	}
+}
+
+// TestIndexGrowth pushes the registry past the growth threshold and checks
+// that the partition array actually grew and nothing was lost crossing the
+// boundary.
+func TestIndexGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("creates tens of thousands of streams")
+	}
+	svc := NewService(false, WithSeed(3))
+	n := indexMaxLoad*indexInitialPartitions + 500 // just past the first growth
+	for i := 0; i < n; i++ {
+		svc.getOrCreate(fmt.Sprintf("grow-q%06d", i))
+	}
+	idx := svc.index.Load()
+	if len(idx.keyParts) <= indexInitialPartitions {
+		t.Fatalf("index did not grow: %d partitions with %d streams", len(idx.keyParts), n)
+	}
+	if got := idx.count(); got != n {
+		t.Fatalf("index count = %d, want %d", got, n)
+	}
+	// Spot-check lookups across the whole key space post-growth.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("grow-q%06d", rng.Intn(n))
+		if svc.lookup(k) == nil {
+			t.Fatalf("key %q unresolvable after growth", k)
+		}
+	}
+	if got := len(svc.Queues()); got != n {
+		t.Fatalf("Queues() = %d keys after growth, want %d", got, n)
+	}
+}
+
+// TestSplitKeyRoundTrip pins the key grammar the queue partitions rely on.
+func TestSplitKeyRoundTrip(t *testing.T) {
+	svc := NewService(true)
+	for _, procs := range []int{1, 4, 8, 32, 128, 1024} {
+		key := svc.key("normal", procs)
+		queue, slot, ok := splitKey(key, true)
+		if !ok || queue != "normal" || slot != svc.slotOf(procs) {
+			t.Errorf("splitKey(%q) = (%q, %d, %v), want (normal, %d, true)", key, queue, slot, ok, svc.slotOf(procs))
+		}
+	}
+	if q, slot, ok := splitKey("plain", false); !ok || q != "plain" || slot != cacheSlotWhole {
+		t.Errorf("whole-queue splitKey = (%q, %d, %v)", q, slot, ok)
+	}
+	if _, _, ok := splitKey("nomarker", true); ok {
+		t.Error("splitKey accepted a key without a bucket suffix in by-procs mode")
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"net/http"
 	"net/url"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -138,48 +137,63 @@ func newServer(svc *Service) *Server {
 		func(emit func(string, float64)) {
 			emit(obs.Labels("quantile", qLabel, "confidence", cLabel), 1)
 		})
-	reg.RegisterGaugeFunc("qbets_streams", "Streams currently tracked.",
+	l := svc.lifecycleMetrics()
+	reg.RegisterCounter("qbets_stream_evictions_total", "Idle streams evicted to compact cold state (still serving reads; rehydrated on their next write).", l.evictions)
+	reg.RegisterCounter("qbets_stream_rehydrations_total", "Cold streams rehydrated by a write.", l.rehydrations)
+	reg.RegisterCounter("qbets_index_rebuilds_total", "Stream-index partition publications (per-partition copy-on-write republishes plus full rebuilds, counted per partition).", l.indexRebuilds)
+	reg.RegisterGaugeFunc("qbets_streams", "Streams currently tracked, by lifecycle state: live streams hold a hydrated forecaster, evicted ones serve reads from compact cold state.",
 		func(emit func(string, float64)) {
-			emit("", float64(svc.NumStreams()))
+			live := svc.LiveStreams()
+			emit(obs.Labels("state", "live"), float64(live))
+			emit(obs.Labels("state", "evicted"), float64(svc.NumStreams()-live))
 		})
-	reg.RegisterGaugeFunc("qbets_stream_observations", "History depth per stream.",
-		func(emit func(string, float64)) {
-			for _, st := range svc.Stats() {
-				emit(obs.Labels("stream", st.Stream), float64(st.Observations))
+	// Per-stream series are only emitted for registries small enough for a
+	// scrape to digest; past the cap the aggregate series above still tell
+	// the health story, and per-stream detail is available via /v1/status
+	// with an explicit limit.
+	perStream := func(each func(StreamStatus, func(string, float64))) func(func(string, float64)) {
+		return func(emit func(string, float64)) {
+			if svc.NumStreams() > perStreamMetricsCap {
+				return
 			}
-		})
+			for _, st := range svc.Stats() {
+				each(st, emit)
+			}
+		}
+	}
+	reg.RegisterGaugeFunc("qbets_stream_observations", "History depth per stream (omitted above "+strconv.Itoa(perStreamMetricsCap)+" streams).",
+		perStream(func(st StreamStatus, emit func(string, float64)) {
+			emit(obs.Labels("stream", st.Stream), float64(st.Observations))
+		}))
 	reg.RegisterGaugeFunc("qbets_stream_hit_rate",
 		"Rolling fraction of resolved predictions whose wait fell within the quoted bound; compare against the target confidence.",
-		func(emit func(string, float64)) {
-			for _, st := range svc.Stats() {
-				if st.RollingResolved > 0 {
-					emit(obs.Labels("stream", st.Stream), st.RollingHitRate)
-				}
+		perStream(func(st StreamStatus, emit func(string, float64)) {
+			if st.RollingResolved > 0 {
+				emit(obs.Labels("stream", st.Stream), st.RollingHitRate)
 			}
-		})
+		}))
 	reg.RegisterGaugeFunc("qbets_stream_resolved", "Resolved predictions in the rolling hit-rate window, per stream.",
-		func(emit func(string, float64)) {
-			for _, st := range svc.Stats() {
-				emit(obs.Labels("stream", st.Stream), float64(st.RollingResolved))
-			}
-		})
+		perStream(func(st StreamStatus, emit func(string, float64)) {
+			emit(obs.Labels("stream", st.Stream), float64(st.RollingResolved))
+		}))
 	reg.RegisterCounterFunc("qbets_stream_trims_total", "Change-point trims per stream.",
-		func(emit func(string, float64)) {
-			for _, st := range svc.Stats() {
-				emit(obs.Labels("stream", st.Stream), float64(st.Trims))
-			}
-		})
+		perStream(func(st StreamStatus, emit func(string, float64)) {
+			emit(obs.Labels("stream", st.Stream), float64(st.Trims))
+		}))
 	// A gauge, not a counter: a wholesale state restore replaces streams,
 	// whose generations restart at 1.
 	reg.RegisterGaugeFunc("qbets_forecast_generation",
 		"Per-stream forecast snapshot generation: 1 at stream creation, +1 per applied observation, batch chunk, or replay group. A stalled generation under ingest means the read plane is serving stale bounds.",
-		func(emit func(string, float64)) {
-			for _, st := range svc.Stats() {
-				emit(obs.Labels("stream", st.Stream), float64(st.Generation))
-			}
-		})
+		perStream(func(st StreamStatus, emit func(string, float64)) {
+			emit(obs.Labels("stream", st.Stream), float64(st.Generation))
+		}))
 	return s
 }
+
+// perStreamMetricsCap is the registry size past which per-stream metric
+// series stop being emitted: a million-stream registry would otherwise
+// produce a multi-hundred-megabyte scrape.
+const perStreamMetricsCap = 10000
 
 // Service returns the underlying Service.
 func (s *Server) Service() *Service { return s.svc }
@@ -232,11 +246,15 @@ type StreamStatusResponse struct {
 	LastTrimUnix     int64   `json:"last_trim_unix,omitempty"`
 }
 
-// StatusResponse is the GET /v1/status payload.
+// StatusResponse is the GET /v1/status payload. TotalStreams is the full
+// registry size; Streams may be a prefix of it when the request carried a
+// limit parameter (streams come back in key order, so the prefix is
+// deterministic).
 type StatusResponse struct {
-	Quantile   float64                `json:"quantile"`
-	Confidence float64                `json:"confidence"`
-	Streams    []StreamStatusResponse `json:"streams"`
+	Quantile     float64                `json:"quantile"`
+	Confidence   float64                `json:"confidence"`
+	TotalStreams int                    `json:"total_streams"`
+	Streams      []StreamStatusResponse `json:"streams"`
 }
 
 // ErrorResponse is the JSON body every error response carries.
@@ -671,8 +689,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	stats := s.svc.Stats()
-	sort.Slice(stats, func(i, j int) bool { return stats[i].Stream < stats[j].Stream })
+	// Stats walks the ordered index, so the response is already sorted by
+	// stream key; limit stops the walk early — on a huge registry, asking
+	// for the first 100 streams costs 100 statuses, not a million.
+	limit := 0
+	if l := queryParam(r.URL.RawQuery, "limit"); l != "" {
+		v, err := strconv.Atoi(l)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = v
+	}
+	stats := s.svc.StatsLimit(limit)
 	streams := make([]StreamStatusResponse, len(stats))
 	for i, st := range stats {
 		streams[i] = StreamStatusResponse{
@@ -690,9 +719,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, StatusResponse{
-		Quantile:   s.svc.Quantile(),
-		Confidence: s.svc.Confidence(),
-		Streams:    streams,
+		Quantile:     s.svc.Quantile(),
+		Confidence:   s.svc.Confidence(),
+		TotalStreams: s.svc.NumStreams(),
+		Streams:      streams,
 	})
 }
 
@@ -711,6 +741,19 @@ func (s *Server) LoadFile(path string) error {
 		return err
 	}
 	return s.svc.UnmarshalBinary(blob)
+}
+
+// SaveShards persists the server's state as a sharded directory (the
+// million-stream format; see SaveShards on Service). Safe while serving.
+func (s *Server) SaveShards(dir string, shards int) error {
+	return s.svc.SaveShards(dir, shards)
+}
+
+// LoadShards replaces the server's state from a sharded directory written
+// by SaveShards; safe while serving. Streams are adopted cold and
+// rehydrate on their first write.
+func (s *Server) LoadShards(dir string) error {
+	return s.svc.LoadShards(dir)
 }
 
 func (s *Server) shapeParams(w http.ResponseWriter, r *http.Request) (queue string, procs int, ok bool) {

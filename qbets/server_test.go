@@ -255,7 +255,7 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		`qbets_http_requests_total{code="204",endpoint="observe"} 1`,
 		`qbets_http_requests_total{code="200",endpoint="forecast"} 1`,
 		"qbets_observations_total 100",
-		"qbets_streams 1",
+		`qbets_streams{state="live"} 1`,
 		`qbets_stream_observations{stream="normal/1-4"} 100`,
 		`qbets_stream_hit_rate{stream="normal/1-4"}`,
 		`qbets_stream_trims_total{stream="normal/1-4"}`,

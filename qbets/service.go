@@ -25,25 +25,36 @@ import (
 // Forecast, Profile, Observations, StreamStats, Stats — runs lock-free
 // against two RCU-published immutable structures:
 //
-//   - a copy-on-write stream index (one atomic pointer load resolves a
-//     (queue, processor-category) shape to its stream with no locking and
-//     no key construction), rebuilt only when a stream is created or the
-//     stream set is replaced wholesale, both rare; and
-//   - a per-stream forecastSnapshot (bound, quantile profile, monitoring
-//     counters, generation number) republished under the stream's write
-//     lock every time an observation, batch chunk, trim, or replay settles
-//     the forecaster.
+//   - a partitioned copy-on-write stream index (see index.go): one or two
+//     atomic loads resolve a (queue, processor-category) shape to its
+//     stream with no locking and no key construction. Creating a stream
+//     republishes only the partition it hashes into, O(partition load),
+//     so stream-creation churn scales linearly; and
+//   - a per-stream forecastSnapshot (bound, monitoring counters,
+//     generation number) published under the stream's write lock.
 //
-// Readers therefore never acquire a stream's mutex and can never observe a
-// half-applied batch chunk: a snapshot is the forecaster's state at some
-// chunk boundary, and its generation number advances by exactly one per
-// publication, which is what the coherence tests key on.
+// Snapshot publication is amortized, not per-write: an applied
+// observation, batch chunk, or replay group bumps the stream's applied
+// generation and sets a dirty flag; the snapshot itself is republished on
+// the next read that finds the flag set (publish-on-demand, via a
+// non-blocking TryLock) or eagerly once publishBacklog events accumulate
+// unread. Readers therefore never block, can never observe a half-applied
+// batch chunk — publications only happen at chunk boundaries under the
+// stream lock — and the write path pays one snapshot allocation per
+// read-visible state instead of one per refit. If a writer holds the
+// stream lock, readers serve the previous snapshot: bounded staleness,
+// never a stale *forecast* for longer than one lock hold + publishBacklog
+// applied events.
 //
 // Each stream also self-monitors the paper's correctness metric online:
 // every observation whose wait can be compared against the bound quoted at
 // its arrival is a resolved prediction, and the rolling fraction of hits
 // (wait <= quoted bound) is tracked against the target confidence — the
 // live analogue of the "correct %" columns of Tables 3–7.
+//
+// At registry scale (the ROADMAP's millions-of-streams regime), idle
+// streams can be evicted to a compact cold form and rehydrated on their
+// next write — see evict.go.
 type Service struct {
 	opts       []Option
 	byProcs    atomic.Bool
@@ -54,14 +65,31 @@ type Service struct {
 	nStreams atomic.Int64
 	nextSeed atomic.Int64
 
-	// index is the copy-on-write read path: an immutable snapshot of the
-	// stream registry, swapped wholesale under indexMu whenever a stream is
-	// created or replaceStreams installs a restored set. The hot read path
-	// is one atomic load plus one or two map lookups — no locks, no key
-	// concatenation — and the write path's stream resolution uses the same
-	// structure as its fast path.
+	// index is the partitioned copy-on-write read path (index.go): an
+	// immutable root of immutable partitions, republished per-partition on
+	// stream creation and wholesale when replaceStreams installs a
+	// restored set or growth resizes the partition array. The hot read
+	// path is two atomic loads plus one or two map probes — no locks, no
+	// key concatenation.
 	index   atomic.Pointer[streamIndex]
 	indexMu sync.Mutex
+
+	// emptyProfile is the quantile profile of a zero-observation stream,
+	// computed once and shared by every newly created stream's first
+	// snapshot — all empty streams answer Profile identically, so there is
+	// no reason to allocate a fresh slice per creation.
+	emptyProfile atomic.Pointer[[]Bound]
+
+	// Lifecycle (evict.go). clock is the coarse activity clock streams
+	// stamp on writes: eviction passes advance it, so its resolution is
+	// the eviction interval — cheap enough for every observe, precise
+	// enough for TTLs that are minutes. nCold counts evicted streams;
+	// evictions/rehydrations/indexRebuilds feed /metrics.
+	clock         atomic.Int64
+	nCold         atomic.Int64
+	evictions     obs.Counter
+	rehydrations  obs.Counter
+	indexRebuilds obs.Counter
 
 	// Durability. wal is attached once by RecoverWAL before traffic and
 	// never changes; nil means observations are held in memory between
@@ -97,47 +125,41 @@ const serviceShards = 64
 // off); slots below it are indexed by processor category.
 const cacheSlotWhole = int(trace.NumProcBuckets)
 
-// streamIndex is one immutable snapshot of the stream registry, published
-// via Service.index. byQueue resolves the hot (queue, slot) shape without
-// building a composite key; byKey resolves full registry keys; keys holds
-// every stream key in sorted order so Queues and Stats are deterministic.
-// A streamIndex is never mutated after publication — rebuilds allocate a
-// fresh one — which is what makes the read path safe with zero locking.
-type streamIndex struct {
-	byKey   map[string]*stream
-	byQueue map[string]*[cacheSlotWhole + 1]*stream
-	keys    []string
-}
-
-// emptyStreamIndex is what NewService installs so readers never nil-check.
-func emptyStreamIndex() *streamIndex {
-	return &streamIndex{
-		byKey:   map[string]*stream{},
-		byQueue: map[string]*[cacheSlotWhole + 1]*stream{},
-	}
-}
+// publishBacklog bounds how many applied-but-unpublished events a stream
+// may accumulate before the write path publishes eagerly. Reads publish on
+// demand, so this only matters for write-heavy streams nobody reads
+// between scrapes: their snapshot (and therefore /metrics and the
+// state-save fallback for cold streams) lags at most this many events.
+const publishBacklog = 64
 
 // forecastSnapshot is the immutable answer the read plane serves: the
-// stream's current bound, quantile profile, and self-monitoring state,
-// republished (a fresh allocation, never mutated) under the stream's write
-// lock each time the forecaster settles. gen starts at 1 on stream
-// creation and advances by exactly one per publication — one Observe, one
-// ObserveBatch chunk, or one replay group — so a reader can order the
-// states it sees and tests can assert that every visible state lies on a
-// chunk boundary.
+// stream's current bound and self-monitoring state, published (a fresh
+// allocation, never mutated — except the profile cache below) under the
+// stream's write lock. gen starts at 1 on stream creation and advances by
+// exactly one per applied Observe, ObserveBatch chunk, or replay group —
+// whether or not a snapshot was published for the intermediate states —
+// so a reader can order the states it sees and tests can assert that
+// every visible state lies on a chunk boundary.
 type forecastSnapshot struct {
 	gen              uint64
 	boundSeconds     float64
 	boundOK          bool
 	observations     int
 	minObservations  int
-	profile          []Bound // immutable; shared with Profile callers
 	rollingHitRate   float64
 	rollingResolved  int
 	lifetimeHits     uint64
 	lifetimeResolved uint64
 	trims            int
 	lastTrimUnix     int64
+
+	// profile is the Table 8 quantile profile for this snapshot's state,
+	// computed lazily on the first Profile call that lands on the snapshot
+	// (under the stream lock) and cached here — publish-on-read twice
+	// over: most snapshots are never asked for a profile, so publication
+	// does not pay for one. The pointed-to slice is immutable and shared
+	// with every Profile caller.
+	profile atomic.Pointer[[]Bound]
 }
 
 // hitRateWindow is the number of resolved predictions the rolling
@@ -153,15 +175,49 @@ type serviceShard struct {
 }
 
 // stream couples one Forecaster with its own lock and monitoring state.
-// The lock serializes writers (observe, batch apply, replay, serialize);
-// readers go through snap, the RCU-published forecastSnapshot, and never
-// touch mu.
+// The lock serializes writers (observe, batch apply, replay, serialize,
+// evict); readers go through snap, the RCU-published forecastSnapshot,
+// and only ever *try* the lock (publish-on-demand) — they never wait on
+// it.
 type stream struct {
 	key  string
 	mu   sync.RWMutex
 	fc   *Forecaster
 	hit  *obs.RollingRate
 	snap atomic.Pointer[forecastSnapshot]
+
+	// dirty is set (under mu) when applied state is newer than the
+	// published snapshot and cleared by publishLocked. Readers poll it to
+	// decide whether a publish-on-demand attempt is worthwhile.
+	dirty atomic.Bool
+
+	// lastProfile is the most recently computed quantile profile, kept as
+	// a fallback so Profile can answer without blocking even when the
+	// current snapshot's profile has not been computed and the stream
+	// lock is held by a writer. Stale by at most the same bound as the
+	// snapshot itself.
+	lastProfile atomic.Pointer[[]Bound]
+
+	// lastTouch is the service's coarse clock value at the stream's last
+	// write (creation, observe, replay); eviction passes compare it
+	// against their TTL cutoff. Reads do not touch it — serving a cold
+	// stream's snapshot is free, so read traffic alone never keeps a
+	// stream hydrated.
+	lastTouch atomic.Int64
+
+	// evicted mirrors fc == nil for lock-free observers (eviction passes,
+	// metrics); the authoritative state is fc, guarded by mu.
+	evicted atomic.Bool
+
+	// appliedGen (guarded by mu) counts applied events — observations,
+	// batch chunks, replay groups — since stream creation or adoption.
+	// The published snapshot's gen is appliedGen+1 at publication time.
+	appliedGen uint64
+
+	// cold (guarded by mu) is the serialized forecaster while evicted
+	// (fc == nil): exactly what MarshalBinary would have produced, ready
+	// to be written to a state snapshot or rehydrated on the next write.
+	cold []byte
 
 	// Trim tracking (guarded by mu): trimsSeen mirrors fc.ChangePoints()
 	// after each observe so the wall-clock time of the latest trim can be
@@ -222,7 +278,8 @@ func NewService(splitByProcs bool, opts ...Option) *Service {
 	}
 	s := &Service{opts: opts, quantile: c.quantile, confidence: c.confidence}
 	s.byProcs.Store(splitByProcs)
-	s.index.Store(emptyStreamIndex())
+	s.index.Store(newStreamIndex(indexInitialPartitions))
+	s.clock.Store(time.Now().UnixNano())
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*stream)
 	}
@@ -243,28 +300,25 @@ func (s *Service) key(queue string, procs int) string {
 	return queue + "/" + CategoryOf(procs).Label()
 }
 
-// shardOf hashes a stream key to its shard (FNV-1a).
+// shardOf hashes a stream key to its shard (FNV-1a, shared with the index
+// partitioning in index.go).
 func shardOf(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
-	}
-	return h % serviceShards
+	return keyHash(key) % serviceShards
 }
 
-// lookup returns the stream for a key without creating it: one atomic load
-// of the published index, no locking. A stream whose creation has not yet
-// republished the index is momentarily invisible here, which reads the
-// same as arriving just before the creation — the shard maps stay the
-// authority for the write path.
+// lookup returns the stream for a key without creating it: two atomic
+// loads of the published index, no locking. A stream whose creation has
+// not yet republished its partition is momentarily invisible here, which
+// reads the same as arriving just before the creation — the shard maps
+// stay the authority for the write path.
 func (s *Service) lookup(key string) *stream {
-	return s.index.Load().byKey[key]
+	return s.index.Load().lookupKey(key)
 }
 
 // getOrCreate returns the stream for a key, creating it on first use. The
-// index is rebuilt after the shard insert (outside the shard lock —
-// rebuildIndex read-locks every shard), so by the time this returns the
-// new stream is visible to lock-free readers.
+// new stream's index partition is republished after the shard insert
+// (outside the shard lock), so by the time this returns the new stream is
+// visible to lock-free readers.
 func (s *Service) getOrCreate(key string) *stream {
 	if st := s.lookup(key); st != nil {
 		return st
@@ -280,50 +334,9 @@ func (s *Service) getOrCreate(key string) *stream {
 	}
 	sh.mu.Unlock()
 	if created {
-		s.rebuildIndex()
+		s.indexInsert(key, st)
 	}
 	return st
-}
-
-// rebuildIndex publishes a fresh immutable streamIndex from the shard
-// maps. indexMu serializes rebuilds so publications are ordered; a rebuild
-// racing a concurrent insert may miss it, but the inserter performs its
-// own rebuild afterwards, so the index always catches up. Creation and
-// wholesale restore are the only triggers — both rare, so the O(streams)
-// rebuild never sits on a hot path.
-func (s *Service) rebuildIndex() {
-	s.indexMu.Lock()
-	defer s.indexMu.Unlock()
-	byProcs := s.byProcs.Load()
-	idx := &streamIndex{
-		byKey:   make(map[string]*stream, s.nStreams.Load()),
-		byQueue: make(map[string]*[cacheSlotWhole + 1]*stream),
-	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for k, st := range sh.m {
-			idx.byKey[k] = st
-			idx.keys = append(idx.keys, k)
-			queue, slot, ok := splitKey(k, byProcs)
-			if !ok {
-				// A key that does not parse under the current routing mode
-				// (e.g. restored from a blob written in the other mode) is
-				// unreachable through the (queue, procs) APIs but stays
-				// listed in Queues/Stats via byKey.
-				continue
-			}
-			arr := idx.byQueue[queue]
-			if arr == nil {
-				arr = new([cacheSlotWhole + 1]*stream)
-				idx.byQueue[queue] = arr
-			}
-			arr[slot] = st
-		}
-		sh.mu.RUnlock()
-	}
-	slices.Sort(idx.keys)
-	s.index.Store(idx)
 }
 
 // splitKey inverts keyForSlot under a routing mode: whole-queue keys map
@@ -362,12 +375,12 @@ func (s *Service) keyForSlot(queue string, slot int) string {
 }
 
 // streamForSlot resolves (queue, slot) to its stream through the published
-// index — the hot ingest path, one atomic load and two map reads with no
+// index — the hot ingest path, two atomic loads and two map reads with no
 // key construction — falling back to key construction + getOrCreate on a
-// miss. There is no insert-back step: getOrCreate rebuilds the index, so
-// the next call hits.
+// miss. There is no insert-back step: getOrCreate republishes the
+// partition, so the next call hits.
 func (s *Service) streamForSlot(queue string, slot int) *stream {
-	if arr := s.index.Load().byQueue[queue]; arr != nil {
+	if arr := s.index.Load().lookupQueue(queue); arr != nil {
 		if st := arr[slot]; st != nil {
 			return st
 		}
@@ -379,7 +392,7 @@ func (s *Service) streamForSlot(queue string, slot int) *stream {
 // zero locks and zero allocations, never creating anything. nil means the
 // shape is unknown.
 func (s *Service) readStream(queue string, procs int) *stream {
-	arr := s.index.Load().byQueue[queue]
+	arr := s.index.Load().lookupQueue(queue)
 	if arr == nil {
 		return nil
 	}
@@ -394,51 +407,69 @@ func (s *Service) streamFor(queue string, procs int) *stream {
 // newStream builds a settled stream: the forecaster's lazily-computed
 // bound is materialized up front so read paths stay mutation-free, and the
 // first forecast snapshot (generation 1) is published before the stream
-// becomes reachable.
+// becomes reachable. The empty-stream profile is shared service-wide —
+// every zero-observation stream answers Profile identically.
 func (s *Service) newStream(key string) *stream {
 	seed := s.nextSeed.Add(1) - 1
 	opts := append([]Option{WithSeed(seed)}, s.opts...)
 	fc := New(opts...)
 	fc.Forecast()
 	st := &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow)}
+	st.lastTouch.Store(s.clock.Load())
 	st.publishLocked()
+	p := s.sharedEmptyProfile()
+	st.snap.Load().profile.Store(p)
+	st.lastProfile.Store(p)
 	return st
+}
+
+// sharedEmptyProfile computes (once) the profile every zero-observation
+// stream shares: no entry can be OK without history, so the result does
+// not depend on the per-stream seed.
+func (s *Service) sharedEmptyProfile() *[]Bound {
+	if p := s.emptyProfile.Load(); p != nil {
+		return p
+	}
+	fc := New(s.opts...)
+	p := fc.Profile()
+	s.emptyProfile.CompareAndSwap(nil, &p)
+	return s.emptyProfile.Load()
 }
 
 // adoptStream wraps a restored forecaster (state.go's restore path).
 // lastSeq is the WAL sequence number the snapshot covers for this stream.
 // The restored state's forecast snapshot is installed here, before
 // replaceStreams publishes the stream — a reader that resolves the new
-// stream can never see a stale or missing snapshot.
-func adoptStream(key string, fc *Forecaster, lastSeq uint64) *stream {
+// stream can never see a stale or missing snapshot. The profile is
+// computed on demand (first Profile call), not here: restoring a million
+// streams must not pay for a million profiles nobody asked for.
+func (s *Service) adoptStream(key string, fc *Forecaster, lastSeq uint64) *stream {
 	fc.Forecast() // settle the lazy refit before concurrent reads start
 	st := &stream{key: key, fc: fc, hit: obs.NewRollingRate(hitRateWindow), trimsSeen: fc.ChangePoints(), lastSeq: lastSeq}
+	st.lastTouch.Store(s.clock.Load())
 	st.publishLocked()
 	return st
 }
 
 // publishLocked derives a fresh immutable forecastSnapshot from the
-// forecaster and monitoring state and RCU-publishes it. Callers hold the
-// stream's write lock (or, on the creation paths, sole ownership). The
-// forecaster must be settled — every write path refits eagerly before
-// publishing. This is the single point where the read plane learns about
-// writes: one publication per observation, batch chunk, or replay group,
-// with the generation advancing by exactly one.
+// forecaster and monitoring state and RCU-publishes it, clearing the dirty
+// flag. Callers hold the stream's write lock (or, on the creation paths,
+// sole ownership) and the forecaster must be settled — every write path
+// refits eagerly before marking dirty. The snapshot's generation is
+// appliedGen+1, so however many publications were skipped in between,
+// every *published* state carries the generation of the apply that
+// produced it — which is what keeps the chunk-coherence oracle exact
+// under lazy publication.
 func (st *stream) publishLocked() {
-	var gen uint64 = 1
-	if prev := st.snap.Load(); prev != nil {
-		gen = prev.gen + 1
-	}
 	bound, ok := st.fc.Forecast()
 	rate, n := st.hit.Rate()
 	hits, total := st.hit.Lifetime()
 	st.snap.Store(&forecastSnapshot{
-		gen:              gen,
+		gen:              st.appliedGen + 1,
 		boundSeconds:     bound,
 		boundOK:          ok,
 		observations:     st.fc.Observations(),
 		minObservations:  st.fc.MinObservations(),
-		profile:          st.fc.Profile(),
 		rollingHitRate:   rate,
 		rollingResolved:  n,
 		lifetimeHits:     hits,
@@ -446,6 +477,41 @@ func (st *stream) publishLocked() {
 		trims:            st.fc.ChangePoints(),
 		lastTrimUnix:     st.lastTrimUnix,
 	})
+	st.dirty.Store(false)
+}
+
+// markDirtyLocked records one applied event: the generation advances, the
+// stream is stamped on the activity clock, and the dirty flag invites the
+// next reader to publish. Publication happens here only when the backlog
+// of unpublished events reaches publishBacklog, so an unread, write-hot
+// stream still surfaces a recent state to /metrics scrapes and cold-path
+// state saves.
+func (st *stream) markDirtyLocked(s *Service) {
+	st.appliedGen++
+	if !st.dirty.Load() {
+		st.dirty.Store(true)
+	}
+	if c := s.clock.Load(); st.lastTouch.Load() != c {
+		st.lastTouch.Store(c)
+	}
+	if st.appliedGen+1-st.snap.Load().gen >= publishBacklog {
+		st.publishLocked()
+	}
+}
+
+// loadSnap returns the stream's published snapshot, first publishing any
+// applied-but-unpublished state if the stream lock is free
+// (publish-on-demand). If a writer holds the lock the previous snapshot is
+// served — the read never blocks, and the staleness is bounded by one lock
+// hold plus publishBacklog events.
+func (st *stream) loadSnap() *forecastSnapshot {
+	if st.dirty.Load() && st.mu.TryLock() {
+		if st.dirty.Load() && st.fc != nil {
+			st.publishLocked()
+		}
+		st.mu.Unlock()
+	}
+	return st.snap.Load()
 }
 
 // observe records a wait under the stream's write lock: the observation is
@@ -453,10 +519,16 @@ func (st *stream) publishLocked() {
 // into the forecaster, scoring the bound the arriving job would have been
 // quoted and keeping the bound fresh. Holding the write lock across
 // append-then-apply is what keeps (forecaster state, lastSeq) consistent —
-// a snapshot taken concurrently sees either both effects or neither.
+// a snapshot taken concurrently sees either both effects or neither. An
+// evicted stream rehydrates here, before the append.
 func (st *stream) observe(s *Service, waitSeconds float64) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.fc == nil {
+		if err := st.rehydrateLocked(s); err != nil {
+			return err
+		}
+	}
 	var seq uint64
 	if s.wal != nil {
 		var err error
@@ -478,7 +550,7 @@ func (st *stream) observe(s *Service, waitSeconds float64) error {
 			s.readonly.Set(0)
 		}
 	}
-	st.applyLocked(waitSeconds, seq, true)
+	st.applyLocked(s, waitSeconds, seq, true)
 	return nil
 }
 
@@ -487,7 +559,7 @@ func (st *stream) observe(s *Service, waitSeconds float64) error {
 // they did in the crashed process, but the rolling correctness monitor
 // only scores quotes this process actually made (the same rule snapshot
 // restore follows).
-func (st *stream) applyLocked(waitSeconds float64, seq uint64, scoreHit bool) {
+func (st *stream) applyLocked(s *Service, waitSeconds float64, seq uint64, scoreHit bool) {
 	if scoreHit {
 		if bound, ok := st.fc.Forecast(); ok {
 			st.hit.Record(waitSeconds <= bound)
@@ -502,7 +574,7 @@ func (st *stream) applyLocked(waitSeconds float64, seq uint64, scoreHit bool) {
 		st.trimsSeen = tr
 		st.lastTrimUnix = time.Now().Unix()
 	}
-	st.publishLocked()
+	st.markDirtyLocked(s)
 }
 
 // applyGroupLocked folds one batch group into the forecaster under the
@@ -513,7 +585,7 @@ func (st *stream) applyLocked(waitSeconds float64, seq uint64, scoreHit bool) {
 // it was batched — but the trailing settle, lastSeq advance, and trim
 // bookkeeping run once per group instead of once per record. lastSeq is
 // the sequence number of the group's newest record (0 without a WAL).
-func (st *stream) applyGroupLocked(chunk []ObserveRecord, idxs []int32, lastSeq uint64) {
+func (st *stream) applyGroupLocked(s *Service, chunk []ObserveRecord, idxs []int32, lastSeq uint64) {
 	for _, idx := range idxs {
 		w := chunk[idx].WaitSeconds
 		if bound, ok := st.fc.Forecast(); ok {
@@ -529,8 +601,8 @@ func (st *stream) applyGroupLocked(chunk []ObserveRecord, idxs []int32, lastSeq 
 		st.trimsSeen = tr
 		st.lastTrimUnix = time.Now().Unix()
 	}
-	// One publication per chunk: readers see whole chunks or nothing.
-	st.publishLocked()
+	// One generation per chunk: readers see whole chunks or nothing.
+	st.markDirtyLocked(s)
 }
 
 // replayGroupLocked is applyGroupLocked's recovery-path sibling: recovered
@@ -538,7 +610,7 @@ func (st *stream) applyGroupLocked(chunk []ObserveRecord, idxs []int32, lastSeq 
 // not scored (this process never made them), and the forecaster settles
 // once per group — which is what makes batched replay measurably faster
 // than the record-at-a-time path on a long log tail.
-func (st *stream) replayGroupLocked(waits []float64, seqs []uint64) {
+func (st *stream) replayGroupLocked(s *Service, waits []float64, seqs []uint64) {
 	applied := false
 	for i, seq := range seqs {
 		if seq <= st.lastSeq {
@@ -556,7 +628,7 @@ func (st *stream) replayGroupLocked(waits []float64, seqs []uint64) {
 		st.trimsSeen = tr
 		st.lastTrimUnix = time.Now().Unix()
 	}
-	st.publishLocked()
+	st.markDirtyLocked(s)
 }
 
 // BatchError reports a batch that was refused or cut short at a specific
@@ -652,7 +724,8 @@ func (s *Service) ObserveBatch(records []ObserveRecord) (applied int, err error)
 // append-then-apply — the same invariant the single-record path keeps, so
 // a concurrent snapshot's (state, lastSeq) view stays consistent and
 // compaction can never delete a segment whose records some stream has not
-// yet folded in.
+// yet folded in. Evicted streams rehydrate after the locks are taken and
+// before anything is appended, so a rehydration failure applies nothing.
 func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
 	byProcs := s.byProcs.Load()
 	groups := sc.groups[:0]
@@ -694,9 +767,16 @@ func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
 			groups[gi].st.mu.Unlock()
 		}
 	}()
+	for gi := range groups {
+		if groups[gi].st.fc == nil {
+			if err := groups[gi].st.rehydrateLocked(s); err != nil {
+				return err
+			}
+		}
+	}
 	if s.wal == nil {
 		for gi := range groups {
-			groups[gi].st.applyGroupLocked(chunk, groups[gi].idxs, 0)
+			groups[gi].st.applyGroupLocked(s, chunk, groups[gi].idxs, 0)
 		}
 		return nil
 	}
@@ -725,15 +805,16 @@ func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
 	}
 	for gi := range groups {
 		g := &groups[gi]
-		g.st.applyGroupLocked(chunk, g.idxs, firstSeq+uint64(g.idxs[len(g.idxs)-1]))
+		g.st.applyGroupLocked(s, chunk, g.idxs, firstSeq+uint64(g.idxs[len(g.idxs)-1]))
 	}
 	return nil
 }
 
-// status renders the stream's published snapshot as a StreamStatus — a
-// pure read of immutable data, no locks, no allocations.
+// status renders the stream's published snapshot as a StreamStatus,
+// publishing pending state on demand — no blocking, no allocations beyond
+// a possible publish.
 func (st *stream) status(q, c float64) StreamStatus {
-	snap := st.snap.Load()
+	snap := st.loadSnap()
 	return StreamStatus{
 		Stream:           st.key,
 		Observations:     snap.observations,
@@ -768,31 +849,88 @@ func (s *Service) Observe(queue string, procs int, waitSeconds float64) error {
 // ok is false when the stream is unknown or its history is too short;
 // asking about a never-observed shape does not create a stream.
 //
-// Forecast is wait-free and allocation-free: one atomic index load, one
-// atomic snapshot load, no locks — it cannot be delayed by concurrent
+// Forecast never blocks and allocates nothing in steady state: two atomic
+// index loads, one snapshot load — plus a non-blocking publish if pending
+// writes have not been surfaced yet. It cannot be delayed by concurrent
 // ingest, refits, or snapshot saves on the same stream.
 func (s *Service) Forecast(queue string, procs int) (seconds float64, ok bool) {
 	st := s.readStream(queue, procs)
 	if st == nil {
 		return 0, false
 	}
-	snap := st.snap.Load()
+	snap := st.loadSnap()
 	return snap.boundSeconds, snap.boundOK
 }
 
 // Profile returns the Table 8 quantile profile for a job shape, or nil if
 // the stream is unknown.
 //
-// The returned slice is the published immutable snapshot itself, shared
+// The returned slice is the published immutable snapshot's profile, shared
 // with every concurrent caller — treat it as read-only. Mutating it is a
-// data race. This is what makes Profile allocation-free; copy it if you
-// need to edit.
+// data race. Profiles are computed on demand: the first call after a write
+// computes and caches the profile for the current snapshot (under the
+// stream lock if it is free; otherwise the previous profile is served,
+// same staleness bound as Forecast). This is what makes steady-state
+// Profile allocation-free; copy the slice if you need to edit it.
 func (s *Service) Profile(queue string, procs int) []Bound {
 	st := s.readStream(queue, procs)
 	if st == nil {
 		return nil
 	}
-	return st.snap.Load().profile
+	return st.profile(s)
+}
+
+// profile serves the stream's quantile profile from the published
+// snapshot, computing it on demand. Order of preference: the current
+// snapshot's cached profile; compute-and-cache under a non-blocking
+// TryLock; the last profile ever computed (bounded staleness, same rule
+// as loadSnap); and — only for a cold-adopted stream that has never
+// computed one — a blocking compute, which may rehydrate the forecaster.
+func (st *stream) profile(s *Service) []Bound {
+	snap := st.loadSnap()
+	if p := snap.profile.Load(); p != nil {
+		return *p
+	}
+	if st.mu.TryLock() {
+		p := st.fillProfileLocked(s)
+		st.mu.Unlock()
+		if p != nil {
+			return *p
+		}
+	}
+	if p := st.lastProfile.Load(); p != nil {
+		return *p
+	}
+	st.mu.Lock()
+	p := st.fillProfileLocked(s)
+	st.mu.Unlock()
+	if p != nil {
+		return *p
+	}
+	return nil
+}
+
+// fillProfileLocked computes the profile for the stream's current state
+// and caches it on the published snapshot (and the stream's lastProfile
+// fallback). Returns nil only if an evicted forecaster cannot be
+// rehydrated. Caller holds the stream's write lock.
+func (st *stream) fillProfileLocked(s *Service) *[]Bound {
+	if st.fc == nil {
+		if err := st.rehydrateLocked(s); err != nil {
+			return nil
+		}
+	}
+	if st.dirty.Load() {
+		st.publishLocked()
+	}
+	snap := st.snap.Load()
+	if p := snap.profile.Load(); p != nil {
+		return p
+	}
+	p := st.fc.Profile()
+	snap.profile.Store(&p)
+	st.lastProfile.Store(&p)
+	return &p
 }
 
 // Observations returns the history length behind a job shape's stream
@@ -802,20 +940,31 @@ func (s *Service) Observations(queue string, procs int) int {
 	if st == nil {
 		return 0
 	}
-	return st.snap.Load().observations
+	return st.loadSnap().observations
 }
 
 // Queues lists the streams the service currently tracks, sorted by stream
-// key.
+// key (a k-way merge of the index partitions' sorted key lists).
 func (s *Service) Queues() []string {
-	return slices.Clone(s.index.Load().keys)
+	idx := s.index.Load()
+	out := make([]string, 0, idx.count())
+	idx.forEachOrdered(func(k string, _ *stream) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
 }
 
 // NumStreams returns how many streams the service tracks.
 func (s *Service) NumStreams() int { return int(s.nStreams.Load()) }
 
+// LiveStreams returns how many streams currently hold a hydrated
+// forecaster in memory (NumStreams minus the evicted ones).
+func (s *Service) LiveStreams() int { return int(s.nStreams.Load() - s.nCold.Load()) }
+
 // StreamStats returns the status snapshot for one job shape. ok is false
-// for unknown streams. Like Forecast, it is lock-free and allocation-free.
+// for unknown streams. Like Forecast, it never blocks and allocates
+// nothing in steady state.
 func (s *Service) StreamStats(queue string, procs int) (StreamStatus, bool) {
 	st := s.readStream(queue, procs)
 	if st == nil {
@@ -828,11 +977,24 @@ func (s *Service) StreamStats(queue string, procs int) (StreamStatus, bool) {
 // It walks the published index, so it takes no locks and cannot stall or
 // be stalled by ingest.
 func (s *Service) Stats() []StreamStatus {
+	return s.StatsLimit(0)
+}
+
+// StatsLimit returns status snapshots for the first limit streams in key
+// order (all of them when limit <= 0). The ordered walk stops as soon as
+// the limit is reached, so asking a million-stream registry for its first
+// hundred streams costs a hundred statuses, not a million.
+func (s *Service) StatsLimit(limit int) []StreamStatus {
 	idx := s.index.Load()
-	out := make([]StreamStatus, 0, len(idx.keys))
-	for _, k := range idx.keys {
-		out = append(out, idx.byKey[k].status(s.quantile, s.confidence))
+	n := idx.count()
+	if limit > 0 && limit < n {
+		n = limit
 	}
+	out := make([]StreamStatus, 0, n)
+	idx.forEachOrdered(func(_ string, st *stream) bool {
+		out = append(out, st.status(s.quantile, s.confidence))
+		return limit <= 0 || len(out) < limit
+	})
 	return out
 }
 
@@ -841,7 +1003,7 @@ func (s *Service) Stats() []StreamStatus {
 // cannot deadlock; readers mid-flight keep operating on streams from the
 // old set, which matches wholesale-restore semantics.
 func (s *Service) replaceStreams(streams map[string]*stream) {
-	var n int64
+	var n, cold int64
 	var grouped [serviceShards]map[string]*stream
 	for i := range grouped {
 		grouped[i] = make(map[string]*stream)
@@ -849,6 +1011,9 @@ func (s *Service) replaceStreams(streams map[string]*stream) {
 	for k, st := range streams {
 		grouped[shardOf(k)][k] = st
 		n++
+		if st.evicted.Load() {
+			cold++
+		}
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -857,11 +1022,12 @@ func (s *Service) replaceStreams(streams map[string]*stream) {
 		sh.mu.Unlock()
 	}
 	s.nStreams.Store(n)
+	s.nCold.Store(cold)
 	// Republish the index from the new shard maps. The rebuild always
 	// reads current shard state, so it can never resurrect an old-set
 	// stream; once this returns, every lock-free reader resolves streams
 	// (and therefore forecast snapshots) from the restored set only.
-	s.rebuildIndex()
+	s.republishIndex()
 }
 
 // RecoverWAL replays w's surviving records on top of the service's current
@@ -877,7 +1043,9 @@ func (s *Service) replaceStreams(streams map[string]*stream) {
 // Replay goes through the batch-apply path: records are buffered, grouped
 // by stream, and folded in one lock acquisition and one settle per group —
 // within a stream the log's order is preserved exactly, and streams are
-// independent, so recovered state matches record-at-a-time replay.
+// independent, so recovered state matches record-at-a-time replay. A
+// cold-adopted stream (sharded restore) rehydrates before its first group
+// applies.
 func (s *Service) RecoverWAL(w *wal.WAL) (wal.ReplayStats, error) {
 	const replayFlushEvery = 1024
 	type pendingGroup struct {
@@ -887,10 +1055,20 @@ func (s *Service) RecoverWAL(w *wal.WAL) (wal.ReplayStats, error) {
 	}
 	pending := make(map[*stream]*pendingGroup)
 	buffered := 0
+	var replayErr error
 	flush := func() {
 		for _, p := range pending {
 			p.st.mu.Lock()
-			p.st.replayGroupLocked(p.waits, p.seqs)
+			if p.st.fc == nil {
+				if err := p.st.rehydrateLocked(s); err != nil {
+					if replayErr == nil {
+						replayErr = err
+					}
+					p.st.mu.Unlock()
+					continue
+				}
+			}
+			p.st.replayGroupLocked(s, p.waits, p.seqs)
 			p.st.mu.Unlock()
 		}
 		clear(pending)
@@ -912,6 +1090,9 @@ func (s *Service) RecoverWAL(w *wal.WAL) (wal.ReplayStats, error) {
 	flush()
 	if err != nil {
 		return stats, err
+	}
+	if replayErr != nil {
+		return stats, replayErr
 	}
 	s.wal = w
 	s.walReplayed.Add(uint64(stats.Records))
@@ -973,6 +1154,21 @@ func (s *Service) durabilityMetrics() durabilityMetricRefs {
 		replayDropped:  &s.walReplayDropped,
 		replayDroppedB: &s.walReplayDroppedB,
 		compactErrors:  &s.walCompactErrors,
+	}
+}
+
+// lifecycleMetricRefs hands the server pointers to the service-owned
+// stream-lifecycle counters (evictions, rehydrations, index partition
+// rebuilds), same pattern as durabilityMetricRefs.
+type lifecycleMetricRefs struct {
+	evictions, rehydrations, indexRebuilds *obs.Counter
+}
+
+func (s *Service) lifecycleMetrics() lifecycleMetricRefs {
+	return lifecycleMetricRefs{
+		evictions:     &s.evictions,
+		rehydrations:  &s.rehydrations,
+		indexRebuilds: &s.indexRebuilds,
 	}
 }
 

@@ -293,6 +293,12 @@ func TestReadPathLockFree(t *testing.T) {
 	if st == nil {
 		t.Fatal("stream not in index")
 	}
+	// Surface the latest applied state before the lock is taken hostage:
+	// publication is on-demand, so a read must run while the lock is free
+	// for the final observations to be published. Once the writer holds
+	// the lock, readers serve this (current) snapshot.
+	svc.Observations("q", 1)
+	svc.Profile("q", 1)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 

@@ -151,7 +151,15 @@ func (s *Service) MarshalBinary() ([]byte, error) {
 	}
 	for k, st := range streams {
 		st.mu.RLock()
-		b, err := st.fc.MarshalBinary()
+		var b []byte
+		var err error
+		if st.fc != nil {
+			b, err = st.fc.MarshalBinary()
+		} else {
+			// Evicted stream: the cold blob IS the serialized forecaster,
+			// written at eviction time and immutable since.
+			b = st.cold
+		}
 		seq := st.lastSeq
 		st.mu.RUnlock()
 		if err != nil {
@@ -187,7 +195,7 @@ func (s *Service) UnmarshalBinary(data []byte) error {
 		if err := fc.UnmarshalBinary(fb); err != nil {
 			return fmt.Errorf("qbets: %w: stream %q: %v", ErrCorruptState, k, err)
 		}
-		restored[k] = adoptStream(k, fc, blob.StreamSeqs[k])
+		restored[k] = s.adoptStream(k, fc, blob.StreamSeqs[k])
 	}
 	s.byProcs.Store(blob.ByProcs)
 	s.nextSeed.Store(blob.NextSeed)
@@ -206,16 +214,7 @@ func (s *Service) UnmarshalBinary(data []byte) error {
 // counted but do not fail the save: the snapshot is good, the log is
 // merely longer than necessary.
 func (s *Service) SaveFile(path string) error {
-	var cut uint64
-	rotated := false
-	if s.wal != nil {
-		var err error
-		if cut, err = s.wal.Rotate(); err == nil {
-			rotated = true
-		} else {
-			s.walCompactErrors.Inc()
-		}
-	}
+	cut, rotated := s.preSaveRotate()
 	blob, err := s.MarshalBinary()
 	if err != nil {
 		return err
@@ -223,12 +222,35 @@ func (s *Service) SaveFile(path string) error {
 	if err := writeFileAtomic(path, blob); err != nil {
 		return err
 	}
-	if rotated {
-		if err := s.wal.RemoveSegmentsBelow(cut); err != nil {
-			s.walCompactErrors.Inc()
-		}
-	}
+	s.postSaveCompact(cut, rotated)
 	return nil
+}
+
+// preSaveRotate rotates the attached WAL (if any) ahead of a snapshot so
+// the segments the snapshot covers can be compacted afterwards. Rotation
+// failure is counted, not fatal: the save proceeds, the log just is not
+// compacted this round.
+func (s *Service) preSaveRotate() (cut uint64, rotated bool) {
+	if s.wal == nil {
+		return 0, false
+	}
+	var err error
+	if cut, err = s.wal.Rotate(); err != nil {
+		s.walCompactErrors.Inc()
+		return 0, false
+	}
+	return cut, true
+}
+
+// postSaveCompact deletes the WAL segments a durable snapshot supersedes.
+// Best-effort by design: the snapshot is already good.
+func (s *Service) postSaveCompact(cut uint64, rotated bool) {
+	if !rotated {
+		return
+	}
+	if err := s.wal.RemoveSegmentsBelow(cut); err != nil {
+		s.walCompactErrors.Inc()
+	}
 }
 
 // QuarantineStateFile moves an unreadable state file aside to
