@@ -4,7 +4,7 @@
 BENCH_JSON ?= BENCH_PR6.json
 BENCH_BASELINE ?= BENCH_PR5.json
 
-.PHONY: build test race crash bench bench-compare
+.PHONY: build test race crash cover hypo hypo-full bench bench-compare
 
 build:
 	go build ./...
@@ -16,7 +16,26 @@ race:
 	go test -race ./...
 
 crash:
-	go test -run Crash -count=5 ./internal/wal/ ./qbets/
+	go test -run 'Crash|Trial' -count=5 ./internal/wal/ ./internal/crashprop/ ./qbets/
+
+# cover writes a per-package coverage profile and prints the function
+# summary; CI uploads both as the coverage artifact.
+cover:
+	go test -cover -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out | tail -1
+
+# hypo runs the hypothesis smoke grid (the CI tier: H-Coverage, H-Trim,
+# H-Durability on a small representative grid). hypo-full is the nightly
+# grid — every queue, (q,C) pair, and policy combination — run twice with
+# byte-identical verdicts enforced. See docs/TESTING.md.
+hypo:
+	go run ./cmd/qbets-hypo run -grid smoke
+
+hypo-full:
+	go run ./cmd/qbets-hypo run -grid full -out verdict-full.json
+	go run ./cmd/qbets-hypo run -grid full -out verdict-full-2.json
+	cmp verdict-full.json verdict-full-2.json
+	@echo "full grid deterministic and green: verdict-full.json"
 
 # bench runs the key hot-path benchmarks (prediction latency, service
 # observe with and without a WAL, the batched HTTP ingest path, and the

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name string, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The -compare edge cases: benchmarks that exist on only one side of the
+// diff, and zero ns/op baselines, must never gate the build (there is no
+// ratio to judge) and must never crash the comparison.
+
+func TestCompareMissingFromNew(t *testing.T) {
+	// A guarded benchmark disappearing from new.json is reported as
+	// removed, not a regression: renames and bench refactors happen, and
+	// the allowlist is the thing to update when they do.
+	oldPath := writeBench(t, "old.json", `[
+		{"name": "BenchmarkServiceObserve/nowal", "cpus": 1, "iterations": 100, "ns_per_op": 500}
+	]`)
+	newPath := writeBench(t, "new.json", `[]`)
+	if code := runCompare(oldPath, newPath, 1.25); code != 0 {
+		t.Errorf("benchmark missing from new.json: exit %d, want 0", code)
+	}
+}
+
+func TestCompareMissingFromOld(t *testing.T) {
+	// A benchmark new in new.json has no baseline: reported as new, never
+	// a failure, even when guarded and however slow.
+	oldPath := writeBench(t, "old.json", `[]`)
+	newPath := writeBench(t, "new.json", `[
+		{"name": "BenchmarkServiceObserve/nowal", "cpus": 1, "iterations": 100, "ns_per_op": 1e12}
+	]`)
+	if code := runCompare(oldPath, newPath, 1.25); code != 0 {
+		t.Errorf("benchmark missing from old.json: exit %d, want 0", code)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// ns_per_op == 0 in the baseline (truncated run, hand-edited file)
+	// would make every ratio infinite; it must be treated like a missing
+	// baseline instead of dividing by zero into a failure.
+	oldPath := writeBench(t, "old.json", `[
+		{"name": "BenchmarkServiceObserve/nowal", "cpus": 1, "iterations": 100, "ns_per_op": 0}
+	]`)
+	newPath := writeBench(t, "new.json", `[
+		{"name": "BenchmarkServiceObserve/nowal", "cpus": 1, "iterations": 100, "ns_per_op": 800}
+	]`)
+	if code := runCompare(oldPath, newPath, 1.25); code != 0 {
+		t.Errorf("zero baseline: exit %d, want 0", code)
+	}
+}
+
+func TestCompareGuardedRegressionStillFails(t *testing.T) {
+	// Sanity check the other direction: with both sides present the guard
+	// still trips past the threshold…
+	oldPath := writeBench(t, "old.json", `[
+		{"name": "BenchmarkServiceObserve/nowal", "cpus": 1, "iterations": 100, "ns_per_op": 500},
+		{"name": "BenchmarkOneShotScale", "cpus": 1, "iterations": 1, "ns_per_op": 500}
+	]`)
+	newPath := writeBench(t, "new.json", `[
+		{"name": "BenchmarkServiceObserve/nowal", "cpus": 1, "iterations": 100, "ns_per_op": 1000},
+		{"name": "BenchmarkOneShotScale", "cpus": 1, "iterations": 1, "ns_per_op": 50000}
+	]`)
+	if code := runCompare(oldPath, newPath, 1.25); code != 1 {
+		t.Errorf("guarded 2x regression: exit %d, want 1", code)
+	}
+	// …and a within-threshold change passes, with the advisory (non
+	// allowlisted) benchmark free to regress arbitrarily.
+	okPath := writeBench(t, "ok.json", `[
+		{"name": "BenchmarkServiceObserve/nowal", "cpus": 1, "iterations": 100, "ns_per_op": 550},
+		{"name": "BenchmarkOneShotScale", "cpus": 1, "iterations": 1, "ns_per_op": 50000}
+	]`)
+	if code := runCompare(oldPath, okPath, 1.25); code != 0 {
+		t.Errorf("within-threshold change: exit %d, want 0", code)
+	}
+}
+
+func TestCompareUnreadableFile(t *testing.T) {
+	oldPath := writeBench(t, "old.json", `[]`)
+	if code := runCompare(oldPath, filepath.Join(t.TempDir(), "absent.json"), 1.25); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	badPath := writeBench(t, "bad.json", `{not json`)
+	if code := runCompare(oldPath, badPath, 1.25); code != 2 {
+		t.Errorf("malformed file: exit %d, want 2", code)
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parse("BenchmarkServiceObserve/nowal-8   6954   419488 ns/op   238386 records/s   34 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line did not parse")
+	}
+	if r.Name != "BenchmarkServiceObserve/nowal" || r.Cpus != 8 ||
+		r.Iterations != 6954 || r.NsPerOp != 419488 || r.AllocsPerOp != 34 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Metrics["records/s"] != 238386 {
+		t.Errorf("custom metric lost: %+v", r.Metrics)
+	}
+	if _, ok := parse("ok  \trepro/qbets\t0.585s"); ok {
+		t.Error("non-benchmark line parsed as a result")
+	}
+}

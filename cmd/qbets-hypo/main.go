@@ -1,0 +1,138 @@
+// Command qbets-hypo runs the hypothesis harness: the repository's named
+// statistical invariants (H-Coverage, H-Trim, H-Durability) evaluated as
+// deterministic pass/fail grids. See hypotheses/README.md.
+//
+// Usage:
+//
+//	qbets-hypo list
+//	qbets-hypo run [-grid smoke|full] [-invariant name] [-json] [-out file]
+//
+// Exit status: 0 when every cell passes, 1 when any cell fails, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/hypo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		os.Exit(run(os.Args[2:]))
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "qbets-hypo: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  qbets-hypo list                 show registered invariants and grid sizes
+  qbets-hypo run [flags]          run a grid and report the verdict
+    -grid smoke|full              grid tier (default smoke)
+    -invariant name               run a single invariant (default all)
+    -json                         emit the verdict JSON on stdout
+    -out file                     also write the verdict JSON to file
+`)
+}
+
+func list() {
+	fmt.Printf("%-14s %-6s %-6s %s\n", "INVARIANT", "SMOKE", "FULL", "CLAIM")
+	for _, inv := range hypo.Invariants() {
+		fmt.Printf("%-14s %-6d %-6d %s\n",
+			inv.Name(), len(inv.Cells(hypo.Smoke)), len(inv.Cells(hypo.Full)), inv.Doc())
+	}
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	gridName := fs.String("grid", "smoke", "grid tier: smoke or full")
+	invName := fs.String("invariant", "", "run only this invariant")
+	asJSON := fs.Bool("json", false, "emit verdict JSON on stdout")
+	outPath := fs.String("out", "", "write verdict JSON to this file")
+	fs.Usage = usage
+	fs.Parse(args)
+
+	grid, err := hypo.ParseGrid(*gridName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbets-hypo:", err)
+		return 2
+	}
+	var only func(string) bool
+	if *invName != "" {
+		if _, ok := hypo.Get(*invName); !ok {
+			fmt.Fprintf(os.Stderr, "qbets-hypo: unknown invariant %q (try: qbets-hypo list)\n", *invName)
+			return 2
+		}
+		only = func(name string) bool { return name == *invName }
+	}
+
+	v := hypo.Run(grid, only)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, v.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "qbets-hypo:", err)
+			return 2
+		}
+	}
+	if *asJSON {
+		os.Stdout.Write(v.JSON())
+	} else {
+		report(v)
+	}
+	if !v.Pass {
+		return 1
+	}
+	return 0
+}
+
+// report prints the human-readable verdict table: one line per invariant,
+// plus every failing cell with the check that sank it.
+func report(v hypo.Verdict) {
+	fmt.Printf("grid=%s cells=%d failed=%d\n", v.Grid, v.Cells, v.Failed)
+	for _, iv := range v.Invariants {
+		status := "PASS"
+		if !iv.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("  %-4s %-14s %3d cells", status, iv.Name, iv.Cells)
+		if iv.Failed > 0 {
+			fmt.Printf("  (%d failed)", iv.Failed)
+		}
+		fmt.Println()
+		for _, r := range iv.Results {
+			if r.Pass {
+				continue
+			}
+			var why []string
+			for _, ch := range r.Checks {
+				if !ch.Pass {
+					why = append(why, fmt.Sprintf("%s=%.4g (want %s %.4g)",
+						ch.Name, ch.Observed, ch.Op, ch.Threshold))
+				}
+			}
+			if r.Detail != "" {
+				why = append(why, r.Detail)
+			}
+			fmt.Printf("       FAIL %s: %s\n", r.ID, strings.Join(why, "; "))
+		}
+	}
+	if v.Pass {
+		fmt.Println("PASS")
+	} else {
+		fmt.Println("FAIL")
+	}
+}

@@ -1,0 +1,206 @@
+// Package crashprop is the shared crash-recovery property harness: one
+// simulated power-cut trial, from randomized workload through crash,
+// recovery, and oracle comparison. It is the single implementation of the
+// acked-prefix property behind both the qbets crash property tests and the
+// H-Durability invariant (internal/hypo), so the oracle cannot drift
+// between the unit tier and the hypothesis tier.
+//
+// The property, exactly as PR 3 stated it: a service whose observations go
+// through a write-ahead log, killed by a power cut at an arbitrary byte
+// offset (with possible bit flips in the unsynced sliver), recovers into
+// exactly the state of an oracle service that was fed the surviving record
+// prefix directly. "Exactly" means per-stream observation counts and
+// forecast bounds — the replayed history drives the same order statistics
+// the paper's predictor computes — and every record the sync policy acked
+// durable must be in that prefix.
+package crashprop
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wal"
+	"repro/qbets"
+)
+
+// TrialQueues are the stream keys a trial's workload spreads across.
+var TrialQueues = []string{"normal", "high", "low", "debug"}
+
+// TrialConfig parameterizes one power-cut trial. Everything random in the
+// trial — workload sizes, waits, crash offset, bit flips — derives from
+// Seed, so a config reproduces its trial exactly.
+type TrialConfig struct {
+	Seed int64
+	// Mode is the WAL sync policy under test. SyncEachRecord acks every
+	// record as it returns; SyncOff acks nothing before rotation. (The
+	// interval policy is excluded: its acked set depends on wall-clock
+	// ticker timing, which a deterministic trial cannot reproduce.)
+	Mode wal.SyncMode
+	// GroupCommit enables the leader/follower commit protocol.
+	GroupCommit bool
+	// Evict interleaves full eviction passes into the workload, so the
+	// crash can land while streams are cold and recovery must rehydrate
+	// them from blobs mid-replay.
+	Evict bool
+	// SegmentBytes sets the WAL segment rotation size; 0 draws a small
+	// random size from the seed (frequent rotations put segment boundaries
+	// inside the crash window).
+	SegmentBytes int64
+	// Records bounds the workload length; 0 draws 50–350 records from the
+	// seed, the historical property-test range.
+	Records int
+}
+
+// TrialResult reports what a completed trial measured.
+type TrialResult struct {
+	// Appended is how many observations the pre-crash service accepted.
+	Appended int
+	// Acked is how many of them the sync policy had made durable — the
+	// prefix that must survive any crash.
+	Acked int
+	// Replayed is how many records recovery actually replayed; the
+	// property requires Acked <= Replayed <= Appended.
+	Replayed int
+	// Evictions counts eviction passes the workload interleaved.
+	Evictions int
+}
+
+// RunTrial executes one trial and checks every clause of the property.
+// A nil error means the property held; a non-nil error describes the
+// violation (recovery failure, lost acked records, phantom records, or
+// recovered state diverging from the oracle).
+func RunTrial(cfg TrialConfig) (TrialResult, error) {
+	var res TrialResult
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fs := wal.NewMemFS()
+
+	opt := wal.Options{FS: fs, Mode: cfg.Mode, GroupCommit: cfg.GroupCommit, SegmentBytes: cfg.SegmentBytes}
+	if opt.SegmentBytes == 0 {
+		opt.SegmentBytes = int64(256 + rng.Intn(4096))
+	}
+	w, err := wal.Open("wal", opt)
+	if err != nil {
+		return res, fmt.Errorf("open wal: %w", err)
+	}
+	svc := qbets.NewService(false, qbets.WithSeed(1))
+	if _, err := svc.RecoverWAL(w); err != nil {
+		return res, fmt.Errorf("attach wal: %w", err)
+	}
+
+	// Random workload mixing single observes and batches (the crash can
+	// land mid-batch-frame), optionally interleaved with eviction passes
+	// so rehydration machinery sits inside the crash window too. acked
+	// tracks the prefix the sync policy has made durable — a successful
+	// ObserveBatch under per-record sync acks all of its records.
+	type obsRec struct {
+		queue string
+		wait  float64
+	}
+	n := cfg.Records
+	if n == 0 {
+		n = 50 + rng.Intn(300)
+	}
+	appended := make([]obsRec, 0, n)
+	acked := 0
+	steps := 0
+	for len(appended) < n {
+		if cfg.Evict && steps%7 == 3 {
+			svc.EvictIdle(0)
+			res.Evictions++
+		}
+		steps++
+		if rng.Intn(3) == 0 {
+			m := 1 + rng.Intn(12)
+			batch := make([]qbets.ObserveRecord, m)
+			for j := range batch {
+				batch[j] = qbets.ObserveRecord{
+					Queue:       TrialQueues[rng.Intn(len(TrialQueues))],
+					Procs:       1,
+					WaitSeconds: rng.ExpFloat64() * 600,
+				}
+			}
+			if applied, err := svc.ObserveBatch(batch); err != nil || applied != m {
+				return res, fmt.Errorf("batch at %d: applied %d: %v", len(appended), applied, err)
+			}
+			for _, r := range batch {
+				appended = append(appended, obsRec{r.Queue, r.WaitSeconds})
+			}
+		} else {
+			q := TrialQueues[rng.Intn(len(TrialQueues))]
+			wait := rng.ExpFloat64() * 600
+			if err := svc.Observe(q, 1, wait); err != nil {
+				return res, fmt.Errorf("observe %d: %w", len(appended), err)
+			}
+			appended = append(appended, obsRec{q, wait})
+		}
+		if cfg.Mode == wal.SyncEachRecord {
+			acked = len(appended)
+		}
+	}
+	res.Appended, res.Acked = len(appended), acked
+
+	// Power cut: only the synced prefix plus a random sliver of unsynced
+	// bytes (possibly bit-flipped) survives.
+	fs.Crash(rng)
+
+	// Recover into a fresh service.
+	w2, err := wal.Open("wal", wal.Options{FS: fs})
+	if err != nil {
+		return res, fmt.Errorf("reopen wal: %w", err)
+	}
+	recovered := qbets.NewService(false, qbets.WithSeed(1))
+	stats, err := recovered.RecoverWAL(w2)
+	if err != nil {
+		return res, fmt.Errorf("recovery must never fail on a crashed log: %w", err)
+	}
+	res.Replayed = stats.Records
+	if stats.Records < acked {
+		return res, fmt.Errorf("replayed %d records, but %d were acked durable", stats.Records, acked)
+	}
+	if stats.Records > len(appended) {
+		return res, fmt.Errorf("replayed %d records, only %d were observed", stats.Records, len(appended))
+	}
+
+	// Oracle: a never-crashed service fed the surviving prefix directly,
+	// with the same seed so stream RNG assignment matches.
+	oracle := qbets.NewService(false, qbets.WithSeed(1))
+	for _, r := range appended[:stats.Records] {
+		if err := oracle.Observe(r.queue, 1, r.wait); err != nil {
+			return res, fmt.Errorf("oracle observe: %w", err)
+		}
+	}
+	if err := Equivalent(recovered, oracle); err != nil {
+		return res, err
+	}
+
+	// The recovered service keeps serving: appends resume cleanly.
+	if err := recovered.Observe("post", 1, 1); err != nil {
+		return res, fmt.Errorf("post-recovery observe: %w", err)
+	}
+	return res, nil
+}
+
+// Equivalent checks that two services agree exactly on the state the
+// durability property covers: stream count and, per trial queue, the
+// observation count and forecast bound. It is the oracle comparison shared
+// by the crash property tests and H-Durability.
+func Equivalent(got, want *qbets.Service) error {
+	if g, w := got.NumStreams(), want.NumStreams(); g != w {
+		return fmt.Errorf("recovered %d streams, oracle has %d", g, w)
+	}
+	var errs []error
+	for _, q := range TrialQueues {
+		gotN, wantN := got.Observations(q, 1), want.Observations(q, 1)
+		if gotN != wantN {
+			errs = append(errs, fmt.Errorf("queue %s: recovered %d observations, oracle %d", q, gotN, wantN))
+			continue
+		}
+		gotB, gotOK := got.Forecast(q, 1)
+		wantB, wantOK := want.Forecast(q, 1)
+		if gotOK != wantOK || gotB != wantB {
+			errs = append(errs, fmt.Errorf("queue %s: recovered bound (%g,%v), oracle (%g,%v)", q, gotB, gotOK, wantB, wantOK))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,78 @@
+package crashprop
+
+import (
+	"testing"
+
+	"repro/internal/wal"
+	"repro/qbets"
+)
+
+// TestRunTrialHoldsAcrossPolicies spot-checks the property on each policy
+// corner; the exhaustive sweeps live in the qbets crash property test
+// (100 random trials) and the H-Durability grid (internal/hypo).
+func TestRunTrialHoldsAcrossPolicies(t *testing.T) {
+	cases := []TrialConfig{
+		{Seed: 1, Mode: wal.SyncEachRecord},
+		{Seed: 2, Mode: wal.SyncOff},
+		{Seed: 3, Mode: wal.SyncEachRecord, GroupCommit: true},
+		{Seed: 4, Mode: wal.SyncOff, GroupCommit: true, Evict: true},
+		{Seed: 5, Mode: wal.SyncEachRecord, Evict: true},
+	}
+	for _, cfg := range cases {
+		res, err := RunTrial(cfg)
+		if err != nil {
+			t.Errorf("trial %+v: %v", cfg, err)
+			continue
+		}
+		if res.Appended < 50 {
+			t.Errorf("trial %+v: only %d records appended", cfg, res.Appended)
+		}
+		if cfg.Mode == wal.SyncEachRecord && res.Acked != res.Appended {
+			t.Errorf("trial %+v: per-record sync acked %d of %d", cfg, res.Acked, res.Appended)
+		}
+		if cfg.Evict && res.Evictions == 0 {
+			t.Errorf("trial %+v: eviction requested but no passes ran", cfg)
+		}
+		if res.Replayed < res.Acked || res.Replayed > res.Appended {
+			t.Errorf("trial %+v: replayed %d outside [%d, %d]", cfg, res.Replayed, res.Acked, res.Appended)
+		}
+	}
+}
+
+// TestRunTrialDeterministic: the same config reproduces the same trial.
+func TestRunTrialDeterministic(t *testing.T) {
+	cfg := TrialConfig{Seed: 42, Mode: wal.SyncEachRecord, Evict: true}
+	a, errA := RunTrial(cfg)
+	b, errB := RunTrial(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("trials errored: %v, %v", errA, errB)
+	}
+	if a != b {
+		t.Errorf("same config, different trials: %+v vs %+v", a, b)
+	}
+}
+
+// TestEquivalentDetectsDivergence: the oracle comparison must actually
+// discriminate — two services that saw different observations on a trial
+// queue are not equivalent.
+func TestEquivalentDetectsDivergence(t *testing.T) {
+	a := qbets.NewService(false, qbets.WithSeed(1))
+	b := qbets.NewService(false, qbets.WithSeed(1))
+	for i := 0; i < 80; i++ {
+		if err := a.Observe(TrialQueues[0], 1, float64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Observe(TrialQueues[0], 1, float64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Equivalent(a, b); err != nil {
+		t.Errorf("identical feeds reported divergent: %v", err)
+	}
+	if err := b.Observe(TrialQueues[0], 1, 9999); err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(a, b); err == nil {
+		t.Error("divergent feeds reported equivalent")
+	}
+}

@@ -1,0 +1,257 @@
+package hypo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+	"repro/internal/wal"
+	"repro/internal/workload"
+	"repro/qbets"
+)
+
+// H-Coverage is the paper's headline claim as an invariant: a (q, C) bound
+// is *correct* when the empirical fraction of predictions the realized
+// wait falls within is at least q — the criterion of Tables 3–7 — and BMBP
+// must be correct on every queue of the paper grid where the paper found
+// it correct (every Table 3 queue except LANL/short, whose end-of-log
+// surge is the paper's own documented failure and is reproduced by the
+// workload calibration).
+//
+// Each (queue, q, C) cell is exercised through two paths:
+//
+//   - raw: the evaluation simulator replay (Section 5.1 visibility rules,
+//     epoch dumps, training prefix) via the internal/experiments trace and
+//     eval caches — the exact pipeline that regenerates the paper tables;
+//   - service: the full qbets.Service ingest path — ObserveBatch through a
+//     write-ahead log on an in-memory filesystem with periodic full
+//     eviction passes — so snapshot publication, eviction/rehydration, and
+//     WAL machinery are inside the correctness loop, scored by the
+//     service's own online hit-rate monitor.
+//
+// Thresholds: the empirical hit rate must reach q minus a small
+// deterministic allowance. The raw path scores only post-training jobs
+// under epoch-delayed visibility, exactly as the paper does, and gets
+// q − 0.01 at the headline quantile. The service path quotes from the
+// first bound onward (no training exclusion, no epoch delay), so its
+// lifetime rate carries the early-history phase and regime-shift
+// re-learning windows inside the average; it gets q − 0.02, the same
+// allowance the long-standing hit-rate convergence tests use. Sub-headline
+// quantiles (q < 0.95) sit closer to the miss budget on shift-heavy queues
+// — a level shift burns a larger fraction of a 25% miss allowance than a
+// 5% one — so both paths allow q − 0.04 there.
+type coverage struct{}
+
+type coverageSpec struct {
+	queue   *trace.PaperQueue
+	q, c    float64
+	service bool // false: raw simulator replay; true: Service ingest path
+}
+
+// genSeed is the canonical workload-generation seed: the calibration
+// anchor every table reproduction and golden test uses. Cell randomness
+// (there is none beyond the trace itself on this invariant) is separate —
+// see Cell.Seed.
+const genSeed = 42
+
+// coveragePairs is the (q, C) grid: the paper's headline 0.95/0.95 cell,
+// the Table 8 profile quantiles it also quotes, and a higher-confidence
+// variant of the headline bound.
+var coveragePairs = []struct{ q, c float64 }{
+	{0.95, 0.95},
+	{0.75, 0.95},
+	{0.50, 0.95},
+	{0.95, 0.99},
+}
+
+func (coverage) Name() string { return "H-Coverage" }
+
+func (coverage) Doc() string {
+	return "empirical hit rate >= q for every paper-grid queue x (q,C) cell, through both the raw replay and the full Service ingest path"
+}
+
+// smokeCoverageQueues picks one small queue per workload character, so the
+// CI tier exercises every generating mechanism (clean, moderate, shifty,
+// spiky) without paying for the full roster.
+var smokeCoverageQueues = []string{"lanl/schammpq", "lanl/mediumd", "datastar/TGhigh", "sdsc/express"}
+
+// coverageQueues returns the grid's queue roster: every Table 3 queue the
+// paper reports BMBP correct on (i.e. all but LANL/short).
+func coverageQueues(g Grid) []*trace.PaperQueue {
+	var out []*trace.PaperQueue
+	for _, p := range trace.Table3Queues() {
+		if p.BMBPCorrect < 0.95 {
+			continue // the paper's own documented failure (LANL/short)
+		}
+		if g == Smoke {
+			found := false
+			for _, name := range smokeCoverageQueues {
+				if p.Name() == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func (cv coverage) Cells(g Grid) []Cell {
+	pairs := coveragePairs
+	if g == Smoke {
+		pairs = pairs[:1] // headline 0.95/0.95 only
+	}
+	var cells []Cell
+	for _, p := range coverageQueues(g) {
+		for _, pr := range pairs {
+			for _, service := range []bool{false, true} {
+				path := "raw"
+				if service {
+					path = "service"
+				}
+				cells = append(cells, Cell{
+					Invariant: cv.Name(),
+					ID:        fmt.Sprintf("%s/%s/q%.2f/c%.2f/%s", p.Machine, p.Queue, pr.q, pr.c, path),
+					Params: []Param{
+						{"queue", p.Name()},
+						{"character", workload.CharacterOf(p).String()},
+						{"quantile", fmt.Sprintf("%.2f", pr.q)},
+						{"confidence", fmt.Sprintf("%.2f", pr.c)},
+						{"path", path},
+						{"gen_seed", fmt.Sprintf("%d", genSeed)},
+					},
+					spec: coverageSpec{queue: p, q: pr.q, c: pr.c, service: service},
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// coverageTolerance is the deterministic allowance below q a path's hit
+// rate may run with (see the type comment for the rationale per path).
+func coverageTolerance(q float64, service bool) float64 {
+	if q < 0.95 {
+		return 0.04
+	}
+	if service {
+		return 0.02
+	}
+	return 0.01
+}
+
+func (cv coverage) Run(c Cell) CellResult {
+	spec, ok := c.spec.(coverageSpec)
+	if !ok {
+		return c.Fail("cell spec missing: cells must come from Cells()")
+	}
+	if spec.service {
+		return cv.runService(c, spec)
+	}
+	return cv.runRaw(c, spec)
+}
+
+// runRaw scores BMBP through the paper's evaluation simulator, sharing the
+// per-(seed, queue) trace and per-(trace, q, C) replay caches with every
+// other cell and with the table reproductions.
+func (coverage) runRaw(c Cell, spec coverageSpec) CellResult {
+	cfg := experiments.Config{Seed: genSeed, Quantile: spec.q, Confidence: spec.c}
+	tr := cfg.GenerateQueue(spec.queue)
+	res := cfg.EvalQueue(tr) // [0] = BMBP, the method under test
+	bmbp := res[0]
+	return c.Result(
+		GE("scored_predictions", float64(bmbp.Scored), 500),
+		GE("hit_rate", bmbp.CorrectFraction(), spec.q-coverageTolerance(spec.q, false)),
+	)
+}
+
+// serviceFlush is the ObserveBatch size the service path feeds with, and
+// serviceEvictEvery is how many flushed batches separate full eviction
+// passes — every cell therefore crosses several evict/rehydrate cycles and
+// the monitor's counters must survive all of them.
+const (
+	serviceFlush      = 512
+	serviceEvictEvery = 16
+)
+
+// runService replays the queue's calibrated trace through a real Service:
+// records arrive in wait-visibility order (submit + wait, the order a live
+// scheduler releases them), batched through the WAL-backed ingest path,
+// with periodic full eviction passes. The verdict is the service's own
+// online correctness monitor — lifetime hits over lifetime resolved
+// predictions, the live analogue of the tables' "correct %" column.
+func (coverage) runService(c Cell, spec coverageSpec) CellResult {
+	cfg := experiments.Config{Seed: genSeed}
+	tr := cfg.GenerateQueue(spec.queue)
+
+	// Wait-visibility order, ties broken by submission order (trace order).
+	type release struct {
+		at   int64
+		wait float64
+	}
+	releases := make([]release, tr.Len())
+	for i, j := range tr.Jobs {
+		releases[i] = release{at: j.Submit + int64(j.Wait), wait: j.Wait}
+	}
+	sort.SliceStable(releases, func(i, j int) bool { return releases[i].at < releases[j].at })
+
+	fs := wal.NewMemFS()
+	w, err := wal.Open("wal", wal.Options{FS: fs, Mode: wal.SyncEachRecord})
+	if err != nil {
+		return c.Fail(fmt.Sprintf("open wal: %v", err))
+	}
+	svc := qbets.NewService(false,
+		qbets.WithQuantile(spec.q), qbets.WithConfidence(spec.c), qbets.WithSeed(1))
+	if _, err := svc.RecoverWAL(w); err != nil {
+		return c.Fail(fmt.Sprintf("attach wal: %v", err))
+	}
+
+	queue := spec.queue.Name()
+	batch := make([]qbets.ObserveRecord, 0, serviceFlush)
+	flushed := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if applied, err := svc.ObserveBatch(batch); err != nil || applied != len(batch) {
+			return fmt.Errorf("batch %d: applied %d of %d: %v", flushed, applied, len(batch), err)
+		}
+		batch = batch[:0]
+		if flushed++; flushed%serviceEvictEvery == 0 {
+			svc.EvictIdle(0) // full eviction pass; next write rehydrates
+		}
+		return nil
+	}
+	for _, r := range releases {
+		batch = append(batch, qbets.ObserveRecord{Queue: queue, Procs: 1, WaitSeconds: r.wait})
+		if len(batch) == serviceFlush {
+			if err := flush(); err != nil {
+				return c.Fail(err.Error())
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return c.Fail(err.Error())
+	}
+
+	st, ok := svc.StreamStats(queue, 1)
+	if !ok {
+		return c.Fail("stream missing after ingest")
+	}
+	if st.LifetimeResolved == 0 {
+		return c.Fail("no predictions resolved")
+	}
+	lifetime := float64(st.LifetimeHits) / float64(st.LifetimeResolved)
+	return c.Result(
+		GE("resolved_predictions", float64(st.LifetimeResolved), 500),
+		GE("hit_rate", lifetime, spec.q-coverageTolerance(spec.q, true)),
+		LE("hit_rate_ceiling", lifetime, 1),
+	)
+}
+
+func init() { Register(coverage{}) }

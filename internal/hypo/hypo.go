@@ -1,0 +1,287 @@
+// Package hypo is the hypothesis harness: it formalizes the repository's
+// statistical correctness claims as named invariants (H-Coverage, H-Trim,
+// H-Durability) evaluated as deterministic pass/fail experiments over a
+// configuration × workload × seed grid, in the style of inference-sim's
+// hypotheses/ experiments. Each invariant registers a runner here; the
+// hypotheses/ directory at the repository root documents each one
+// (FINDINGS.md) in terms of the grid this package executes.
+//
+// Determinism is the contract: a grid run produces a machine-readable
+// verdict (per-cell pass/fail plus the observed margins behind every
+// check) that is byte-identical across runs, processes, and parallelism
+// levels. Two rules make that hold:
+//
+//   - every cell derives its randomness from the cell's own configuration
+//     hash (Cell.Seed), never from a shared RNG, so cells are independently
+//     reproducible and the grid can be sharded or run in any order without
+//     changing a single verdict; and
+//   - verdicts carry no wall-clock state — no timestamps, no durations —
+//     only the observed statistics and the thresholds they were judged
+//     against.
+//
+// The expensive inputs (calibrated paper traces and their replays) come
+// from the internal/experiments generation/eval caches, so a grid run
+// shares work exactly the way the table reproductions do.
+package hypo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// Grid selects how much of an invariant's cell space a run covers.
+type Grid int
+
+const (
+	// Smoke is the CI tier: a small, representative cell subset that runs
+	// race-enabled in well under five minutes.
+	Smoke Grid = iota
+	// Full is the nightly tier: every queue, every (q, C) pair, every
+	// policy combination the invariant is claimed over.
+	Full
+)
+
+func (g Grid) String() string {
+	if g == Full {
+		return "full"
+	}
+	return "smoke"
+}
+
+// ParseGrid parses "smoke" or "full".
+func ParseGrid(s string) (Grid, error) {
+	switch s {
+	case "smoke":
+		return Smoke, nil
+	case "full":
+		return Full, nil
+	}
+	return Smoke, fmt.Errorf("hypo: unknown grid %q (want smoke or full)", s)
+}
+
+// Param is one named configuration dimension of a cell, in display order.
+type Param struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Cell is one point of an invariant's experiment grid. ID must be unique
+// within the invariant and canonical: it names the cell in verdicts, and
+// the cell's entire randomness budget is derived from it (see Seed).
+type Cell struct {
+	Invariant string
+	ID        string
+	Params    []Param
+
+	// spec is the invariant's typed payload for this cell; runners
+	// down-cast it in Run. It never leaves the process: re-running a cell
+	// elsewhere reconstructs it from Cells(grid) by ID.
+	spec any
+}
+
+// Seed derives the cell's RNG seed from its configuration hash (FNV-64a
+// over invariant name and cell ID). Cells therefore never share an RNG:
+// each is independently reproducible, and sharding or reordering the grid
+// cannot change any verdict.
+func (c Cell) Seed() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Invariant))
+	h.Write([]byte{0})
+	h.Write([]byte(c.ID))
+	return int64(h.Sum64())
+}
+
+// Check is one pass/fail comparison inside a cell: an observed statistic
+// judged against a threshold. Margin is the signed distance into the
+// passing region (non-negative iff the check passes), so a verdict file
+// doubles as a record of how much slack every claim ran with.
+type Check struct {
+	Name      string  `json:"name"`
+	Observed  float64 `json:"observed"`
+	Op        string  `json:"op"` // ">=" or "<="
+	Threshold float64 `json:"threshold"`
+	Margin    float64 `json:"margin"`
+	Pass      bool    `json:"pass"`
+}
+
+// GE builds an observed >= threshold check.
+func GE(name string, observed, threshold float64) Check {
+	return Check{Name: name, Observed: observed, Op: ">=", Threshold: threshold,
+		Margin: observed - threshold, Pass: observed >= threshold}
+}
+
+// LE builds an observed <= threshold check.
+func LE(name string, observed, threshold float64) Check {
+	return Check{Name: name, Observed: observed, Op: "<=", Threshold: threshold,
+		Margin: threshold - observed, Pass: observed <= threshold}
+}
+
+// CellResult is the verdict for one cell.
+type CellResult struct {
+	ID     string  `json:"id"`
+	Params []Param `json:"params,omitempty"`
+	Seed   int64   `json:"seed"`
+	Pass   bool    `json:"pass"`
+	Checks []Check `json:"checks"`
+	// Detail carries a human-readable failure description (empty on pass).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Result assembles a CellResult from checks: the cell passes iff every
+// check does.
+func (c Cell) Result(checks ...Check) CellResult {
+	r := CellResult{ID: c.ID, Params: c.Params, Seed: c.Seed(), Pass: true, Checks: checks}
+	for _, ch := range checks {
+		if !ch.Pass {
+			r.Pass = false
+		}
+	}
+	return r
+}
+
+// Fail assembles a failed CellResult for a cell that could not be judged
+// (setup error, property violation outside any single check).
+func (c Cell) Fail(detail string, checks ...Check) CellResult {
+	r := c.Result(checks...)
+	r.Pass = false
+	r.Detail = detail
+	return r
+}
+
+// Invariant is a named hypothesis: it enumerates its experiment grid and
+// judges one cell at a time. Run must be deterministic in the cell alone
+// (its parameters and hash-derived seed) — no shared mutable state, no
+// wall clock in anything that reaches the verdict.
+type Invariant interface {
+	Name() string
+	Doc() string
+	Cells(g Grid) []Cell
+	Run(c Cell) CellResult
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Invariant
+)
+
+// Register adds an invariant to the global registry (called from init of
+// the invariant's file). Duplicate names panic: two claims must not share
+// one name.
+func Register(inv Invariant) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, r := range registry {
+		if r.Name() == inv.Name() {
+			panic("hypo: duplicate invariant " + inv.Name())
+		}
+	}
+	registry = append(registry, inv)
+	sort.Slice(registry, func(i, j int) bool { return registry[i].Name() < registry[j].Name() })
+}
+
+// Invariants returns the registered invariants sorted by name.
+func Invariants() []Invariant {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Invariant, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Get returns the invariant registered under name.
+func Get(name string) (Invariant, bool) {
+	for _, inv := range Invariants() {
+		if inv.Name() == name {
+			return inv, true
+		}
+	}
+	return nil, false
+}
+
+// InvariantVerdict is one invariant's slice of the run verdict.
+type InvariantVerdict struct {
+	Name    string       `json:"name"`
+	Doc     string       `json:"doc"`
+	Cells   int          `json:"cells"`
+	Failed  int          `json:"failed"`
+	Pass    bool         `json:"pass"`
+	Results []CellResult `json:"results"`
+}
+
+// Verdict is the machine-readable outcome of a grid run — the contract
+// future refactors must keep green.
+type Verdict struct {
+	Grid       string             `json:"grid"`
+	Cells      int                `json:"cells"`
+	Failed     int                `json:"failed"`
+	Pass       bool               `json:"pass"`
+	Invariants []InvariantVerdict `json:"invariants"`
+}
+
+// JSON renders the verdict as deterministic, indented JSON (trailing
+// newline included, ready to write to a file byte-for-byte).
+func (v Verdict) JSON() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Verdicts are plain structs of strings, bools, and finite floats;
+		// an encode failure is a programming error.
+		panic("hypo: verdict encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// Run executes the selected invariants' grids and returns the verdict.
+// only filters invariants by name (nil runs all). Cells execute on the
+// shared worker pool; results are written by index, so output order —
+// invariants by name, cells in Cells() order — is independent of
+// scheduling.
+func Run(g Grid, only func(name string) bool) Verdict {
+	invs := Invariants()
+	type job struct {
+		inv  Invariant
+		cell Cell
+		out  *CellResult
+	}
+	v := Verdict{Grid: g.String(), Pass: true}
+	var jobs []job
+	for _, inv := range invs {
+		if only != nil && !only(inv.Name()) {
+			continue
+		}
+		cells := inv.Cells(g)
+		iv := InvariantVerdict{Name: inv.Name(), Doc: inv.Doc(), Cells: len(cells),
+			Results: make([]CellResult, len(cells))}
+		v.Invariants = append(v.Invariants, iv)
+		slot := &v.Invariants[len(v.Invariants)-1]
+		for i, c := range cells {
+			jobs = append(jobs, job{inv, c, &slot.Results[i]})
+		}
+	}
+	parallel.ForEachIndex(len(jobs), func(i int) {
+		*jobs[i].out = jobs[i].inv.Run(jobs[i].cell)
+	})
+	for i := range v.Invariants {
+		iv := &v.Invariants[i]
+		iv.Pass = true
+		for _, r := range iv.Results {
+			if !r.Pass {
+				iv.Failed++
+				iv.Pass = false
+			}
+		}
+		v.Cells += iv.Cells
+		v.Failed += iv.Failed
+		if !iv.Pass {
+			v.Pass = false
+		}
+	}
+	return v
+}

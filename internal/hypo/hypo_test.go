@@ -1,0 +1,144 @@
+package hypo
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestSmokeGrid is the CI hypothesis tier: the whole smoke grid must pass.
+// It runs race-enabled in the workflow, so the parallel cell execution and
+// the Service ingest path inside H-Coverage are under the race detector.
+func TestSmokeGrid(t *testing.T) {
+	v := Run(Smoke, nil)
+	if v.Cells == 0 {
+		t.Fatal("smoke grid is empty")
+	}
+	if len(v.Invariants) != 3 {
+		t.Fatalf("expected 3 invariants in the grid, got %d", len(v.Invariants))
+	}
+	for _, iv := range v.Invariants {
+		if iv.Cells == 0 {
+			t.Errorf("%s: no smoke cells", iv.Name)
+		}
+		for _, r := range iv.Results {
+			if !r.Pass {
+				t.Errorf("%s/%s failed: %+v %s", iv.Name, r.ID, r.Checks, r.Detail)
+			}
+		}
+	}
+	if !v.Pass {
+		t.Error("smoke grid verdict is FAIL")
+	}
+}
+
+// TestVerdictDeterministic re-runs the smoke grid and requires the
+// serialized verdicts to be byte-identical — the contract the nightly
+// workflow checks on the full grid.
+func TestVerdictDeterministic(t *testing.T) {
+	a := Run(Smoke, nil).JSON()
+	b := Run(Smoke, nil).JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("verdict JSON differs between identical runs:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestCellIndependence runs one cell of each invariant in isolation and
+// requires the identical result the grid run produced: cells share no RNG,
+// so sharding or filtering the grid cannot change a verdict.
+func TestCellIndependence(t *testing.T) {
+	full := Run(Smoke, nil)
+	for _, inv := range Invariants() {
+		cells := inv.Cells(Smoke)
+		last := cells[len(cells)-1]
+		isolated := inv.Run(last)
+
+		var fromGrid *CellResult
+		for _, iv := range full.Invariants {
+			if iv.Name != inv.Name() {
+				continue
+			}
+			for i := range iv.Results {
+				if iv.Results[i].ID == last.ID {
+					fromGrid = &iv.Results[i]
+				}
+			}
+		}
+		if fromGrid == nil {
+			t.Fatalf("%s: cell %s missing from grid verdict", inv.Name(), last.ID)
+		}
+		if !reflect.DeepEqual(isolated, *fromGrid) {
+			t.Errorf("%s/%s: isolated run differs from grid run:\n  isolated: %+v\n  grid:     %+v",
+				inv.Name(), last.ID, isolated, *fromGrid)
+		}
+	}
+}
+
+// TestCellSeeds: hash-derived seeds are stable and distinct across the
+// full grid (a collision would silently couple two cells' randomness).
+func TestCellSeeds(t *testing.T) {
+	seen := map[int64]string{}
+	for _, inv := range Invariants() {
+		for _, c := range inv.Cells(Full) {
+			if c.Seed() != c.Seed() {
+				t.Fatalf("%s: seed not stable", c.ID)
+			}
+			key := c.Invariant + "/" + c.ID
+			if prev, dup := seen[c.Seed()]; dup {
+				t.Errorf("seed collision between %s and %s", prev, key)
+			}
+			seen[c.Seed()] = key
+		}
+	}
+}
+
+// TestForeignCellRejected: an invariant must refuse a cell it did not
+// enumerate instead of panicking on the spec down-cast.
+func TestForeignCellRejected(t *testing.T) {
+	for _, inv := range Invariants() {
+		r := inv.Run(Cell{Invariant: inv.Name(), ID: "forged"})
+		if r.Pass {
+			t.Errorf("%s: forged cell passed", inv.Name())
+		}
+		if r.Detail == "" {
+			t.Errorf("%s: forged cell carries no failure detail", inv.Name())
+		}
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	if g, err := ParseGrid("smoke"); err != nil || g != Smoke {
+		t.Errorf("ParseGrid(smoke) = %v, %v", g, err)
+	}
+	if g, err := ParseGrid("full"); err != nil || g != Full {
+		t.Errorf("ParseGrid(full) = %v, %v", g, err)
+	}
+	if _, err := ParseGrid("nightly"); err == nil {
+		t.Error("ParseGrid(nightly) should fail")
+	}
+}
+
+func TestChecks(t *testing.T) {
+	if c := GE("x", 0.97, 0.95); !c.Pass || c.Margin < 0.019 || c.Margin > 0.021 {
+		t.Errorf("GE pass case: %+v", c)
+	}
+	if c := GE("x", 0.90, 0.95); c.Pass || c.Margin >= 0 {
+		t.Errorf("GE fail case: %+v", c)
+	}
+	if c := LE("x", 3, 5); !c.Pass || c.Margin != 2 {
+		t.Errorf("LE pass case: %+v", c)
+	}
+	if c := LE("x", 7, 5); c.Pass || c.Margin != -2 {
+		t.Errorf("LE fail case: %+v", c)
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	v := Run(Smoke, func(name string) bool { return name == "H-Durability" })
+	if len(v.Invariants) != 1 || v.Invariants[0].Name != "H-Durability" {
+		t.Fatalf("filter leaked other invariants: %+v", v.Invariants)
+	}
+	if !v.Pass || v.Cells == 0 {
+		t.Errorf("filtered run: pass=%v cells=%d", v.Pass, v.Cells)
+	}
+}

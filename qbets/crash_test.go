@@ -1,4 +1,4 @@
-package qbets
+package qbets_test
 
 import (
 	"errors"
@@ -9,131 +9,31 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/crashprop"
 	"repro/internal/wal"
+	"repro/qbets"
 )
 
 // TestServiceCrashRecoveryMatchesOracle is the service-level crash-safety
 // property: a service whose observations go through a write-ahead log,
 // killed by a power cut at an arbitrary byte offset, recovers into exactly
 // the state of an oracle service that was fed the surviving record prefix
-// directly. "Exactly" means per-stream observation counts and forecast
-// bounds, not just totals — the replayed history drives the same order
-// statistics the paper's predictor computes.
+// directly. The trial — workload, crash, recovery, oracle comparison —
+// lives in internal/crashprop, shared verbatim with the H-Durability
+// hypothesis grid (internal/hypo), so this tier and that one can never
+// disagree about what the property means. Here it runs the historical
+// 100 random trials, alternating sync policies.
 func TestServiceCrashRecoveryMatchesOracle(t *testing.T) {
 	const trials = 100
-	queues := []string{"normal", "high", "low", "debug"}
 	for trial := 0; trial < trials; trial++ {
 		trial := trial
 		t.Run(fmt.Sprintf("trial%03d", trial), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(int64(trial)))
-			fs := wal.NewMemFS()
-
-			perRecordSync := trial%2 == 0
-			opt := wal.Options{FS: fs, SegmentBytes: int64(256 + rng.Intn(4096))}
-			if perRecordSync {
-				opt.Mode = wal.SyncEachRecord
-			} else {
-				opt.Mode = wal.SyncOff
+			cfg := crashprop.TrialConfig{Seed: int64(trial), Mode: wal.SyncOff}
+			if trial%2 == 0 {
+				cfg.Mode = wal.SyncEachRecord
 			}
-			w, err := wal.Open("wal", opt)
-			if err != nil {
+			if _, err := crashprop.RunTrial(cfg); err != nil {
 				t.Fatal(err)
-			}
-			svc := NewService(false, WithSeed(1))
-			if _, err := svc.RecoverWAL(w); err != nil {
-				t.Fatal(err)
-			}
-
-			// Random workload mixing single observes and batches (the crash
-			// can land mid-batch-frame); acked tracks the prefix the sync
-			// policy has made durable — a successful ObserveBatch under
-			// per-record sync acks all of its records.
-			type obsRec struct {
-				queue string
-				wait  float64
-			}
-			n := 50 + rng.Intn(300)
-			appended := make([]obsRec, 0, n)
-			acked := 0
-			for i := 0; i < n; {
-				if rng.Intn(3) == 0 {
-					m := 1 + rng.Intn(12)
-					batch := make([]ObserveRecord, m)
-					for j := range batch {
-						batch[j] = ObserveRecord{
-							Queue:       queues[rng.Intn(len(queues))],
-							Procs:       1,
-							WaitSeconds: rng.ExpFloat64() * 600,
-						}
-					}
-					if applied, err := svc.ObserveBatch(batch); err != nil || applied != m {
-						t.Fatalf("batch at %d: applied %d, %v", i, applied, err)
-					}
-					for _, r := range batch {
-						appended = append(appended, obsRec{r.Queue, r.WaitSeconds})
-					}
-					i += m
-				} else {
-					q := queues[rng.Intn(len(queues))]
-					wait := rng.ExpFloat64() * 600
-					if err := svc.Observe(q, 1, wait); err != nil {
-						t.Fatalf("observe %d: %v", i, err)
-					}
-					appended = append(appended, obsRec{q, wait})
-					i++
-				}
-				if perRecordSync {
-					acked = len(appended)
-				}
-			}
-
-			// Power cut: only the synced prefix plus a random sliver of
-			// unsynced bytes (possibly bit-flipped) survives.
-			fs.Crash(rng)
-
-			// Recover into a fresh service.
-			w2, err := wal.Open("wal", wal.Options{FS: fs})
-			if err != nil {
-				t.Fatal(err)
-			}
-			recovered := NewService(false, WithSeed(1))
-			stats, err := recovered.RecoverWAL(w2)
-			if err != nil {
-				t.Fatalf("recovery must never fail on a crashed log: %v", err)
-			}
-			if stats.Records < acked {
-				t.Fatalf("replayed %d records, but %d were acked durable", stats.Records, acked)
-			}
-			if stats.Records > len(appended) {
-				t.Fatalf("replayed %d records, only %d were observed", stats.Records, len(appended))
-			}
-
-			// Oracle: a never-crashed service fed the surviving prefix
-			// directly, with the same seed so stream RNG assignment matches.
-			oracle := NewService(false, WithSeed(1))
-			for _, r := range appended[:stats.Records] {
-				if err := oracle.Observe(r.queue, 1, r.wait); err != nil {
-					t.Fatal(err)
-				}
-			}
-			if got, want := recovered.NumStreams(), oracle.NumStreams(); got != want {
-				t.Fatalf("recovered %d streams, oracle has %d", got, want)
-			}
-			for _, q := range queues {
-				gotN, wantN := recovered.Observations(q, 1), oracle.Observations(q, 1)
-				if gotN != wantN {
-					t.Fatalf("queue %s: recovered %d observations, oracle %d", q, gotN, wantN)
-				}
-				gotB, gotOK := recovered.Forecast(q, 1)
-				wantB, wantOK := oracle.Forecast(q, 1)
-				if gotOK != wantOK || gotB != wantB {
-					t.Fatalf("queue %s: recovered bound (%g,%v), oracle (%g,%v)", q, gotB, gotOK, wantB, wantOK)
-				}
-			}
-
-			// The recovered service keeps serving: appends resume cleanly.
-			if err := recovered.Observe("post", 1, 1); err != nil {
-				t.Fatalf("post-recovery observe: %v", err)
 			}
 		})
 	}
@@ -156,11 +56,11 @@ func TestCrashRecoverySnapshotPlusLogTail(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc := NewService(false, WithSeed(1))
+		svc := qbets.NewService(false, qbets.WithSeed(1))
 		if _, err := svc.RecoverWAL(w); err != nil {
 			t.Fatal(err)
 		}
-		oracle := NewService(false, WithSeed(1))
+		oracle := qbets.NewService(false, qbets.WithSeed(1))
 
 		queues := []string{"normal", "high"}
 		observe := func(k int) {
@@ -184,7 +84,7 @@ func TestCrashRecoverySnapshotPlusLogTail(t *testing.T) {
 
 		// Crash: the process dies. SyncEachRecord means every observe above
 		// is on disk; a second snapshot never happens.
-		restored, err := LoadServiceFile(statePath, false, WithSeed(1))
+		restored, err := qbets.LoadServiceFile(statePath, false, qbets.WithSeed(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +119,7 @@ func TestSaveFileCompactsWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := NewService(false, WithSeed(1))
+	svc := qbets.NewService(false, qbets.WithSeed(1))
 	if _, err := svc.RecoverWAL(w); err != nil {
 		t.Fatal(err)
 	}
@@ -268,15 +168,15 @@ func TestQuarantineStateFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadServiceFile(path, false); !errors.Is(err, ErrCorruptState) {
+	if _, err := qbets.LoadServiceFile(path, false); !errors.Is(err, qbets.ErrCorruptState) {
 		t.Fatalf("corrupt state file: err = %v, want ErrCorruptState (it gates quarantine)", err)
 	}
 	// An I/O failure is not corruption: the startup path must fail fast on
 	// it instead of quarantining a possibly intact file.
-	if _, err := LoadServiceFile(dir, false); err == nil || errors.Is(err, ErrCorruptState) {
+	if _, err := qbets.LoadServiceFile(dir, false); err == nil || errors.Is(err, qbets.ErrCorruptState) {
 		t.Fatalf("read error misclassified as corruption: %v", err)
 	}
-	qpath, err := QuarantineStateFile(path)
+	qpath, err := qbets.QuarantineStateFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +201,7 @@ func TestServiceReadOnlyDegradation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := NewService(false, WithSeed(1))
+	svc := qbets.NewService(false, qbets.WithSeed(1))
 	if _, err := svc.RecoverWAL(w); err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +213,7 @@ func TestServiceReadOnlyDegradation(t *testing.T) {
 	preBound, preOK := svc.Forecast("q", 1)
 
 	fs.FailWritesAfter(0, errors.New("disk full"), false)
-	if err := svc.Observe("q", 1, 1); !errors.Is(err, ErrReadOnly) {
+	if err := svc.Observe("q", 1, 1); !errors.Is(err, qbets.ErrReadOnly) {
 		t.Fatalf("observe during write failure: err = %v, want ErrReadOnly", err)
 	}
 	if !svc.ReadOnly() {

@@ -1,0 +1,97 @@
+package qbets
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEvictPreservesHitRateState pins the eviction × hit-rate interaction:
+// the rolling/lifetime hit-rate counters are the paper's live correctness
+// measure (empirical hit fraction vs. the q-quantile bound), and they are
+// deliberately *not* part of the cold blob — they live on the stream
+// struct across evict/rehydrate. A cold round-trip must neither reset nor
+// perturb them: the cold stream must report exactly the pre-eviction
+// stats, and a service that crosses many evict/rehydrate cycles must track
+// a never-evicted oracle's hit accounting and bounds observation for
+// observation.
+func TestEvictPreservesHitRateState(t *testing.T) {
+	svc := NewService(false, WithSeed(1))
+	oracle := NewService(false, WithSeed(1))
+	rng := rand.New(rand.NewSource(7))
+
+	waits := make([]float64, 1500)
+	for i := range waits {
+		waits[i] = rng.ExpFloat64() * 600
+	}
+	feed := func(s *Service, w []float64) {
+		for _, wait := range w {
+			if err := s.Observe("q", 1, wait); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(svc, waits[:1000])
+	feed(oracle, waits[:1000])
+
+	before, ok := svc.StreamStats("q", 1)
+	if !ok {
+		t.Fatal("stream missing")
+	}
+	if before.LifetimeResolved == 0 || before.RollingResolved == 0 {
+		t.Fatalf("test premise broken: no predictions resolved yet: %+v", before)
+	}
+
+	if n := svc.EvictIdle(0); n != 1 {
+		t.Fatalf("evicted %d streams, want 1", n)
+	}
+
+	// Cold reads serve the exact pre-eviction monitoring state.
+	cold, ok := svc.StreamStats("q", 1)
+	if !ok {
+		t.Fatal("cold stream stopped serving stats")
+	}
+	if cold.RollingHitRate != before.RollingHitRate ||
+		cold.RollingResolved != before.RollingResolved ||
+		cold.LifetimeHits != before.LifetimeHits ||
+		cold.LifetimeResolved != before.LifetimeResolved {
+		t.Fatalf("eviction perturbed hit-rate state:\n  before: %+v\n  cold:   %+v", before, cold)
+	}
+
+	// Keep observing across repeated evict/rehydrate cycles; the oracle
+	// never evicts. Every counter that feeds the paper's correctness
+	// story must agree at every step.
+	for i, wait := range waits[1000:] {
+		if i%100 == 50 {
+			svc.EvictIdle(0)
+		}
+		if err := svc.Observe("q", 1, wait); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Observe("q", 1, wait); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok1 := svc.StreamStats("q", 1)
+	want, ok2 := oracle.StreamStats("q", 1)
+	if !ok1 || !ok2 {
+		t.Fatal("stream stats missing after reload")
+	}
+	if got.LifetimeHits != want.LifetimeHits || got.LifetimeResolved != want.LifetimeResolved {
+		t.Fatalf("lifetime hit accounting diverged: evicted (%d/%d) vs oracle (%d/%d)",
+			got.LifetimeHits, got.LifetimeResolved, want.LifetimeHits, want.LifetimeResolved)
+	}
+	if got.RollingHitRate != want.RollingHitRate || got.RollingResolved != want.RollingResolved {
+		t.Fatalf("rolling window diverged: evicted (%g over %d) vs oracle (%g over %d)",
+			got.RollingHitRate, got.RollingResolved, want.RollingHitRate, want.RollingResolved)
+	}
+	if got.RollingResolved != hitRateWindow {
+		t.Fatalf("rolling window not saturated: %d, want %d", got.RollingResolved, hitRateWindow)
+	}
+	if got.BoundSeconds != want.BoundSeconds || got.BoundOK != want.BoundOK {
+		t.Fatalf("bound diverged: evicted (%g,%v) vs oracle (%g,%v)",
+			got.BoundSeconds, got.BoundOK, want.BoundSeconds, want.BoundOK)
+	}
+	if got.Observations != want.Observations {
+		t.Fatalf("observations diverged: %d vs %d", got.Observations, want.Observations)
+	}
+}
