@@ -1,10 +1,10 @@
 # BENCH_JSON is where `make bench` drops its machine-readable results;
 # CI uploads it as an artifact so the perf trajectory is recorded per PR.
 # BENCH_BASELINE is what `make bench-compare` diffs against.
-BENCH_JSON ?= BENCH_PR6.json
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR6.json
 
-.PHONY: build test race crash cover hypo hypo-full bench bench-compare
+.PHONY: build test race crash replication-crash cover hypo hypo-full bench bench-compare
 
 build:
 	go build ./...
@@ -17,6 +17,14 @@ race:
 
 crash:
 	go test -run 'Crash|Trial' -count=5 ./internal/wal/ ./internal/crashprop/ ./qbets/
+
+# replication-crash repeats the replicated-serving fault trials (leader
+# power cut, partition-and-heal, epoch-fenced failover, snapshot
+# catch-up) race-enabled: timing-rich code, so -count=5 -race is the
+# tier that shakes out interleavings a single run would miss.
+replication-crash:
+	go test -count=5 -race ./internal/repl/
+	go test -run 'Crash|Repl' -count=5 -race ./internal/crashprop/
 
 # cover writes a per-package coverage profile and prints the function
 # summary; CI uploads both as the coverage artifact.
@@ -52,7 +60,8 @@ bench:
 	out=$$(mktemp); \
 	go test -run '^$$' -bench PredictionLatency -benchmem . >> $$out; \
 	go test -run '^$$' -bench 'ServiceObserve|ServerObserveBatch' -benchmem ./qbets/ >> $$out; \
-	go test -run '^$$' -bench 'ServiceForecast|ServiceProfile|ServiceReadWhileIngest|ServerForecast' -cpu 1,4 -benchmem ./qbets/ >> $$out; \
+	go test -run '^$$' -bench 'ServiceForecast|ServiceProfile|ServiceReadWhileIngest|ServerForecast|FollowerForecast' -cpu 1,4 -benchmem ./qbets/ >> $$out; \
+	go test -run '^$$' -bench 'ShipThroughput' -benchmem ./internal/repl/ >> $$out; \
 	go test -run '^$$' -bench 'MillionStreams|StreamCreationChurn' -benchtime=1x -timeout 30m ./qbets/ >> $$out; \
 	go run ./cmd/benchjson < $$out > $(BENCH_JSON); \
 	rm -f $$out; \

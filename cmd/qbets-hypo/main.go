@@ -1,5 +1,5 @@
 // Command qbets-hypo runs the hypothesis harness: the repository's named
-// statistical invariants (H-Coverage, H-Trim, H-Durability) evaluated as
+// statistical invariants (H-Coverage, H-Trim, H-Durability, H-FollowerConsistency) evaluated as
 // deterministic pass/fail grids. See hypotheses/README.md.
 //
 // Usage:

@@ -17,6 +17,12 @@
 // confidence) and exposes everything at /metrics in Prometheus text
 // format, optionally on a dedicated listener via -metrics-addr. See
 // docs/OPERATIONS.md for the scrape model and the full metric list.
+//
+// A node can lead or follow a replicated serving plane: -replicate-to
+// ships the WAL to followers, -follow replays a leader's log and serves
+// consistent-prefix reads, and -epoch-dir persists the fencing token
+// that keeps a deposed leader from ever acking again. See the
+// Replication section of docs/OPERATIONS.md.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/repl"
 	"repro/internal/wal"
 	"repro/qbets"
 )
@@ -73,10 +80,30 @@ func main() {
 		maxStreams  = flag.Int("max-streams", 0, "cap on hydrated streams: the longest-idle are evicted past it (0 disables)")
 		logRequests = flag.Bool("log-requests", false, "log every request (method, path, status, duration)")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics listener (requires -metrics-addr)")
+		replicateTo = flag.String("replicate-to", "", "leader mode: listen address for streaming WAL replication to followers (requires -wal and -epoch-dir)")
+		follow      = flag.String("follow", "", "follower mode: leader replication address; this node replays the leader's log and serves reads only")
+		epochDir    = flag.String("epoch-dir", "", "directory persisting the replication epoch (the fencing token); required with -replicate-to or -follow")
+		maxLag      = flag.Uint64("max-follower-lag", 10000, "follower lag bound in records: past it /healthz degrades to 503 until the follower catches up (0 never degrades)")
+		syncRepl    = flag.Bool("sync-replication", false, "leader acks a write only after a follower acknowledged it durable (requires -replicate-to)")
 	)
 	flag.Parse()
 	if *pprofOn && *metricsAddr == "" {
 		log.Fatal("-pprof requires -metrics-addr: profiling endpoints are never exposed on the public listener")
+	}
+	if *replicateTo != "" && *follow != "" {
+		log.Fatal("-replicate-to and -follow are mutually exclusive: a node is a leader or a follower, never both")
+	}
+	if *replicateTo != "" && *walDir == "" {
+		log.Fatal("-replicate-to requires -wal: replication ships the write-ahead log")
+	}
+	if (*replicateTo != "" || *follow != "") && *epochDir == "" {
+		log.Fatal("replication requires -epoch-dir: the persisted epoch is the fencing token that prevents split-brain")
+	}
+	if *follow != "" && *walDir != "" {
+		log.Fatal("-follow and -wal are mutually exclusive: a follower's log of record is the leader's (promote attaches a fresh WAL)")
+	}
+	if *syncRepl && *replicateTo == "" {
+		log.Fatal("-sync-replication requires -replicate-to")
 	}
 
 	server := qbets.NewServer(*byProcs,
@@ -145,6 +172,63 @@ func main() {
 		if *statePath == "" {
 			log.Printf("wal: no -state configured; the log is never compacted and will grow unboundedly")
 		}
+	}
+
+	// Replication wiring. A leader claims a fresh epoch on every startup
+	// (stored+1, persisted before serving) so a restarted ex-leader can
+	// never ack under a stale term; a follower loads the same store so the
+	// highest epoch it has witnessed survives its own restarts.
+	var (
+		replLeader   *repl.Leader
+		replFollower *repl.Follower
+	)
+	if *replicateTo != "" {
+		epochs, err := repl.NewFileEpochStore(*epochDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stored, err := epochs.Load()
+		if err != nil {
+			log.Fatal(err)
+		}
+		epoch := stored + 1
+		if err := epochs.Save(epoch); err != nil {
+			log.Fatal(err)
+		}
+		replLeader = repl.NewLeader(obsLog, server.Service(), repl.LeaderOptions{
+			Epoch: epoch,
+			OnFence: func(e uint64) {
+				log.Printf("repl: fenced by epoch %d; this node will never ack again (restart to rejoin)", e)
+			},
+		})
+		ln, err := repl.TCP{}.Listen(*replicateTo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go replLeader.Serve(ln)
+		if *syncRepl {
+			server.Service().SetCommitHook(replLeader.CommitWait)
+		}
+		server.SetLeaderReplication(replLeader)
+		log.Printf("repl: leading epoch %d on %s (sync-replication %v)", epoch, *replicateTo, *syncRepl)
+	}
+	if *follow != "" {
+		epochs, err := repl.NewFileEpochStore(*epochDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		server.Service().SetFollower(true)
+		replFollower, err = repl.NewFollower(server.Service(), repl.FollowerOptions{
+			Addr:   *follow,
+			Epochs: epochs,
+			MaxLag: *maxLag,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go replFollower.Run()
+		server.SetFollowerReplication(replFollower)
+		log.Printf("repl: following %s (max lag %d records); writes answer 503 + Retry-After", *follow, *maxLag)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -271,6 +355,15 @@ func main() {
 		if err := metricsServer.Shutdown(shutdownCtx); err != nil {
 			log.Printf("metrics shutdown: %v", err)
 		}
+	}
+	// Stop replication before the final save: the leader's sessions hold a
+	// WAL tail reader and the follower's loop applies into the service;
+	// both must quiesce before state is persisted and the WAL closed.
+	if replFollower != nil {
+		replFollower.Close()
+	}
+	if replLeader != nil {
+		replLeader.Close()
 	}
 	if *statePath != "" {
 		if err := saveState(); err != nil {

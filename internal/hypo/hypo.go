@@ -1,6 +1,7 @@
 // Package hypo is the hypothesis harness: it formalizes the repository's
 // statistical correctness claims as named invariants (H-Coverage, H-Trim,
-// H-Durability) evaluated as deterministic pass/fail experiments over a
+// H-Durability, H-FollowerConsistency) evaluated as deterministic
+// pass/fail experiments over a
 // configuration × workload × seed grid, in the style of inference-sim's
 // hypotheses/ experiments. Each invariant registers a runner here; the
 // hypotheses/ directory at the repository root documents each one

@@ -1,0 +1,109 @@
+package repl
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// benchApp is the cheapest possible ReplicaApp: it tracks the applied
+// watermark and discards records, so the benchmark measures the shipping
+// pipeline (tail read, framing, transport, ack) rather than forecast
+// recomputation — qbets has its own apply-cost benchmarks.
+type benchApp struct{ applied atomic.Uint64 }
+
+func (a *benchApp) ReplicaAppliedSeq() uint64 { return a.applied.Load() }
+
+func (a *benchApp) ApplyReplicated(prevSeq uint64, recs []wal.Record) error {
+	if prevSeq > a.applied.Load() {
+		return fmt.Errorf("gap: batch extends %d past applied %d", prevSeq, a.applied.Load())
+	}
+	if last := recs[len(recs)-1].Seq; last > a.applied.Load() {
+		a.applied.Store(last)
+	}
+	return nil
+}
+
+func (a *benchApp) InstallReplicaSnapshot(coveredSeq uint64, blob []byte) error {
+	a.applied.Store(coveredSeq)
+	return nil
+}
+
+type benchSnap struct{ app *benchApp }
+
+func (s benchSnap) ReplicaSnapshot() (uint64, []byte, error) {
+	return s.app.applied.Load(), []byte("{}"), nil
+}
+
+// BenchmarkShipThroughput measures end-to-end replication throughput over
+// the in-memory transport: records appended to a MemFS WAL, tailed and
+// batch-framed by the leader, applied and acked by one follower. The
+// custom metric is records/s at the follower's applied watermark.
+func BenchmarkShipThroughput(b *testing.B) {
+	fs := wal.NewMemFS()
+	w, err := wal.Open("wal", wal.Options{FS: fs, Mode: wal.SyncEachRecord})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Replay(func(wal.Record) {}); err != nil {
+		b.Fatal(err)
+	}
+
+	app := &benchApp{}
+	tr := NewMemTransport()
+	ldr := NewLeader(w, benchSnap{app}, LeaderOptions{Epoch: 1})
+	defer ldr.Close()
+	ln, err := tr.Listen("leader")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go ldr.Serve(ln)
+	fol, err := NewFollower(app, FollowerOptions{Addr: "leader", Transport: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fol.Close()
+	go fol.Run()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !fol.Connected() {
+		if time.Now().After(deadline) {
+			b.Fatal("follower never connected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const chunk = 256
+	recs := make([]wal.Entry, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	appended := uint64(0)
+	for n := 0; n < b.N; n += chunk {
+		m := chunk
+		if rest := b.N - n; rest < m {
+			m = rest
+		}
+		for i := 0; i < m; i++ {
+			recs[i] = wal.Entry{Key: "normal", Wait: float64(10 + i)}
+		}
+		if _, err := w.AppendBatch(recs[:m]); err != nil {
+			b.Fatal(err)
+		}
+		appended += uint64(m)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for app.applied.Load() < appended {
+		if time.Now().After(deadline) {
+			b.Fatalf("follower applied %d of %d", app.applied.Load(), appended)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	b.ReportMetric(float64(appended)/elapsed, "records/s")
+}

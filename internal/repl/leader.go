@@ -1,0 +1,425 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Snapshotter produces the catch-up snapshot a leader sends to a
+// follower whose cursor fell off the retained log: the full serving
+// state plus the log sequence it covers.
+type Snapshotter interface {
+	ReplicaSnapshot() (coveredSeq uint64, blob []byte, err error)
+}
+
+// Leader errors. ErrFenced is permanent: a deposed leader never acks
+// again. ErrCommitTimeout and ErrClosed are per-call.
+var (
+	ErrFenced        = errors.New("repl: leader fenced by a higher epoch")
+	ErrCommitTimeout = errors.New("repl: commit wait timed out")
+	ErrClosed        = errors.New("repl: leader closed")
+)
+
+// LeaderOptions configures a Leader. Epoch is mandatory and fixed for
+// the leader's lifetime — a node claims a new epoch by constructing a
+// new Leader, never by mutating one.
+type LeaderOptions struct {
+	// Epoch is this leadership term's fencing token.
+	Epoch uint64
+	// BatchMax caps records per shipped batch. Default 512.
+	BatchMax int
+	// HeartbeatEvery is how often an idle session pings its follower.
+	// Default 500ms.
+	HeartbeatEvery time.Duration
+	// CommitTimeout bounds CommitWait. Default 5s.
+	CommitTimeout time.Duration
+	// OnFence runs once, when the leader first learns of a higher epoch.
+	OnFence func(epoch uint64)
+}
+
+// Leader ships committed WAL records to every connected follower. Each
+// follower gets its own session goroutine tailing the log independently,
+// so a slow follower never stalls a fast one; acks from any follower
+// advance the shared ack watermark that CommitWait observes.
+type Leader struct {
+	wal *wal.WAL
+	app Snapshotter
+	opt LeaderOptions
+
+	// ackMu guards the commit state. The fence flag is always consulted
+	// before the watermark — see CommitWait.
+	ackMu      sync.Mutex
+	ackCond    *sync.Cond
+	ackSeq     uint64
+	fenced     bool
+	fenceEpoch uint64
+
+	// wake is the current broadcast channel for "the durability watermark
+	// advanced": the pump goroutine swaps in a fresh channel and closes
+	// the old one, waking every idle session at once.
+	wake atomic.Pointer[chan struct{}]
+
+	mu     sync.Mutex
+	ln     Listener
+	conns  map[Conn]struct{}
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	followers  atomic.Int64
+	batches    atomic.Uint64
+	records    atomic.Uint64
+	snapshots  atomic.Uint64
+	heartbeats atomic.Uint64
+	fences     atomic.Uint64
+}
+
+// NewLeader wires a leader to its WAL and snapshot source. Call Serve
+// with a listener to start accepting followers.
+func NewLeader(w *wal.WAL, app Snapshotter, opt LeaderOptions) *Leader {
+	if opt.BatchMax <= 0 {
+		opt.BatchMax = 512
+	}
+	if opt.HeartbeatEvery <= 0 {
+		opt.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if opt.CommitTimeout <= 0 {
+		opt.CommitTimeout = 5 * time.Second
+	}
+	l := &Leader{
+		wal:   w,
+		app:   app,
+		opt:   opt,
+		conns: make(map[Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	l.ackCond = sync.NewCond(&l.ackMu)
+	ch := make(chan struct{})
+	l.wake.Store(&ch)
+	notify := make(chan struct{}, 1)
+	w.NotifySync(notify)
+	l.wg.Add(1)
+	go l.pump(notify)
+	return l
+}
+
+// pump converts the WAL's sync notifications into close-broadcasts on
+// the wake channel, so any number of idle sessions wake per sync without
+// the WAL knowing about them.
+func (l *Leader) pump(notify <-chan struct{}) {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-notify:
+			ch := make(chan struct{})
+			old := l.wake.Swap(&ch)
+			close(*old)
+		}
+	}
+}
+
+// Serve accepts followers until the listener fails (normally: until
+// Close). Run it on its own goroutine.
+func (l *Leader) Serve(ln Listener) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		ln.Close()
+		return
+	}
+	l.ln = ln
+	l.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			c.Close()
+			return
+		}
+		l.conns[c] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go func() {
+			defer l.wg.Done()
+			l.session(c)
+		}()
+	}
+}
+
+// Close stops accepting, severs every session, and waits for them.
+func (l *Leader) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	ln := l.ln
+	conns := make([]Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	close(l.done)
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	l.ackCond.Broadcast()
+	l.wg.Wait()
+}
+
+// CommitWait blocks until some follower has acknowledged applying seq,
+// the commit timeout elapses, or the leader is fenced or closed. The
+// fence is checked before the ack watermark — the same discipline as the
+// WAL group commit checking its segment's failed flag before the synced
+// watermark — so a deposed leader returns ErrFenced even for sequences
+// that were acknowledged before deposition.
+func (l *Leader) CommitWait(seq uint64) error {
+	deadline := time.Now().Add(l.opt.CommitTimeout)
+	t := time.AfterFunc(l.opt.CommitTimeout, l.ackCond.Broadcast)
+	defer t.Stop()
+	l.ackMu.Lock()
+	defer l.ackMu.Unlock()
+	for {
+		if l.fenced {
+			return ErrFenced
+		}
+		if l.ackSeq >= seq {
+			return nil
+		}
+		select {
+		case <-l.done:
+			return ErrClosed
+		default:
+		}
+		if !time.Now().Before(deadline) {
+			return ErrCommitTimeout
+		}
+		l.ackCond.Wait()
+	}
+}
+
+// fence deposes the leader, once.
+func (l *Leader) fence(epoch uint64) {
+	l.ackMu.Lock()
+	already := l.fenced
+	if !already {
+		l.fenced = true
+		l.fenceEpoch = epoch
+	}
+	l.ackMu.Unlock()
+	if already {
+		return
+	}
+	l.fences.Add(1)
+	l.ackCond.Broadcast()
+	if l.opt.OnFence != nil {
+		l.opt.OnFence(epoch)
+	}
+}
+
+func (l *Leader) advanceAck(seq uint64) {
+	l.ackMu.Lock()
+	if seq > l.ackSeq {
+		l.ackSeq = seq
+	}
+	l.ackMu.Unlock()
+	l.ackCond.Broadcast()
+}
+
+// Epoch reports the leader's fencing token.
+func (l *Leader) Epoch() uint64 { return l.opt.Epoch }
+
+// Fenced reports whether a higher epoch has deposed this leader.
+func (l *Leader) Fenced() bool {
+	l.ackMu.Lock()
+	defer l.ackMu.Unlock()
+	return l.fenced
+}
+
+// AckSeq reports the highest follower-acknowledged sequence.
+func (l *Leader) AckSeq() uint64 {
+	l.ackMu.Lock()
+	defer l.ackMu.Unlock()
+	return l.ackSeq
+}
+
+// Followers reports currently connected follower sessions.
+func (l *Leader) Followers() int64 { return l.followers.Load() }
+
+// BatchesSent, RecordsShipped, SnapshotsSent, HeartbeatsSent, and Fences
+// are cumulative counters for the metrics plane.
+func (l *Leader) BatchesSent() uint64    { return l.batches.Load() }
+func (l *Leader) RecordsShipped() uint64 { return l.records.Load() }
+func (l *Leader) SnapshotsSent() uint64  { return l.snapshots.Load() }
+func (l *Leader) HeartbeatsSent() uint64 { return l.heartbeats.Load() }
+func (l *Leader) Fences() uint64         { return l.fences.Load() }
+
+func (l *Leader) send(c Conn, buf []byte, m message) ([]byte, error) {
+	buf = encodeMessage(buf[:0], m)
+	return buf, c.Send(buf)
+}
+
+// session drives one follower: handshake, then ship batches (or a
+// snapshot when the follower's cursor fell off the log), heartbeating
+// when idle, while a receive loop folds acks into the commit watermark.
+func (l *Leader) session(c Conn) {
+	defer func() {
+		c.Close()
+		l.mu.Lock()
+		delete(l.conns, c)
+		l.mu.Unlock()
+	}()
+
+	b, err := c.Recv()
+	if err != nil {
+		return
+	}
+	m, err := decodeMessage(b)
+	if err != nil || m.kind != msgHello {
+		return
+	}
+	var sbuf []byte
+	if m.epoch > l.opt.Epoch {
+		l.fence(m.epoch)
+		l.send(c, sbuf, message{kind: msgReject, epoch: l.opt.Epoch})
+		return
+	}
+	// A follower whose last contact was an older epoch may hold records
+	// the old leader appended but never replicated — past the acked
+	// prefix, so consistency allows them, but its anchors could then
+	// dedup away this term's records. Reset it with a snapshot.
+	needSnap := m.epoch != l.opt.Epoch
+	afterSeq := m.arg
+
+	l.followers.Add(1)
+	defer l.followers.Add(-1)
+
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.recvLoop(c)
+	}()
+
+	tail := l.wal.OpenTail(afterSeq)
+	defer func() { tail.Close() }()
+	if needSnap {
+		if tail, sbuf = l.sendSnapshot(c, tail, sbuf); tail == nil {
+			return
+		}
+	}
+	hb := l.opt.HeartbeatEvery
+	timer := time.NewTimer(hb)
+	defer timer.Stop()
+	var frames []byte
+	for {
+		select {
+		case <-l.done:
+			return
+		default:
+		}
+		// Load the wake channel before reading: a sync that lands between
+		// the read and the wait still wakes us.
+		wake := *l.wake.Load()
+		prev := tail.AfterSeq()
+		upto := l.wal.SyncedSeq()
+		recs, gap, err := tail.Read(upto, l.opt.BatchMax)
+		if err != nil {
+			return
+		}
+		if len(recs) == 0 && !gap && tail.AfterSeq() < upto {
+			// Durable records the cursor needs are not readable from the
+			// log — compacted away before this follower got them (the
+			// tail reader itself only notices once a later frame appears).
+			gap = true
+		}
+		if gap {
+			if tail, sbuf = l.sendSnapshot(c, tail, sbuf); tail == nil {
+				return
+			}
+			continue
+		}
+		if len(recs) > 0 {
+			frames = wal.EncodeFrames(frames[:0], recs)
+			if sbuf, err = l.send(c, sbuf, message{kind: msgBatch, epoch: l.opt.Epoch, arg: prev, payload: frames}); err != nil {
+				return
+			}
+			l.batches.Add(1)
+			l.records.Add(uint64(len(recs)))
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(hb)
+		select {
+		case <-l.done:
+			return
+		case <-wake:
+		case <-timer.C:
+			if sbuf, err = l.send(c, sbuf, message{kind: msgHeartbeat, epoch: l.opt.Epoch, arg: l.wal.SyncedSeq()}); err != nil {
+				return
+			}
+			l.heartbeats.Add(1)
+		}
+	}
+}
+
+// sendSnapshot ships a full-state snapshot and returns a fresh tail
+// positioned at its covered sequence. A nil tail means the session is
+// over (snapshot or send failed); the passed-in tail is always closed.
+func (l *Leader) sendSnapshot(c Conn, tail *wal.TailReader, sbuf []byte) (*wal.TailReader, []byte) {
+	tail.Close()
+	covered, blob, err := l.app.ReplicaSnapshot()
+	if err != nil {
+		return nil, sbuf
+	}
+	if sbuf, err = l.send(c, sbuf, message{kind: msgSnapshot, epoch: l.opt.Epoch, arg: covered, payload: blob}); err != nil {
+		return nil, sbuf
+	}
+	l.snapshots.Add(1)
+	return l.wal.OpenTail(covered), sbuf
+}
+
+// recvLoop folds follower messages into leader state until the
+// connection dies. Any message carrying a higher epoch fences the
+// leader and kills the session.
+func (l *Leader) recvLoop(c Conn) {
+	defer c.Close()
+	for {
+		b, err := c.Recv()
+		if err != nil {
+			return
+		}
+		m, err := decodeMessage(b)
+		if err != nil {
+			return
+		}
+		if m.epoch > l.opt.Epoch {
+			l.fence(m.epoch)
+			return
+		}
+		switch m.kind {
+		case msgAck:
+			l.advanceAck(m.arg)
+		case msgReject:
+			return
+		}
+	}
+}

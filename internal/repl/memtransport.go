@@ -1,0 +1,230 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemTransport is the in-memory fault-injection transport: the
+// replication-plane counterpart of wal.MemFS. It carries whole messages
+// between endpoints in-process and can
+//
+//   - Partition: refuse new dials (the network is down for connection
+//     establishment);
+//   - Sever: break every live connection at once (both ends observe
+//     errors, as a routing flap or middlebox reset would deliver);
+//   - SetDelay: hold each message for a fixed latency before delivery;
+//   - SetReorder: probabilistically swap adjacent queued messages, so the
+//     protocol's prefix-continuity guard is exercised, not just trusted.
+//
+// crashprop drives power-cut-plus-partition trials through it with a
+// seeded RNG, so a trial's fault schedule is reproducible.
+type MemTransport struct {
+	mu          sync.Mutex
+	listeners   map[string]*memListener
+	endpoints   []*memConn
+	partitioned bool
+	delay       time.Duration
+	reorderProb float64
+	rng         *rand.Rand
+}
+
+// NewMemTransport returns a transport with no faults armed.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{listeners: make(map[string]*memListener)}
+}
+
+// Partition makes every new Dial fail while on; existing connections are
+// untouched (use Sever for those).
+func (t *MemTransport) Partition(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partitioned = on
+}
+
+// Sever breaks every live connection: pending undelivered messages are
+// dropped and both ends' Send/Recv fail. Combine with Partition(true) to
+// model a full network partition.
+func (t *MemTransport) Sever() {
+	t.mu.Lock()
+	eps := append([]*memConn(nil), t.endpoints...)
+	t.endpoints = t.endpoints[:0]
+	t.mu.Unlock()
+	for _, c := range eps {
+		c.in.close(true)
+		c.out.close(true)
+	}
+}
+
+// SetDelay holds every subsequently sent message for d before delivery.
+func (t *MemTransport) SetDelay(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delay = d
+}
+
+// SetReorder makes each subsequent send swap with the previous queued
+// message with probability p, drawn from rng (which the transport then
+// owns — do not share it concurrently).
+func (t *MemTransport) SetReorder(p float64, rng *rand.Rand) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reorderProb, t.rng = p, rng
+}
+
+func (t *MemTransport) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("memtransport: %s already listening", addr)
+	}
+	l := &memListener{t: t, addr: addr, pending: make(chan *memConn, 16), done: make(chan struct{})}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+func (t *MemTransport) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	if t.partitioned {
+		t.mu.Unlock()
+		return nil, errors.New("memtransport: network partitioned")
+	}
+	l := t.listeners[addr]
+	t.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("memtransport: %s: connection refused", addr)
+	}
+	ab, ba := newMemQueue(), newMemQueue()
+	client := &memConn{t: t, in: ba, out: ab}
+	server := &memConn{t: t, in: ab, out: ba}
+	t.mu.Lock()
+	t.endpoints = append(t.endpoints, client, server)
+	t.mu.Unlock()
+	select {
+	case l.pending <- server:
+	case <-l.done:
+		return nil, fmt.Errorf("memtransport: %s: connection refused", addr)
+	}
+	return client, nil
+}
+
+type memListener struct {
+	t       *MemTransport
+	addr    string
+	pending chan *memConn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.pending:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("memtransport: listener closed")
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.t.mu.Lock()
+		delete(l.t.listeners, l.addr)
+		l.t.mu.Unlock()
+	})
+	return nil
+}
+
+type memConn struct {
+	t   *MemTransport
+	in  *memQueue
+	out *memQueue
+}
+
+func (c *memConn) Send(b []byte) error {
+	c.t.mu.Lock()
+	delay := c.t.delay
+	reorder := c.t.reorderProb > 0 && c.t.rng != nil && c.t.rng.Float64() < c.t.reorderProb
+	c.t.mu.Unlock()
+	return c.out.send(append([]byte(nil), b...), time.Now().Add(delay), reorder)
+}
+
+func (c *memConn) Recv() ([]byte, error) { return c.in.recv() }
+
+func (c *memConn) Close() error {
+	c.in.close(false)
+	c.out.close(false)
+	return nil
+}
+
+type memMsg struct {
+	b  []byte
+	at time.Time // earliest delivery time
+}
+
+type memQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []memMsg
+	closed bool
+}
+
+func newMemQueue() *memQueue {
+	q := &memQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *memQueue) send(b []byte, at time.Time, reorder bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("memtransport: connection severed")
+	}
+	q.msgs = append(q.msgs, memMsg{b: b, at: at})
+	if reorder && len(q.msgs) >= 2 {
+		n := len(q.msgs)
+		q.msgs[n-1], q.msgs[n-2] = q.msgs[n-2], q.msgs[n-1]
+	}
+	q.cond.Broadcast()
+	return nil
+}
+
+func (q *memQueue) recv() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.msgs) > 0 {
+			if d := time.Until(q.msgs[0].at); d > 0 {
+				// Delivery delay: wake ourselves when the head matures.
+				timer := time.AfterFunc(d, q.cond.Broadcast)
+				q.cond.Wait()
+				timer.Stop()
+				continue
+			}
+			m := q.msgs[0]
+			q.msgs = q.msgs[1:]
+			return m.b, nil
+		}
+		if q.closed {
+			return nil, errors.New("memtransport: connection closed")
+		}
+		q.cond.Wait()
+	}
+}
+
+// close shuts the queue down. drop=true (Sever) discards queued messages
+// so they are lost in flight; drop=false (graceful Close) lets the
+// receiver drain what was already sent.
+func (q *memQueue) close(drop bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	if drop {
+		q.msgs = nil
+	}
+	q.cond.Broadcast()
+}

@@ -1,0 +1,61 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol messages. Every message carries the sender's epoch — fencing
+// is a property of the whole conversation, not a handshake — plus one
+// kind-specific operand and an optional payload:
+//
+//	hello      follower → leader   arg = follower's applied sequence
+//	snapshot   leader → follower   arg = covered sequence, payload = state blob
+//	batch      leader → follower   arg = prevSeq (the sequence this batch
+//	                               extends), payload = CRC-framed WAL records
+//	heartbeat  leader → follower   arg = leader's durability watermark
+//	ack        follower → leader   arg = follower's applied sequence
+//	reject     either direction    sender refuses the peer's epoch
+//
+// prevSeq is what makes a drop/reorder-capable transport safe: a follower
+// accepts a batch only if it extends (or overlaps) its applied prefix;
+// anything else forces a reconnect, and the hello renegotiates position.
+const (
+	msgHello byte = iota + 1
+	msgSnapshot
+	msgBatch
+	msgHeartbeat
+	msgAck
+	msgReject
+)
+
+const msgHeaderLen = 1 + 8 + 8
+
+type message struct {
+	kind    byte
+	epoch   uint64
+	arg     uint64
+	payload []byte
+}
+
+func encodeMessage(buf []byte, m message) []byte {
+	buf = append(buf, m.kind)
+	buf = binary.LittleEndian.AppendUint64(buf, m.epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, m.arg)
+	return append(buf, m.payload...)
+}
+
+func decodeMessage(b []byte) (message, error) {
+	var m message
+	if len(b) < msgHeaderLen {
+		return m, fmt.Errorf("repl: message of %d bytes is shorter than the header", len(b))
+	}
+	m.kind = b[0]
+	if m.kind < msgHello || m.kind > msgReject {
+		return m, fmt.Errorf("repl: unknown message kind %d", m.kind)
+	}
+	m.epoch = binary.LittleEndian.Uint64(b[1:9])
+	m.arg = binary.LittleEndian.Uint64(b[9:17])
+	m.payload = b[msgHeaderLen:]
+	return m, nil
+}

@@ -1,7 +1,6 @@
 package wal
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +30,13 @@ type MemFS struct {
 type memFile struct {
 	data   []byte
 	synced int
+	// dirSynced records whether the file's directory entry has been made
+	// durable (SyncDir on its parent). A file created but never dir-synced
+	// is dropped whole by Crash: fsyncing record bytes is worthless if the
+	// power cut forgets the file was ever linked. This is the simulator
+	// side of the directory-fsync fix — without it, a WAL that skipped
+	// SyncDir would still pass every crash trial.
+	dirSynced bool
 }
 
 // NewMemFS returns an empty in-memory filesystem.
@@ -58,7 +64,11 @@ func (m *MemFS) Open(name string) (io.ReadCloser, error) {
 	if f == nil {
 		return nil, fmt.Errorf("memfs: open %s: file does not exist", name)
 	}
-	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.data...))), nil
+	// A live positional reader, like an OS file: bytes appended after the
+	// open become visible to later reads (EOF is not sticky), which is what
+	// a replication tail following the active segment relies on. The handle
+	// goes stale on Crash and errors if the file is removed under it.
+	return &memReader{fs: m, f: f, name: name, gen: m.gen}, nil
 }
 
 func (m *MemFS) Remove(name string) error {
@@ -71,10 +81,21 @@ func (m *MemFS) Remove(name string) error {
 	return nil
 }
 
-// SyncDir is a no-op: MemFS models per-file sync state only, treating
-// directory entries as durable at creation. (Directory-entry loss is the
-// real-disk failure mode OSFS.SyncDir exists to close.)
-func (m *MemFS) SyncDir(string) error { return nil }
+// SyncDir makes dir's entries durable: every file under dir survives a
+// Crash as an entry (its bytes still governed by per-file sync state).
+// Files created but never dir-synced are dropped whole by Crash — the
+// real-disk failure mode OSFS.SyncDir exists to close.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clean := filepath.Clean(dir)
+	for name, f := range m.files {
+		if filepath.Dir(name) == clean {
+			f.dirSynced = true
+		}
+	}
+	return nil
+}
 
 func (m *MemFS) List(dir string) ([]string, error) {
 	m.mu.Lock()
@@ -100,7 +121,13 @@ func (m *MemFS) Crash(rng *rand.Rand) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.gen++
-	for _, f := range m.files {
+	for name, f := range m.files {
+		if !f.dirSynced {
+			// Created but the directory entry never made durable: the
+			// reboot has no record the file existed.
+			delete(m.files, name)
+			continue
+		}
 		if len(f.data) > f.synced {
 			keep := f.synced + rng.Intn(len(f.data)-f.synced+1)
 			if keep > f.synced && rng.Intn(2) == 0 {
@@ -117,13 +144,15 @@ func (m *MemFS) Crash(rng *rand.Rand) {
 // TornAppend writes raw bytes to a file without marking them synced — the
 // shape of an append that was in flight when the power failed. Combine
 // with Crash to produce torn tails even when the WAL itself syncs every
-// record.
+// record. A file TornAppend creates gets a durable directory entry (the
+// scenario modeled is data in flight to a file that exists, not an
+// unlinked file).
 func (m *MemFS) TornAppend(name string, b []byte) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	f := m.files[name]
 	if f == nil {
-		f = &memFile{}
+		f = &memFile{dirSynced: true}
 		m.files[name] = f
 	}
 	f.data = append(f.data, b...)
@@ -158,6 +187,37 @@ func (h *memHandle) Sync() error {
 }
 
 func (h *memHandle) Close() error { return nil }
+
+// memReader is the read side of a MemFS file: positional, live (appends
+// after the open are visible), stale after Crash, and erroring if the
+// file is removed under it — the failure a tail shipper must treat as
+// "the log can no longer supply this data".
+type memReader struct {
+	fs   *MemFS
+	f    *memFile
+	name string
+	gen  int
+	off  int
+}
+
+func (r *memReader) Read(p []byte) (int, error) {
+	r.fs.mu.Lock()
+	defer r.fs.mu.Unlock()
+	if r.gen != r.fs.gen {
+		return 0, errStaleHandle
+	}
+	if r.fs.files[r.name] != r.f {
+		return 0, fmt.Errorf("memfs: read %s: file does not exist", r.name)
+	}
+	if r.off >= len(r.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.f.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *memReader) Close() error { return nil }
 
 // FaultFS wraps another FS and injects write and sync failures, for
 // testing how callers degrade when the log becomes unwritable (disk full,

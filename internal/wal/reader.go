@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"path/filepath"
+	"time"
+)
+
+// This file is the shipping side of the WAL: everything replication needs
+// to read committed records back out of a live log. The writer half
+// (wal.go) appends and syncs; a TailReader follows behind, returning only
+// records at or below the durability watermark, so a leader never ships a
+// record it has not acked durable. Frames on the wire reuse the exact
+// on-disk encoding (EncodeFrames/DecodeFrames), CRC and all.
+
+// SyncedSeq returns the durability watermark: every sequence number at or
+// below it has been flushed and fsynced by a successful sync. It is safe
+// to call concurrently with appends.
+func (w *WAL) SyncedSeq() uint64 { return w.syncedSeq.Load() }
+
+// AdvanceSeq moves the next sequence number past seq, if it is not already.
+// A follower promoted to leader calls this after attaching a fresh WAL:
+// its in-memory streams carry sequence anchors from the old leader's log,
+// and new appends must land above them or recovery would dedup them away.
+func (w *WAL) AdvanceSeq(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if seq+1 > w.nextSeq {
+		w.nextSeq = seq + 1
+	}
+}
+
+// NotifySync registers ch to receive a non-blocking signal whenever the
+// durability watermark advances. A shipper blocked waiting for new
+// committed records selects on it instead of polling; because the send is
+// non-blocking, a slow receiver coalesces wakeups rather than stalling a
+// sync.
+func (w *WAL) NotifySync(ch chan<- struct{}) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.notify = append(w.notify, ch)
+}
+
+func (w *WAL) notifySyncLocked() {
+	for _, ch := range w.notify {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// SyncProbeInterval reports how long a caller should expect to wait for
+// the log to retry durability after a failure: the background sync (and
+// recovery probe) period under SyncInterval, 0 under the other modes,
+// where the next append itself is the retry.
+func (w *WAL) SyncProbeInterval() time.Duration {
+	if w.opt.Mode == SyncInterval {
+		return w.opt.Interval
+	}
+	return 0
+}
+
+// EncodeFrames appends the CRC-framed on-disk encoding of recs to buf and
+// returns the extended slice. It is the wire format for shipped batches:
+// a follower replays exactly the bytes the leader's log holds. Keys must
+// respect MaxKeyLen (records read back out of a log always do).
+func EncodeFrames(buf []byte, recs []Record) []byte {
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	return buf
+}
+
+// DecodeFrames decodes a buffer holding complete frames back into records.
+// Unlike replay, which tolerates torn tails, this is strict: a shipped
+// batch travels over a checksummed transport, so any invalid or truncated
+// frame is an error, never silently dropped.
+func DecodeFrames(b []byte) ([]Record, error) {
+	var recs []Record
+	for len(b) > 0 {
+		r, n, err := decodeFrame(b)
+		if err != nil {
+			return nil, fmt.Errorf("wal: decode frames: %w", err)
+		}
+		recs = append(recs, r)
+		b = b[n:]
+	}
+	return recs, nil
+}
+
+// errShortFrame reports a buffer holding only a prefix of a frame: read
+// more bytes and retry. It is distinct from corruption — but a tail
+// reader treats both the same way Replay does (end of this segment's
+// recoverable prefix).
+var errShortFrame = fmt.Errorf("wal: short frame")
+
+// decodeFrame decodes one frame from the front of b, returning the record
+// and the full frame size. It is the slice-based twin of readRecord.
+func decodeFrame(b []byte) (Record, int, error) {
+	var r Record
+	if len(b) < frameHeaderLen {
+		return r, 0, errShortFrame
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[:4]))
+	crc := binary.LittleEndian.Uint32(b[4:8])
+	if payloadLen < recordFixedLen || payloadLen > recordFixedLen+MaxKeyLen {
+		return r, 0, fmt.Errorf("%w: payload length %d", errCorrupt, payloadLen)
+	}
+	n := frameHeaderLen + payloadLen
+	if len(b) < n {
+		return r, 0, errShortFrame
+	}
+	payload := b[frameHeaderLen:n]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return r, 0, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	keyLen := int(binary.LittleEndian.Uint16(payload[24:26]))
+	if recordFixedLen+keyLen != payloadLen {
+		return r, 0, fmt.Errorf("%w: key length %d disagrees with payload length %d", errCorrupt, keyLen, payloadLen)
+	}
+	r.Seq = binary.LittleEndian.Uint64(payload[0:8])
+	r.UnixNanos = int64(binary.LittleEndian.Uint64(payload[8:16]))
+	r.Wait = math.Float64frombits(binary.LittleEndian.Uint64(payload[16:24]))
+	r.Key = string(payload[26 : 26+keyLen])
+	return r, n, nil
+}
+
+// TailReader reads committed records back out of a live WAL directory, in
+// sequence order, resuming where it left off across calls. It holds no
+// WAL locks: it works from the segment files through the same FS the
+// writer uses, so a leader's shipper and a fault-injected trial read the
+// log identically. Not safe for concurrent use; one reader per follower.
+//
+// Torn or invalid tails are handled exactly as Replay handles them: a
+// rotated-away segment whose tail does not decode contributes its valid
+// prefix and the rest is skipped (those records were never acked — the
+// watermark cannot cover a frame that failed to sync). On the newest
+// segment the same condition just means the writer has not flushed the
+// rest yet, so the reader stops and picks up on the next call.
+type TailReader struct {
+	fs       FS
+	dir      string
+	afterSeq uint64        // every record at or below this was already returned
+	seg      uint64        // segment the cursor is on; 0 = not positioned yet
+	rc       io.ReadCloser // open handle on seg
+	buf      []byte        // bytes read from seg but not yet consumed
+	sawMagic bool          // seg's header has been validated
+	sawFirst bool          // head-of-log gap check has run
+}
+
+// OpenTail returns a reader positioned after afterSeq: the first call to
+// Read returns records starting at the lowest retained sequence number
+// above it. afterSeq 0 reads the log from its head.
+func (w *WAL) OpenTail(afterSeq uint64) *TailReader {
+	return &TailReader{fs: w.opt.FS, dir: w.dir, afterSeq: afterSeq}
+}
+
+// AfterSeq reports the reader's cursor: the highest sequence number
+// already returned (or the OpenTail starting point).
+func (t *TailReader) AfterSeq() uint64 { return t.afterSeq }
+
+// Close releases the reader's open segment handle. Safe on a nil
+// reader, so "session over" paths can close unconditionally.
+func (t *TailReader) Close() {
+	if t == nil {
+		return
+	}
+	if t.rc != nil {
+		t.rc.Close()
+		t.rc = nil
+	}
+}
+
+func (t *TailReader) closeSeg() {
+	t.Close()
+	t.buf = t.buf[:0]
+	t.sawMagic = false
+}
+
+// Read returns up to max records with afterSeq < seq <= uptoSeq, advancing
+// the cursor past them. Callers pass the WAL's SyncedSeq as uptoSeq so
+// only acked-durable records ship. An empty result with nil error means
+// nothing new is committed yet — wait and call again.
+//
+// gap=true means the log can no longer supply the records the cursor
+// needs: compaction removed segments past the cursor (a new or lagging
+// follower outrun by snapshot+truncate). The reader is then exhausted;
+// the caller must fall back to a snapshot and open a fresh tail.
+func (t *TailReader) Read(uptoSeq uint64, max int) (recs []Record, gap bool, err error) {
+	if max <= 0 || uptoSeq <= t.afterSeq {
+		return nil, false, nil
+	}
+	for {
+		if t.rc == nil {
+			ok, gap, err := t.openNext()
+			if !ok || gap || err != nil {
+				return recs, gap, err
+			}
+		}
+		// Pull everything the segment currently holds past our position.
+		chunk, rerr := io.ReadAll(t.rc)
+		t.buf = append(t.buf, chunk...)
+		if rerr != nil {
+			// The handle went bad under us — on MemFS a compacted-away
+			// segment or a crash; either way the unshipped remainder is no
+			// longer reachable from the log.
+			t.closeSeg()
+			return recs, true, nil
+		}
+		if !t.sawMagic {
+			if len(t.buf) < len(segMagic) || string(t.buf[:len(segMagic)]) != segMagic {
+				// Header missing or torn: not yet flushed if this is the
+				// live head, otherwise skipped exactly as Replay drops a
+				// headerless segment.
+				if !t.advancePastSegment() {
+					return recs, false, nil
+				}
+				continue
+			}
+			t.buf = t.buf[len(segMagic):]
+			t.sawMagic = true
+		}
+		for {
+			rec, n, derr := decodeFrame(t.buf)
+			if derr != nil {
+				// Incomplete or invalid frame: live tail not yet flushed, or
+				// a torn tail on a rotated-away segment (skip it — Replay
+				// truncates the same bytes, and the watermark never covers a
+				// frame whose sync failed).
+				if !t.advancePastSegment() {
+					return recs, false, nil
+				}
+				break
+			}
+			if !t.sawFirst {
+				t.sawFirst = true
+				if rec.Seq > t.afterSeq+1 {
+					// The retained log starts past the cursor: compaction
+					// already removed records the caller still needs.
+					return recs, true, nil
+				}
+			}
+			if rec.Seq > uptoSeq {
+				// Beyond the durability watermark: leave the frame buffered
+				// for the next call.
+				return recs, false, nil
+			}
+			t.buf = t.buf[n:]
+			if rec.Seq > t.afterSeq {
+				t.afterSeq = rec.Seq
+				recs = append(recs, rec)
+				if len(recs) >= max {
+					return recs, false, nil
+				}
+			}
+		}
+	}
+}
+
+// advancePastSegment moves the cursor off the current segment if a newer
+// one exists (rotated segments never grow, so whatever did not decode
+// never will). It reports false when the current segment is the newest —
+// the live tail — and the caller should poll again later.
+func (t *TailReader) advancePastSegment() bool {
+	indices, err := listSegments(t.fs, t.dir)
+	if err != nil {
+		return false
+	}
+	for _, idx := range indices {
+		if idx > t.seg {
+			t.closeSeg()
+			return true
+		}
+	}
+	return false
+}
+
+// openNext opens the lowest retained segment above the one the cursor
+// finished (or the head of the log on first use). ok=false means there is
+// nothing to open yet. gap=true means a segment the cursor needed was
+// compacted away before it got there.
+func (t *TailReader) openNext() (ok, gap bool, err error) {
+	indices, err := listSegments(t.fs, t.dir)
+	if err != nil {
+		return false, false, err
+	}
+	var next uint64
+	for _, idx := range indices {
+		if idx > t.seg {
+			next = idx
+			break
+		}
+	}
+	if next == 0 {
+		return false, false, nil
+	}
+	if t.seg != 0 && next != t.seg+1 {
+		// Segment indices are assigned consecutively, so a hole above a
+		// finished segment means everything in between was compacted away
+		// unshipped.
+		return false, true, nil
+	}
+	rc, oerr := t.fs.Open(filepath.Join(t.dir, segName(next)))
+	if oerr != nil {
+		// Listed a moment ago but gone now: racing compaction.
+		return false, true, nil
+	}
+	t.seg, t.rc, t.buf, t.sawMagic = next, rc, t.buf[:0], false
+	return true, false, nil
+}

@@ -134,6 +134,10 @@ type WAL struct {
 	// abandoned and a fresh one syncs past the lost sequence numbers).
 	syncedSeq atomic.Uint64
 
+	// notify holds channels registered via NotifySync; each gets a
+	// non-blocking signal when the durability watermark advances.
+	notify []chan<- struct{}
+
 	// gc coordinates group commit (SyncEachRecord + Options.GroupCommit):
 	// at most one leader fsyncs at a time; followers wait on cond and
 	// re-check the watermark and their segment's failed flag on each wake.
@@ -561,6 +565,7 @@ func (w *WAL) commit(last uint64, seg *segment) error {
 					w.syncedSeq.Store(cover)
 				}
 				w.coarseNow.Store(time.Now().UnixNano())
+				w.notifySyncLocked()
 				if w.active == seg && seg.size >= w.opt.SegmentBytes {
 					// A failed rotation poisons the segment (rotateLocked
 					// marks it) but not this commit: everything covered by
@@ -731,6 +736,7 @@ func (w *WAL) syncLocked() error {
 	// under w.mu, which we hold): publish the group-commit watermark.
 	w.syncedSeq.Store(w.nextSeq - 1)
 	w.coarseNow.Store(time.Now().UnixNano())
+	w.notifySyncLocked()
 	return nil
 }
 

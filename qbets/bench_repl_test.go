@@ -1,0 +1,22 @@
+package qbets
+
+import "testing"
+
+// BenchmarkFollowerForecast measures the follower read path: the same
+// lock-free snapshot serve as on the leader, with the role gate flipped.
+// The number on record proves consistent-prefix follower reads pay
+// nothing for the role — the gate is one atomic load on the write path
+// and absent from the read path entirely.
+func BenchmarkFollowerForecast(b *testing.B) {
+	svc := prewarmReadService(b)
+	svc.SetFollower(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, ok := svc.Forecast("normal", 1); !ok {
+				b.Fatal("no forecast")
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -68,6 +69,10 @@ type Server struct {
 	// not pay twice for the same pair.
 	reqCountersMu sync.RWMutex
 	reqCounters   map[reqCounterKey]*obs.Counter
+
+	// repl is the replication role, installed by SetLeaderReplication or
+	// SetFollowerReplication (serverrepl.go); nil on an unreplicated node.
+	repl atomic.Pointer[replState]
 }
 
 type reqCounterKey struct {
@@ -298,7 +303,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/healthz":
 		endpoint = "healthz"
 		sw.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(sw, "ok")
+		// A replicated node reports unhealthy when its role is degraded —
+		// a fenced ex-leader must stop taking writes, a follower lagging
+		// past its bound must stop serving stale reads — so a balancer
+		// drains it until replication recovers.
+		if rs := s.repl.Load(); rs != nil && rs.degraded != nil && rs.degraded() {
+			sw.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			sw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(sw, "degraded: %s replication\n", rs.role)
+		} else {
+			fmt.Fprintln(sw, "ok")
+		}
 	default:
 		writeError(sw, http.StatusNotFound, "no such endpoint: %s", r.URL.Path)
 	}
@@ -487,10 +502,12 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	applied, err := s.svc.ObserveBatch(b.recs)
 	s.observations.Add(uint64(applied))
 	if err != nil {
-		if errors.Is(err, ErrReadOnly) {
+		if errors.Is(err, ErrReadOnly) || errors.Is(err, ErrNotLeader) {
 			// Records before the reported index were logged and applied; the
-			// client should retry the remainder once appends heal.
-			w.Header().Set("Retry-After", "1")
+			// client should retry the remainder once appends heal (or against
+			// the leader). The hint is derived, not fixed: the WAL's sync
+			// probe interval or the replication backoff, whichever is longer.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}

@@ -1,0 +1,139 @@
+package qbets
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// mustRetryAfter asserts the 503 contract: the header is present and
+// parses as a valid delay-seconds integer (RFC 9110 §10.2.3), at least 1.
+func mustRetryAfter(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not a delay-seconds integer: %v", ra, err)
+	}
+	if secs < 1 {
+		t.Fatalf("Retry-After %d is not a positive delay", secs)
+	}
+	return secs
+}
+
+// TestFollowerServes503WithDerivedRetryAfter covers the follower write
+// gate end to end: observes bounce with 503 + ErrNotLeader, the
+// Retry-After is derived from the WAL's sync probe interval rather than
+// the old fixed "1", and reads keep serving.
+func TestFollowerServes503WithDerivedRetryAfter(t *testing.T) {
+	svc := NewService(false, WithSeed(1))
+	w, err := wal.Open("wal", wal.Options{FS: wal.NewMemFS(), Mode: wal.SyncInterval, Interval: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := svc.RecoverWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	// Seed state before flipping to follower so reads have something.
+	for i := 0; i < 50; i++ {
+		if err := svc.Observe("normal", 0, float64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.SetFollower(true)
+	s := NewServerWith(svc)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/observe", `{"queue":"normal","wait_seconds":12}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("observe on follower: status %d, want 503", resp.StatusCode)
+	}
+	if secs := mustRetryAfter(t, resp); secs != 3 {
+		t.Fatalf("Retry-After = %d, want 3 (the WAL sync probe interval)", secs)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "not the leader") {
+		t.Fatalf("error body should name the role problem, got %q", body)
+	}
+
+	// Follower reads still serve.
+	get, err := http.Get(ts.URL + "/v1/forecast?queue=normal&procs=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("follower read: status %d, want 200", get.StatusCode)
+	}
+}
+
+// TestHealthzDegradedReplication drives /healthz through the replState
+// probes directly: healthy while replication keeps up, 503 with a
+// Retry-After once the role degrades, healthy again when it recovers.
+func TestHealthzDegradedReplication(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	check := func(wantCode int) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		if resp.StatusCode != wantCode {
+			t.Fatalf("/healthz status %d, want %d", resp.StatusCode, wantCode)
+		}
+		return resp
+	}
+	check(http.StatusOK)
+
+	lagging := false
+	s.repl.Store(&replState{
+		role:       "follower",
+		degraded:   func() bool { return lagging },
+		retryAfter: func() time.Duration { return 7 * time.Second },
+	})
+	check(http.StatusOK)
+
+	lagging = true
+	resp := check(http.StatusServiceUnavailable)
+	if secs := mustRetryAfter(t, resp); secs != 7 {
+		t.Fatalf("Retry-After = %d, want 7 (the replication layer's estimate)", secs)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "degraded: follower replication") {
+		t.Fatalf("degraded body = %q", body)
+	}
+
+	lagging = false
+	check(http.StatusOK)
+}
+
+// TestReadOnly503RetryAfterFloor: with no replication and a
+// sync-each-record WAL there is no probe interval, so the derived hint
+// falls back to the 1-second floor — still a valid delay-seconds value.
+func TestReadOnly503RetryAfterFloor(t *testing.T) {
+	svc := NewService(false, WithSeed(1))
+	svc.SetFollower(true) // any 503 path exercises the shared derivation
+	s := NewServerWith(svc)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/observe", `{"queue":"normal","wait_seconds":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if secs := mustRetryAfter(t, resp); secs != 1 {
+		t.Fatalf("Retry-After = %d, want the 1s floor", secs)
+	}
+}

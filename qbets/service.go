@@ -105,6 +105,16 @@ type Service struct {
 	walReplayDropped  obs.Counter // replay truncation events (torn/corrupt tails)
 	walReplayDroppedB obs.Counter // bytes discarded by those truncations
 	walCompactErrors  obs.Counter
+
+	// Replication (replica.go). follower gates the write path: a follower
+	// refuses Observe/ObserveBatch with ErrNotLeader and takes state only
+	// from its replication session. replApplied is the follower's applied
+	// prefix — the highest replicated sequence folded in. commitHook, when
+	// set on a leader, runs between a batch's durable append and its
+	// apply (synchronous replication: the ack waits for a follower).
+	follower    atomic.Bool
+	replApplied atomic.Uint64
+	commitHook  func(lastSeq uint64) error
 }
 
 // ErrInvalidWait rejects observations whose wait is NaN, infinite, or
@@ -514,19 +524,41 @@ func (st *stream) loadSnap() *forecastSnapshot {
 	return st.snap.Load()
 }
 
-// observe records a wait under the stream's write lock: the observation is
-// appended to the service's WAL first (if one is attached), then folded
-// into the forecaster, scoring the bound the arriving job would have been
-// quoted and keeping the bound fresh. Holding the write lock across
-// append-then-apply is what keeps (forecaster state, lastSeq) consistent —
-// a snapshot taken concurrently sees either both effects or neither. An
-// evicted stream rehydrates here, before the append.
+// observe records a wait: the observation is logged and applied under the
+// stream's write lock, then — outside every lock — the commit hook gates
+// the ack under synchronous replication. A hook failure refuses the
+// observe with ErrReadOnly even though the record is durable and applied
+// locally: the client was never acked, so retry-after-heal at worst
+// re-records a real wait, while acking un-replicated data could lose it
+// in a failover. The hook runs lock-free deliberately: a commit wait can
+// ride out a concurrent catch-up snapshot, which read-locks every stream.
 func (st *stream) observe(s *Service, waitSeconds float64) error {
+	seq, err := st.observeApply(s, waitSeconds)
+	if err != nil {
+		return err
+	}
+	if s.commitHook != nil && s.wal != nil {
+		if herr := s.commitHook(seq); herr != nil {
+			return fmt.Errorf("%w: replication: %v", ErrReadOnly, herr)
+		}
+	}
+	return nil
+}
+
+// observeApply appends and applies one wait under the stream's write
+// lock: the observation goes to the service's WAL first (if one is
+// attached), then folds into the forecaster, scoring the bound the
+// arriving job would have been quoted and keeping the bound fresh.
+// Holding the write lock across append-then-apply is what keeps
+// (forecaster state, lastSeq) consistent — a snapshot taken concurrently
+// sees either both effects or neither. An evicted stream rehydrates
+// here, before the append.
+func (st *stream) observeApply(s *Service, waitSeconds float64) (uint64, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.fc == nil {
 		if err := st.rehydrateLocked(s); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	var seq uint64
@@ -540,7 +572,7 @@ func (st *stream) observe(s *Service, waitSeconds float64) error {
 		if err != nil {
 			s.walAppendErrors.Inc()
 			s.readonly.Set(1)
-			return fmt.Errorf("%w: %v", ErrReadOnly, err)
+			return 0, fmt.Errorf("%w: %v", ErrReadOnly, err)
 		}
 		s.walAppends.Inc()
 		// Clear the read-only latch only when it is actually set: an
@@ -551,7 +583,7 @@ func (st *stream) observe(s *Service, waitSeconds float64) error {
 		}
 	}
 	st.applyLocked(s, waitSeconds, seq, true)
-	return nil
+	return seq, nil
 }
 
 // applyLocked folds a wait into the forecaster. scoreHit is false on the
@@ -635,9 +667,12 @@ func (st *stream) replayGroupLocked(s *Service, waits []float64, seqs []uint64) 
 // record: records before Index were applied (and are durable under the
 // WAL's sync policy), records at and after it were not. Err carries the
 // cause — errors.Is(err, ErrReadOnly) means the observation log stopped
-// taking appends mid-batch and the client should retry the remainder after
-// the Retry-After interval; ErrInvalidWait means the batch was rejected up
-// front without applying anything.
+// taking appends mid-batch (or, under synchronous replication, a chunk's
+// commit wait failed after it was applied — Index then equals the applied
+// count) and the client should retry the remainder after the Retry-After
+// interval; ErrInvalidWait means the batch was rejected up front without
+// applying anything; ErrNotLeader means this node is a replication
+// follower and the whole batch must go to the leader.
 type BatchError struct {
 	Index int
 	Err   error
@@ -703,6 +738,9 @@ func (s *Service) ObserveBatch(records []ObserveRecord) (applied int, err error)
 			return 0, &BatchError{Index: i, Err: ErrInvalidWait}
 		}
 	}
+	if s.follower.Load() {
+		return 0, &BatchError{Index: 0, Err: ErrNotLeader}
+	}
 	if len(records) == 0 {
 		return 0, nil
 	}
@@ -710,15 +748,26 @@ func (s *Service) ObserveBatch(records []ObserveRecord) (applied int, err error)
 	defer sc.release()
 	for base := 0; base < len(records); base += observeBatchChunk {
 		end := min(base+observeBatchChunk, len(records))
-		if cerr := s.observeChunk(records[base:end], sc); cerr != nil {
+		last, cerr := s.observeChunk(records[base:end], sc)
+		if cerr != nil {
 			return base, &BatchError{Index: base, Err: cerr}
 		}
 		applied = end
+		// Synchronous replication gates the ack per chunk, outside the
+		// chunk's stream locks (see stream.observe): the chunk is applied
+		// and durable locally, so the reported count stays truthful, but
+		// the client is not acked past a failed commit wait.
+		if s.commitHook != nil && last > 0 {
+			if herr := s.commitHook(last); herr != nil {
+				return applied, &BatchError{Index: applied, Err: fmt.Errorf("%w: replication: %v", ErrReadOnly, herr)}
+			}
+		}
 	}
 	return applied, nil
 }
 
-// observeChunk groups, logs, and applies one chunk. The chunk is atomic:
+// observeChunk groups, logs, and applies one chunk, returning the chunk's
+// last log sequence (0 when no WAL is attached). The chunk is atomic:
 // either every record is appended (one AppendBatch) and applied, or none
 // is. All affected stream write locks are held, in key order, across
 // append-then-apply — the same invariant the single-record path keeps, so
@@ -726,7 +775,7 @@ func (s *Service) ObserveBatch(records []ObserveRecord) (applied int, err error)
 // compaction can never delete a segment whose records some stream has not
 // yet folded in. Evicted streams rehydrate after the locks are taken and
 // before anything is appended, so a rehydration failure applies nothing.
-func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
+func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) (uint64, error) {
 	byProcs := s.byProcs.Load()
 	groups := sc.groups[:0]
 	for i := range chunk {
@@ -770,7 +819,7 @@ func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
 	for gi := range groups {
 		if groups[gi].st.fc == nil {
 			if err := groups[gi].st.rehydrateLocked(s); err != nil {
-				return err
+				return 0, err
 			}
 		}
 	}
@@ -778,7 +827,7 @@ func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
 		for gi := range groups {
 			groups[gi].st.applyGroupLocked(s, chunk, groups[gi].idxs, 0)
 		}
-		return nil
+		return 0, nil
 	}
 	entries := sc.entries[:0]
 	if cap(entries) < len(chunk) {
@@ -797,7 +846,7 @@ func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
 	if werr != nil {
 		s.walAppendErrors.Inc()
 		s.readonly.Set(1)
-		return fmt.Errorf("%w: %v", ErrReadOnly, werr)
+		return 0, fmt.Errorf("%w: %v", ErrReadOnly, werr)
 	}
 	s.walAppends.Add(uint64(len(chunk)))
 	if s.readonly.Value() != 0 {
@@ -807,7 +856,7 @@ func (s *Service) observeChunk(chunk []ObserveRecord, sc *batchScratch) error {
 		g := &groups[gi]
 		g.st.applyGroupLocked(s, chunk, g.idxs, firstSeq+uint64(g.idxs[len(g.idxs)-1]))
 	}
-	return nil
+	return firstSeq + uint64(len(chunk)) - 1, nil
 }
 
 // status renders the stream's published snapshot as a StreamStatus,
@@ -841,6 +890,9 @@ func (st *stream) status(q, c float64) StreamStatus {
 func (s *Service) Observe(queue string, procs int, waitSeconds float64) error {
 	if math.IsNaN(waitSeconds) || math.IsInf(waitSeconds, 0) || waitSeconds < 0 {
 		return ErrInvalidWait
+	}
+	if s.follower.Load() {
+		return ErrNotLeader
 	}
 	return s.streamFor(queue, procs).observe(s, waitSeconds)
 }

@@ -126,14 +126,11 @@ func (s *Service) SaveShards(dir string, shards int) error {
 	parallel.ForEachIndex(shards, func(i int) {
 		out := make(map[string]shardStream, len(parts[i]))
 		for k, st := range parts[i] {
-			st.mu.RLock()
-			blob, core, err := st.coreLocked()
-			st.mu.RUnlock()
+			core, err := coreOf(k, st)
 			if err != nil {
-				errs[i] = fmt.Errorf("qbets: stream %q: %w", k, err)
+				errs[i] = err
 				return
 			}
-			core.State = blob
 			out[k] = core
 		}
 		doc, err := json.Marshal(out)
@@ -181,6 +178,19 @@ func (s *Service) SaveShards(dir string, shards int) error {
 }
 
 func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.json", i) }
+
+// coreOf renders one stream's saved core under its read lock — the unit
+// both the sharded saver and the replication snapshot serialize.
+func coreOf(k string, st *stream) (shardStream, error) {
+	st.mu.RLock()
+	blob, core, err := st.coreLocked()
+	st.mu.RUnlock()
+	if err != nil {
+		return shardStream{}, fmt.Errorf("qbets: stream %q: %w", k, err)
+	}
+	core.State = blob
+	return core, nil
+}
 
 // adoptColdStream builds an evicted stream straight from its saved core:
 // the published snapshot comes from the summary fields and the serialized
