@@ -1,8 +1,8 @@
 # BENCH_JSON is where `make bench` drops its machine-readable results;
 # CI uploads it as an artifact so the perf trajectory is recorded per PR.
 # BENCH_BASELINE is what `make bench-compare` diffs against.
-BENCH_JSON ?= BENCH_PR8.json
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR8.json
 
 .PHONY: build test race crash replication-crash cover hypo hypo-full bench bench-compare
 
@@ -33,7 +33,8 @@ cover:
 	go tool cover -func=coverage.out | tail -1
 
 # hypo runs the hypothesis smoke grid (the CI tier: H-Coverage, H-Trim,
-# H-Durability on a small representative grid). hypo-full is the nightly
+# H-Durability, H-FollowerConsistency, H-SLOSizing on a small
+# representative grid). hypo-full is the nightly
 # grid — every queue, (q,C) pair, and policy combination — run twice with
 # byte-identical verdicts enforced. See docs/TESTING.md.
 hypo:
@@ -54,7 +55,10 @@ hypo-full:
 # single-threaded numbers. The scale benches (million-stream registry,
 # stream-creation churn) are sized one-shot runs, so they go at
 # -benchtime=1x; their custom metrics (create-ns/stream, heapB/stream,
-# read-p50/p99-ns) land in "metrics".
+# read-p50/p99-ns) land in "metrics". The what-if set (kernel replay,
+# typed run heap, 64-scenario grid) records the simulation plane: the
+# grid entry doubles as the "64 scenarios under a second" acceptance
+# record.
 bench:
 	@set -e; \
 	out=$$(mktemp); \
@@ -62,6 +66,8 @@ bench:
 	go test -run '^$$' -bench 'ServiceObserve|ServerObserveBatch' -benchmem ./qbets/ >> $$out; \
 	go test -run '^$$' -bench 'ServiceForecast|ServiceProfile|ServiceReadWhileIngest|ServerForecast|FollowerForecast' -cpu 1,4 -benchmem ./qbets/ >> $$out; \
 	go test -run '^$$' -bench 'ShipThroughput' -benchmem ./internal/repl/ >> $$out; \
+	go test -run '^$$' -bench 'SchedulerRun|RunHeap' -benchmem ./internal/scheduler/ >> $$out; \
+	go test -run '^$$' -bench 'WhatifGrid' -benchmem ./internal/whatif/ >> $$out; \
 	go test -run '^$$' -bench 'MillionStreams|StreamCreationChurn' -benchtime=1x -timeout 30m ./qbets/ >> $$out; \
 	go run ./cmd/benchjson < $$out > $(BENCH_JSON); \
 	rm -f $$out; \

@@ -1,0 +1,224 @@
+// Command qbets-whatif is the capacity-planning client: it asks a running
+// qbets-serve instance "what would the wait bound be if load or capacity
+// changed", and "how much load keeps the bound inside an SLO", via
+// POST /v1/whatif.
+//
+// Usage:
+//
+//	qbets-whatif -addr http://localhost:8080 -rates 0.5,1,1.5,2
+//	qbets-whatif -queue normal -procs 8 -rates 1,1.2 -machines 128,64
+//	qbets-whatif -queue normal -procs 8 -slo 3600
+//	qbets-whatif -rates 1 -policies easy,fcfs      # cost of disabling backfill
+//
+// Scenario axes (-rates × -machines × -policies) expand into a grid; the
+// server replays every cell from one common-random-numbers base trace and
+// returns calibrated bounds plus deltas against the live stream when
+// -queue names one.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/qbets"
+)
+
+func splitFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qbets-whatif: ")
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "qbets-serve base URL")
+		queue    = flag.String("queue", "", "live stream queue to calibrate against (optional)")
+		procs    = flag.Int("procs", 0, "live stream processor count (with -queue)")
+		rates    = flag.String("rates", "", "comma-separated arrival-rate multipliers (e.g. 0.5,1,2)")
+		machines = flag.String("machines", "", "comma-separated machine sizes in processors (0 = current)")
+		policies = flag.String("policies", "", "comma-separated policies: fcfs, easy, conservative")
+		slo      = flag.Float64("slo", 0, "SLO sizing: max bound in seconds (0 = off)")
+		jobs     = flag.Int("jobs", 0, "simulated base-trace length (0 = server default)")
+		asJSON   = flag.Bool("json", false, "print the raw response JSON")
+	)
+	flag.Parse()
+
+	rateVals, err := splitFloats(*rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machineVals, err := splitInts(*machines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var policyVals []string
+	if *policies != "" {
+		for _, p := range strings.Split(*policies, ",") {
+			policyVals = append(policyVals, strings.TrimSpace(p))
+		}
+	}
+	// Expand the grid; a missing axis contributes its "unchanged" value.
+	if len(rateVals) == 0 {
+		rateVals = []float64{0}
+	}
+	if len(machineVals) == 0 {
+		machineVals = []int{0}
+	}
+	if len(policyVals) == 0 {
+		policyVals = []string{""}
+	}
+	req := qbets.WhatifRequest{Queue: *queue, Procs: *procs, WorkloadJobs: *jobs}
+	for _, pol := range policyVals {
+		for _, m := range machineVals {
+			for _, r := range rateVals {
+				if r == 0 && m == 0 && pol == "" {
+					continue // pure baseline is implicit in every response
+				}
+				req.Scenarios = append(req.Scenarios, qbets.WhatifScenario{
+					Name:           scenarioName(r, m, pol),
+					RateMultiplier: r,
+					Procs:          m,
+					Policy:         pol,
+				})
+			}
+		}
+	}
+	if *slo > 0 {
+		req.Sizing = &qbets.WhatifSizingRequest{TargetSeconds: *slo}
+	}
+	if len(req.Scenarios) == 0 && req.Sizing == nil {
+		log.Fatal("nothing to ask: provide -rates/-machines/-policies and/or -slo")
+	}
+
+	body, err := json.Marshal(&req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(strings.TrimRight(*addr, "/")+"/v1/whatif", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("server: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if *asJSON {
+		os.Stdout.Write(raw)
+		return
+	}
+	var out qbets.WhatifResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		log.Fatalf("bad response: %v", err)
+	}
+	printResponse(&out)
+}
+
+func scenarioName(rate float64, machine int, policy string) string {
+	var parts []string
+	if rate != 0 && rate != 1 {
+		parts = append(parts, fmt.Sprintf("rate x%g", rate))
+	}
+	if machine != 0 {
+		parts = append(parts, fmt.Sprintf("%dp", machine))
+	}
+	if policy != "" {
+		parts = append(parts, policy)
+	}
+	if len(parts) == 0 {
+		return "base"
+	}
+	return strings.Join(parts, " ")
+}
+
+func printResponse(out *qbets.WhatifResponse) {
+	fmt.Printf("what-if: %g-quantile bound at %g confidence, %d-job base trace\n",
+		out.Quantile, out.Confidence, out.WorkloadJobs)
+	if out.Live != nil {
+		fmt.Printf("live: %s  bound=%s  obs=%d  gen=%d\n",
+			out.Live.Stream, seconds(out.Live.BoundSeconds, out.Live.BoundOK), out.Live.Observations, out.Live.Generation)
+	}
+	if out.Calibrated {
+		fmt.Printf("calibration: simulated bounds scaled by %.3f to match live\n", out.CalibrationScale)
+	} else {
+		fmt.Println("calibration: none (raw simulated bounds)")
+	}
+	if len(out.Scenarios) > 0 {
+		fmt.Printf("\n%-24s %12s %12s %12s %6s %5s\n", "scenario", "bound", "vs live", "mean wait", "util", "cache")
+		for _, sc := range out.Scenarios {
+			name := sc.Scenario.Name
+			if name == "" {
+				name = scenarioName(sc.Scenario.RateMultiplier, sc.Scenario.Procs, sc.Scenario.Policy)
+			}
+			if sc.Error != "" {
+				fmt.Printf("%-24s error: %s\n", name, sc.Error)
+				continue
+			}
+			delta := "-"
+			if sc.DeltaVsLiveSeconds != nil {
+				delta = fmt.Sprintf("%+.0fs", *sc.DeltaVsLiveSeconds)
+			}
+			cached := ""
+			if sc.Cached {
+				cached = "hit"
+			}
+			fmt.Printf("%-24s %12s %12s %11.0fs %5.1f%% %5s\n",
+				name, seconds(sc.CalibratedBoundSeconds, sc.BoundOK), delta,
+				sc.MeanWaitSeconds, 100*sc.Utilization, cached)
+		}
+	}
+	if out.Sizing != nil {
+		s := out.Sizing
+		fmt.Printf("\nsizing: SLO %.0fs -> ", s.TargetSeconds)
+		if !s.OK {
+			fmt.Printf("infeasible even at the search floor (bound %s)\n", seconds(s.CalibratedBoundSeconds, true))
+			return
+		}
+		fmt.Printf("max sustainable rate x%.3f (bound %s, %d simulations)\n",
+			s.MaxRateMultiplier, seconds(s.CalibratedBoundSeconds, true), s.Evaluations)
+	}
+}
+
+func seconds(v float64, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0fs", v)
+}

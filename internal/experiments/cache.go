@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync"
 
+	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -82,7 +83,22 @@ var (
 	genCache    sync.Map // genKey -> *genEntry
 	filterCache sync.Map // filterKey -> *filterEntry
 	evalCache   sync.Map // evalKey -> *evalEntry
+
+	// arenaPool recycles sim replay arenas across the experiment loops:
+	// forEachIndex fans the tables and hypothesis grids out across cores,
+	// and each worker's next replay reuses the pending-job arena the
+	// previous one grew instead of re-allocating it.
+	arenaPool = sync.Pool{New: func() any { return new(sim.Arena) }}
 )
+
+// replay is sim.Run through a pooled arena; every experiment replay goes
+// through here so the whole package shares the warm arenas.
+func replay(t *trace.Trace, preds []predictor.Predictor, cfg sim.Config) []sim.Result {
+	a := arenaPool.Get().(*sim.Arena)
+	res := sim.RunArena(t, preds, cfg, a)
+	arenaPool.Put(a)
+	return res
+}
 
 // evalCachable reports whether a replay's results depend only on the eval
 // key. Sampling callbacks observe predictor state mid-run, so those runs

@@ -78,7 +78,7 @@ func (c Config) EvalQueue(t *trace.Trace) []sim.Result {
 	c = c.withDefaults()
 	run := func() []sim.Result {
 		preds := predictor.Standard(c.Quantile, c.Confidence, c.Seed)
-		return sim.Run(t, preds, c.Sim)
+		return replay(t, preds, c.Sim)
 	}
 	if !c.evalCachable() {
 		return run()

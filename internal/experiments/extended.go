@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/predictor"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -60,7 +59,7 @@ func Extended(cfg Config) []ExtendedRow {
 		p := queues[i]
 		t := cfg.GenerateQueue(p)
 		preds := extendedPredictors(cfg.Quantile, cfg.Confidence, cfg.Seed)
-		results := sim.Run(t, preds, cfg.Sim)
+		results := replay(t, preds, cfg.Sim)
 		row := ExtendedRow{Machine: p.Machine, Queue: p.Queue}
 		for _, r := range results {
 			row.Outcomes = append(row.Outcomes, outcome(r))

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/predictor"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -68,6 +67,6 @@ func boundSeries(cfg Config, machine, queue string, bucket *trace.ProcBucket, fr
 		s.Times = append(s.Times, ts)
 		s.Values = append(s.Values, v)
 	}
-	sim.Run(t, []predictor.Predictor{bmbp}, simCfg)
+	replay(t, []predictor.Predictor{bmbp}, simCfg)
 	return s
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/predictor"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -54,7 +53,7 @@ func SweepQC(cfg Config) []SweepPoint {
 		p := trace.FindPaperQueue(name[0], name[1])
 		t := cfg.GenerateQueue(p)
 		preds := []predictor.Predictor{predictor.NewBMBP(level[0], level[1], cfg.Seed)}
-		res := sim.Run(t, preds, cfg.Sim)
+		res := replay(t, preds, cfg.Sim)
 		points[idx] = SweepPoint{
 			Machine:         name[0],
 			Queue:           name[1],

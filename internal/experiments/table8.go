@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/predictor"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -58,6 +57,6 @@ func QuantileProfileDay(cfg Config, machine, queue string, day time.Time) []Tabl
 		}
 		rows = append(rows, row)
 	}
-	sim.Run(t, []predictor.Predictor{bmbp}, simCfg)
+	replay(t, []predictor.Predictor{bmbp}, simCfg)
 	return rows
 }

@@ -1,6 +1,7 @@
 // Package hypo is the hypothesis harness: it formalizes the repository's
 // statistical correctness claims as named invariants (H-Coverage, H-Trim,
-// H-Durability, H-FollowerConsistency) evaluated as deterministic
+// H-Durability, H-FollowerConsistency, H-SLOSizing) evaluated as
+// deterministic
 // pass/fail experiments over a
 // configuration × workload × seed grid, in the style of inference-sim's
 // hypotheses/ experiments. Each invariant registers a runner here; the

@@ -14,8 +14,8 @@ func TestSmokeGrid(t *testing.T) {
 	if v.Cells == 0 {
 		t.Fatal("smoke grid is empty")
 	}
-	if len(v.Invariants) != 4 {
-		t.Fatalf("expected 4 invariants in the grid, got %d", len(v.Invariants))
+	if len(v.Invariants) != 5 {
+		t.Fatalf("expected 5 invariants in the grid, got %d", len(v.Invariants))
 	}
 	for _, iv := range v.Invariants {
 		if iv.Cells == 0 {

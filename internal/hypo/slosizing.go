@@ -1,0 +1,160 @@
+package hypo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/scheduler"
+	"repro/internal/whatif"
+)
+
+// H-SLOSizing pins the contract behind the what-if plane's sizing mode
+// (POST /v1/whatif with "sizing", internal/whatif.SizeToSLO): the answer
+// to "how much load keeps the queuing-delay bound inside an SLO" must be
+//
+//   - monotone in the SLO: a looser target never admits less load than a
+//     tighter one;
+//   - honest: the returned rate's simulated bound actually meets the
+//     target, and re-simulating at that rate through the ordinary
+//     scenario-evaluation path reproduces a bound that meets it too;
+//   - bounded: answers stay inside the search bracket [1/8, 8], and an
+//     impossible target (negative — no non-negative bound can meet it) is
+//     reported infeasible rather than answered.
+//
+// The binary search in SizeToSLO assumes the simulated bound is monotone
+// non-decreasing in the arrival-rate multiplier. That assumption is what
+// this invariant exercises end-to-end: each cell fixes a scenario shape
+// (machine size, scheduling policy) over the common-random-numbers base
+// trace and sweeps a ladder of SLO targets derived from the scenario's own
+// baseline bound, so the grid stays meaningful as workload calibration
+// drifts.
+type slosizing struct{}
+
+type slosizingSpec struct {
+	jobs     int
+	scenario whatif.Scenario
+}
+
+// slosizingFactors is the SLO ladder, as multiples of the scenario's
+// baseline (rate x1) bound, in ascending order. Factors >= 1 must be
+// feasible — the base rate itself meets them — while the sub-baseline
+// factor may legitimately be infeasible on a congested cell and only
+// participates in the monotonicity and honesty checks.
+var slosizingFactors = []float64{0.5, 1, 1.5, 2.5, 4}
+
+func (slosizing) Name() string { return "H-SLOSizing" }
+
+func (slosizing) Doc() string {
+	return "SLO sizing is monotone in the target, its returned rate's simulated bound meets the target (re-simulation included), and impossible targets are reported infeasible"
+}
+
+func (sz slosizing) Cells(g Grid) []Cell {
+	type variant struct {
+		id string
+		sc whatif.Scenario
+	}
+	variants := []variant{
+		{"base", whatif.Scenario{}},
+		{"fcfs", whatif.Scenario{Policy: "fcfs"}},
+	}
+	sizes := []int{1000}
+	if g == Full {
+		variants = append(variants,
+			variant{"easy", whatif.Scenario{Policy: "easy"}},
+			variant{"half-machine", whatif.Scenario{Procs: 64}},
+		)
+		sizes = append(sizes, 2000)
+	}
+	var cells []Cell
+	for _, jobs := range sizes {
+		for _, v := range variants {
+			cells = append(cells, Cell{
+				Invariant: sz.Name(),
+				ID:        fmt.Sprintf("jobs%d/%s", jobs, v.id),
+				Params: []Param{
+					{"jobs", fmt.Sprintf("%d", jobs)},
+					{"scenario", v.id},
+					{"gen_seed", fmt.Sprintf("%d", genSeed)},
+				},
+				spec: slosizingSpec{jobs: jobs, scenario: v.sc},
+			})
+		}
+	}
+	return cells
+}
+
+func (slosizing) Run(c Cell) CellResult {
+	spec, ok := c.spec.(slosizingSpec)
+	if !ok {
+		return c.Fail("cell spec missing: cells must come from Cells()")
+	}
+	p := whatif.NewPlanner(whatif.Config{
+		Workload: scheduler.WorkloadConfig{Jobs: spec.jobs, Seed: genSeed},
+	})
+	// The planner caches per fingerprint; each cell owns its planner, so
+	// any constant works. Use the cell seed for clarity.
+	fp := uint64(c.Seed())
+
+	base := p.Evaluate(fp, []whatif.Scenario{spec.scenario})[0]
+	if base.Error != "" || !base.BoundOK {
+		return c.Fail(fmt.Sprintf("baseline scenario produced no bound: %+v", base))
+	}
+
+	var (
+		mustFeasible, feasible int
+		minSlack               = math.Inf(1) // target - sizing bound, over feasible targets
+		minResimSlack          = math.Inf(1) // target - re-simulated bound at the returned rate
+		minMonotoneStep        = math.Inf(1) // rate(looser) - rate(tighter), consecutive feasible pairs
+		minRate, maxRate       = math.Inf(1), math.Inf(-1)
+		prevRate               = math.NaN()
+	)
+	for _, f := range slosizingFactors {
+		target := f * base.BoundSeconds
+		if f >= 1 {
+			mustFeasible++
+		}
+		s := p.SizeToSLO(fp, spec.scenario, target)
+		if !s.OK {
+			if f >= 1 {
+				return c.Fail(fmt.Sprintf("target %.1fs (%.2gx baseline) infeasible though the base rate meets it", target, f))
+			}
+			continue
+		}
+		feasible++
+		minSlack = math.Min(minSlack, target-s.BoundSeconds)
+		minRate = math.Min(minRate, s.MaxRateMultiplier)
+		maxRate = math.Max(maxRate, s.MaxRateMultiplier)
+		resim := spec.scenario
+		resim.RateMultiplier = s.MaxRateMultiplier
+		o := p.Evaluate(fp, []whatif.Scenario{resim})[0]
+		if o.Error != "" || !o.BoundOK {
+			return c.Fail(fmt.Sprintf("re-simulation at rate %.4f failed: %+v", s.MaxRateMultiplier, o))
+		}
+		minResimSlack = math.Min(minResimSlack, target-o.BoundSeconds)
+		if !math.IsNaN(prevRate) {
+			minMonotoneStep = math.Min(minMonotoneStep, s.MaxRateMultiplier-prevRate)
+		}
+		prevRate = s.MaxRateMultiplier
+	}
+	if feasible < 2 {
+		return c.Fail(fmt.Sprintf("only %d feasible targets: monotonicity unjudgeable", feasible))
+	}
+
+	impossible := p.SizeToSLO(fp, spec.scenario, -1)
+	impossibleOK := 0.0
+	if impossible.OK {
+		impossibleOK = 1
+	}
+
+	return c.Result(
+		GE("feasible_targets", float64(feasible), float64(mustFeasible)),
+		GE("min_bound_slack_s", minSlack, 0),
+		GE("min_resim_slack_s", minResimSlack, 0),
+		GE("min_monotone_rate_step", minMonotoneStep, 0),
+		GE("min_rate", minRate, 1.0/8),
+		LE("max_rate", maxRate, 8),
+		LE("impossible_target_feasible", impossibleOK, 0),
+	)
+}
+
+func init() { Register(slosizing{}) }

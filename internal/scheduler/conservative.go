@@ -11,7 +11,10 @@ import "sort"
 
 // profile tracks free processor counts over future time as a step
 // function. steps[i] holds the free count from steps[i].t (inclusive)
-// until steps[i+1].t; the last step extends to infinity.
+// until steps[i+1].t; the last step extends to infinity. The steps slice
+// is an arena: rebuild truncates and refills it, so a kernel running
+// conservative backfill at every event reuses one allocation for the
+// lifetime of the kernel.
 type profile struct {
 	steps []profileStep
 }
@@ -21,36 +24,61 @@ type profileStep struct {
 	free int
 }
 
-// newProfile builds the availability step function at time now from the
-// running set (estimated ends) and the currently free processors.
-func newProfile(now int64, freeNow, totalProcs int, run []running) *profile {
-	// Collect release events at estimated completion times.
-	type rel struct {
-		t     int64
-		procs int
-	}
-	rels := make([]rel, 0, len(run))
-	for _, r := range run {
-		t := r.est
-		if t < now {
-			// Overrunning its estimate: it can end any moment; treat as
-			// releasing now+1 so reservations stay feasible.
-			t = now + 1
-		}
-		rels = append(rels, rel{t, r.procs})
-	}
-	sort.Slice(rels, func(i, j int) bool { return rels[i].t < rels[j].t })
-	p := &profile{steps: []profileStep{{t: now, free: freeNow}}}
+// rebuildSorted refills the availability step function at time now from
+// the est-ordered running set (lessRunning order, e.g. a kernel's standing
+// ends mirror) and the currently free processors, reusing the step arena.
+// An entry's release time is its estimated end, except that a job already
+// past its estimate can end any moment and is treated as releasing now+1
+// so reservations stay feasible. Equal-time releases merge into one step,
+// so their relative order cannot affect the result — which is why the
+// clamp can be applied in three ordered passes over the sorted input
+// instead of re-sorting: releases at exactly now first, then the clamped
+// overrunners at now+1, then everything genuinely later (est > now implies
+// est >= now+1).
+func (p *profile) rebuildSorted(now int64, freeNow int, sorted []running) {
+	// First index past the est <= now prefix.
+	i0 := sort.Search(len(sorted), func(i int) bool { return sorted[i].est > now })
+
+	steps := p.steps[:0]
+	steps = append(steps, profileStep{t: now, free: freeNow})
 	free := freeNow
-	for _, r := range rels {
-		free += r.procs
-		last := &p.steps[len(p.steps)-1]
-		if last.t == r.t {
+	emit := func(t int64, procs int) {
+		free += procs
+		last := &steps[len(steps)-1]
+		if last.t == t {
 			last.free = free
 		} else {
-			p.steps = append(p.steps, profileStep{t: r.t, free: free})
+			steps = append(steps, profileStep{t: t, free: free})
 		}
 	}
+	for _, r := range sorted[:i0] {
+		if r.est == now {
+			emit(now, r.procs)
+		}
+	}
+	for _, r := range sorted[:i0] {
+		if r.est < now {
+			emit(now+1, r.procs)
+		}
+	}
+	for _, r := range sorted[i0:] {
+		emit(r.est, r.procs)
+	}
+	p.steps = steps
+}
+
+// newProfile builds a fresh availability profile at time now from a
+// running set in any order. The kernel path rebuilds its pooled profile
+// from the standing sorted mirror instead; this constructor remains as the
+// single-shot entry point (and the oracle the profile edge-case tests
+// pin).
+func newProfile(now int64, freeNow, totalProcs int, run []running) *profile {
+	_ = totalProcs // machine size is implicit in freeNow + releases
+	sorted := make([]running, len(run))
+	copy(sorted, run)
+	sort.Sort(&byEstimatedEnd{s: sorted})
+	p := &profile{}
+	p.rebuildSorted(now, freeNow, sorted)
 	return p
 }
 
@@ -128,30 +156,30 @@ func (p *profile) splitAt(t int64) {
 }
 
 // backfillConservative plans a reservation for every pending job in
-// priority order and starts those whose reservation is immediate. The
-// caller (schedule) has already started everything that fits strictly in
-// order, so the head job here never fits now.
-func (s *state) backfillConservative(now int64) []*Job {
-	p := newProfile(now, s.available(), s.cfg.Procs, s.run)
-	var started []*Job
-	kept := s.pending[:0]
-	for i, j := range s.pending {
+// priority order against the pooled profile and starts those whose
+// reservation is immediate. The caller (schedule) has already started
+// everything that fits strictly in order, so the head job here never fits
+// now.
+func (k *Kernel) backfillConservative() {
+	p := &k.prof
+	p.rebuildSorted(k.now, k.available(), k.ends)
+	kept := k.pending[:0]
+	for i, ji := range k.pending {
+		j := &k.jobs[ji]
 		est := int64(j.Estimate)
 		if est < 1 {
 			est = 1
 		}
-		at := p.earliestFit(now, j.Procs, est)
+		at := p.earliestFit(k.now, j.Procs, est)
 		p.reserve(at, at+est, j.Procs)
-		if at == now {
-			s.start(j, now)
-			started = append(started, j)
+		if at == k.now {
+			k.start(ji)
 			if i > 0 {
-				s.backfilled++
+				k.backfilled++
 			}
 		} else {
-			kept = append(kept, j)
+			kept = append(kept, ji)
 		}
 	}
-	s.pending = kept
-	return started
+	k.pending = kept
 }

@@ -166,3 +166,98 @@ func TestConservativeCorrectness(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileReserveSpansMultipleSegments(t *testing.T) {
+	// Steps: [0,50)=2 free, [50,100)=3, [100,inf)=4. A reservation over
+	// [25,150) crosses all three segments and must subtract from each,
+	// splitting only at its own endpoints.
+	run := []running{
+		{procs: 1, end: 50, est: 50},
+		{procs: 1, end: 100, est: 100},
+	}
+	p := newProfile(0, 2, 4, run)
+	p.reserve(25, 150, 1)
+	for _, tc := range []struct {
+		from, to int64
+		want     int
+	}{
+		{0, 25, 2},    // before the reservation: untouched
+		{25, 50, 1},   // first partial segment
+		{50, 100, 2},  // fully covered middle segment
+		{100, 150, 3}, // trailing partial segment
+		{150, 500, 4}, // after the reservation: everything free again
+		{0, 150, 1},   // whole window bottoms out in the first segment
+	} {
+		if got := p.minFreeBetween(tc.from, tc.to); got != tc.want {
+			t.Errorf("minFree [%d,%d) = %d, want %d", tc.from, tc.to, got, tc.want)
+		}
+	}
+	// The reservation must still be feasible to stack where room remains:
+	// a 2x30 job overlaps the reserved [25,50) stretch from any start
+	// before 50, so its earliest fit is the 2-free middle segment.
+	if got := p.earliestFit(0, 2, 30); got != 50 {
+		t.Errorf("2x30 fit = %d, want 50", got)
+	}
+}
+
+func TestProfileSplitAtExistingBoundary(t *testing.T) {
+	// Reserving exactly along existing step boundaries must not insert
+	// duplicate steps or disturb neighbors.
+	run := []running{
+		{procs: 1, end: 50, est: 50},
+		{procs: 1, end: 100, est: 100},
+	}
+	p := newProfile(0, 2, 4, run)
+	nsteps := len(p.steps)
+	p.reserve(50, 100, 2)
+	if len(p.steps) != nsteps {
+		t.Fatalf("reserve on existing boundaries grew steps %d -> %d", nsteps, len(p.steps))
+	}
+	for i := 1; i < len(p.steps); i++ {
+		if p.steps[i].t <= p.steps[i-1].t {
+			t.Fatalf("steps out of order or duplicated: %+v", p.steps)
+		}
+	}
+	for _, tc := range []struct {
+		from, to int64
+		want     int
+	}{
+		{0, 50, 2},
+		{50, 100, 1},
+		{100, 200, 4},
+	} {
+		if got := p.minFreeBetween(tc.from, tc.to); got != tc.want {
+			t.Errorf("minFree [%d,%d) = %d, want %d", tc.from, tc.to, got, tc.want)
+		}
+	}
+	// splitAt before the profile start is a no-op: there is no earlier
+	// segment to split.
+	p.splitAt(-10)
+	if len(p.steps) != nsteps {
+		t.Fatalf("splitAt before start grew steps: %+v", p.steps)
+	}
+}
+
+func TestProfileZeroLengthWindows(t *testing.T) {
+	run := []running{{procs: 2, end: 50, est: 50}}
+	p := newProfile(0, 2, 4, run)
+	// A zero-length window strictly inside a segment is a point query.
+	if got := p.minFreeBetween(25, 25); got != 2 {
+		t.Errorf("minFree [25,25) = %d, want 2", got)
+	}
+	// On a boundary it covers no segment at all, so it cannot constrain
+	// anything (vacuously "all free").
+	if got := p.minFreeBetween(50, 50); got < 4 {
+		t.Errorf("minFree [50,50) = %d constrains a vacuous window", got)
+	}
+	// A zero-length reservation is a no-op...
+	p.reserve(25, 25, 4)
+	if got := p.minFreeBetween(0, 50); got != 2 {
+		t.Errorf("zero-length reserve changed the profile: minFree = %d", got)
+	}
+	// ...and a zero-duration job is treated as needing one second, so it
+	// still cannot start where its processors are not actually free.
+	if got := p.earliestFit(0, 4, 0); got != 50 {
+		t.Errorf("4x0 fit = %d, want 50", got)
+	}
+}

@@ -1,0 +1,119 @@
+package scheduler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// The golden hashes below were captured from the pre-kernel scheduler (the
+// allocate-per-run Run with container/heap and sort.Slice throughout) at
+// seed 42. The pooled kernel must reproduce every start time, clamp, and
+// float-accumulated utilization bit for bit: the what-if plane's deltas are
+// only meaningful if kernel replays are exactly the simulator the predictor
+// was validated against.
+var goldenRuns = []struct {
+	policy     Policy
+	jobs       int
+	downtimes  []Downtime
+	makespan   int64
+	util       string // %.12f
+	backfilled int
+	hash       uint64
+}{
+	{FCFS, 2000, nil, 798425, "0.272315184658", 0, 0xf73a145c54bcdf55},
+	{FCFS, 20000, nil, 6945142, "0.353641202701", 0, 0xe205feefd838190b},
+	{EASY, 2000, nil, 643164, "0.338052582717", 1599, 0xfbeba5c0208fc839},
+	{EASY, 20000, nil, 3740821, "0.656563992184", 17683, 0x3c805e80109a2b8d},
+	{Conservative, 2000, []Downtime{{From: 3600 * 24, To: 3600 * 36, Procs: 64}},
+		731644, "0.297170825306", 1592, 0xc6294c703d77fb9b},
+}
+
+// goldenHash digests the per-job outcomes in result order: ID, assigned
+// start, (possibly clamped) estimate, and the kill flag.
+func goldenHash(jobs []*Job) uint64 {
+	h := fnv.New64a()
+	for _, j := range jobs {
+		fmt.Fprintf(h, "%d:%d:%.6f:%t;", j.ID, j.Start(), j.Estimate, j.Killed)
+	}
+	return h.Sum64()
+}
+
+func goldenConfig(g struct {
+	policy     Policy
+	jobs       int
+	downtimes  []Downtime
+	makespan   int64
+	util       string
+	backfilled int
+	hash       uint64
+}) Config {
+	cfg := DefaultMachine()
+	cfg.Policy = g.policy
+	cfg.Downtimes = g.downtimes
+	return cfg
+}
+
+func checkGolden(t *testing.T, name string, res *Result, g struct {
+	policy     Policy
+	jobs       int
+	downtimes  []Downtime
+	makespan   int64
+	util       string
+	backfilled int
+	hash       uint64
+}) {
+	t.Helper()
+	if res.Makespan != g.makespan {
+		t.Errorf("%s: makespan = %d, want %d", name, res.Makespan, g.makespan)
+	}
+	if u := fmt.Sprintf("%.12f", res.Utilization); u != g.util {
+		t.Errorf("%s: utilization = %s, want %s", name, u, g.util)
+	}
+	if res.Backfilled != g.backfilled {
+		t.Errorf("%s: backfilled = %d, want %d", name, res.Backfilled, g.backfilled)
+	}
+	if h := goldenHash(res.Jobs); h != g.hash {
+		t.Errorf("%s: job hash = %#x, want %#x", name, h, g.hash)
+	}
+}
+
+// TestRunMatchesPreKernelGolden pins the single-shot Run (now a kernel
+// wrapper) to the pre-kernel implementation's outputs.
+func TestRunMatchesPreKernelGolden(t *testing.T) {
+	for _, g := range goldenRuns {
+		name := fmt.Sprintf("%v/%d", g.policy, g.jobs)
+		jobs := GenerateJobs(WorkloadConfig{Jobs: g.jobs, Seed: 42})
+		res, err := Run(goldenConfig(g), jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkGolden(t, name, res, g)
+	}
+}
+
+// TestKernelReuseMatchesGolden replays every golden case twice through ONE
+// kernel, interleaved, checking the second pass still matches: arena reuse
+// must leak no state between runs.
+func TestKernelReuseMatchesGolden(t *testing.T) {
+	k := NewKernel()
+	for pass := 0; pass < 2; pass++ {
+		for _, g := range goldenRuns {
+			name := fmt.Sprintf("pass%d/%v/%d", pass, g.policy, g.jobs)
+			src := GenerateJobs(WorkloadConfig{Jobs: g.jobs, Seed: 42})
+			arena := k.Jobs(len(src))
+			for i, j := range src {
+				arena[i] = *j
+			}
+			kr, err := k.Run(goldenConfig(g))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for i := range kr.Jobs {
+				*src[i] = kr.Jobs[i]
+			}
+			res := &Result{Jobs: src, Makespan: kr.Makespan, Utilization: kr.Utilization, Backfilled: kr.Backfilled}
+			checkGolden(t, name, res, g)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package scheduler
+
+// runHeap is a typed binary min-heap of running jobs ordered by actual
+// completion time. It replaces the container/heap implementation the
+// simulator started with: heap.Push boxed every running value into an
+// interface{} (one allocation per started job) and every Less/Swap was an
+// indirect call. The sift-up and sift-down below are transliterations of
+// container/heap's up/down, so the heap's internal array layout after any
+// push/pop sequence is byte-identical to the old implementation — which
+// matters because reservation planning and the conservative profile read
+// the array in storage order and break est ties by it.
+type runHeap []running
+
+func (h runHeap) len() int { return len(h) }
+
+// push adds r and restores the heap property (container/heap's Push: append
+// then sift up).
+func (h *runHeap) push(r running) {
+	*h = append(*h, r)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if s[j].end >= s[i].end {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// pop removes and returns the minimum-end entry (container/heap's Pop: swap
+// root with last, sift down over the shortened prefix, detach last).
+func (h *runHeap) pop() running {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift down within s[:n], mirroring container/heap's down(0, n).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].end < s[j1].end {
+			j = j2
+		}
+		if s[j].end >= s[i].end {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	r := s[n]
+	*h = s[:n]
+	return r
+}

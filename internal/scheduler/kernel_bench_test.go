@@ -1,0 +1,96 @@
+package scheduler
+
+import (
+	"testing"
+)
+
+const benchJobs = 2000
+
+func benchConfig() Config {
+	cfg := DefaultMachine()
+	cfg.Policy = EASY
+	return cfg
+}
+
+// BenchmarkSchedulerRun compares the single-shot path (fresh kernel per
+// run, as the pre-PR Run behaved) against a reused kernel fed from a CRN
+// base trace — the steady-state shape of the what-if plane.
+func BenchmarkSchedulerRun(b *testing.B) {
+	cfg := benchConfig()
+	b.Run("singleshot", func(b *testing.B) {
+		jobs := GenerateJobs(WorkloadConfig{Jobs: benchJobs, Seed: 42})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(cfg, jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kernel", func(b *testing.B) {
+		bt := NewBaseTrace(WorkloadConfig{Jobs: benchJobs, Seed: 42})
+		k := NewKernel()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bt.Fill(k.Jobs(bt.Len()), Perturbation{})
+			if _, err := k.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRunHeap pins the typed heap's cost: pushing and draining a
+// thousand entries on a pre-grown heap must not allocate (the container/heap
+// predecessor boxed every running value into an interface{}).
+func BenchmarkRunHeap(b *testing.B) {
+	var h runHeap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1000; j++ {
+			h.push(running{procs: j & 7, end: int64((j * 2654435761) % 1009), est: int64(j)})
+		}
+		for h.len() > 0 {
+			h.pop()
+		}
+	}
+}
+
+// TestRunHeapZeroAllocs asserts the boxing is really gone: steady-state
+// push/pop on a warm heap performs zero allocations.
+func TestRunHeapZeroAllocs(t *testing.T) {
+	var h runHeap
+	fill := func() {
+		for j := 0; j < 512; j++ {
+			h.push(running{procs: j & 7, end: int64((j * 31) % 97), est: int64(j)})
+		}
+		for h.len() > 0 {
+			h.pop()
+		}
+	}
+	fill() // grow the backing array once
+	if allocs := testing.AllocsPerRun(100, fill); allocs != 0 {
+		t.Fatalf("runHeap push/pop allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestKernelRunZeroAllocs asserts the tentpole claim: a warm kernel replay
+// of a 2000-job trace — Fill plus Run, the per-scenario unit of the what-if
+// plane — is allocation-free in steady state.
+func TestKernelRunZeroAllocs(t *testing.T) {
+	bt := NewBaseTrace(WorkloadConfig{Jobs: benchJobs, Seed: 42})
+	cfg := benchConfig()
+	k := NewKernel()
+	replay := func() {
+		bt.Fill(k.Jobs(bt.Len()), Perturbation{})
+		if _, err := k.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay() // warm the arenas
+	if allocs := testing.AllocsPerRun(5, replay); allocs != 0 {
+		t.Fatalf("warm kernel replay allocated %.1f times per run, want 0", allocs)
+	}
+}

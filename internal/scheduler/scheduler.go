@@ -6,17 +6,20 @@
 // partitions — no time sharing — so a job waits in queue exactly until
 // enough processors are free and the policy selects it.
 //
-// The simulator exists for two reasons. First, it generates wait-time
+// The simulator exists for three reasons. First, it generates wait-time
 // traces mechanistically (waits emerge from contention, reservations, and
 // backfill holes rather than from a closed-form distribution), providing an
 // independent check that BMBP's correctness does not depend on the
 // synthetic trace generator's distributional choices. Second, it
 // demonstrates the folklore of the paper's Section 6.2 — small jobs
 // backfill into the machine around large ones — as an emergent effect.
+// Third, it is the engine of the what-if capacity-planning plane
+// (internal/whatif): a calibrated replay cheap enough to run dozens of
+// times per HTTP request, which is why the replay state lives in a
+// reusable Kernel (kernel.go) instead of being allocated per run.
 package scheduler
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -90,6 +93,19 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy is the inverse of Policy.String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fcfs":
+		return FCFS, nil
+	case "easy":
+		return EASY, nil
+	case "conservative":
+		return Conservative, nil
+	}
+	return FCFS, fmt.Errorf("scheduler: unknown policy %q (want fcfs, easy, or conservative)", s)
+}
+
 // Downtime takes part of the machine offline for a window, with drain
 // semantics: running jobs finish, but the lost processors accept no new
 // work until the window ends. Maintenance windows and node failures are
@@ -131,16 +147,18 @@ func (c *Config) offlineAt(t int64) int {
 	return off
 }
 
-// downtimeBoundaries returns every capacity-change instant, sorted.
+// downtimeBoundaries returns every capacity-change instant, sorted. The
+// kernel keeps an arena-backed copy (rebuildBoundaries); this allocating
+// form remains for callers inspecting a Config on its own.
 func (c *Config) downtimeBoundaries() []int64 {
-	var out []int64
+	var b []int64
 	for _, d := range c.Downtimes {
 		if d.To > d.From && d.Procs > 0 {
-			out = append(out, d.From, d.To)
+			b = append(b, d.From, d.To)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return b
 }
 
 // Result is the outcome of a scheduling run.
@@ -183,271 +201,37 @@ type running struct {
 	est   int64 // estimated completion (reservation planning uses this)
 }
 
-type runHeap []running
-
-func (h runHeap) Len() int            { return len(h) }
-func (h runHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
-func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(running)) }
-func (h *runHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Run replays the jobs (any order; sorted by submit internally) through the
 // machine and assigns every job a start time. It returns an error for jobs
 // that can never run (more processors than the machine has).
+//
+// Run is the single-shot entry point: it builds a fresh Kernel, replays
+// through it, and copies assigned starts (and any queue-ceiling clamps)
+// back onto the caller's jobs. Repeated replays — the what-if plane, the
+// calibration sweeps — should hold a Kernel and reuse it; back-to-back
+// kernel runs are allocation-free in steady state.
 func Run(cfg Config, jobs []*Job) (*Result, error) {
-	if cfg.Procs <= 0 {
-		return nil, fmt.Errorf("scheduler: machine needs at least one processor")
+	k := NewKernel()
+	arena := k.Jobs(len(jobs))
+	for i, j := range jobs {
+		arena[i] = *j
 	}
-	if len(cfg.Queues) == 0 {
-		return nil, fmt.Errorf("scheduler: at least one queue class required")
+	kr, err := k.Run(cfg)
+	if err != nil {
+		// Validation clamps (estimate/runtime ceilings) observed before
+		// the error are still reflected, matching the pre-kernel Run.
+		for i := range arena {
+			*jobs[i] = arena[i]
+		}
+		return nil, err
 	}
-	prio := make(map[string]int, len(cfg.Queues))
-	class := make(map[string]QueueClass, len(cfg.Queues))
-	for _, q := range cfg.Queues {
-		prio[q.Name] = q.Priority
-		class[q.Name] = q
+	for i := range kr.Jobs {
+		*jobs[i] = kr.Jobs[i]
 	}
-	for _, j := range jobs {
-		if j.Procs > cfg.Procs {
-			return nil, fmt.Errorf("scheduler: job %d wants %d procs, machine has %d", j.ID, j.Procs, cfg.Procs)
-		}
-		if j.Procs < 1 {
-			return nil, fmt.Errorf("scheduler: job %d wants %d procs", j.ID, j.Procs)
-		}
-		qc, ok := class[j.Queue]
-		if !ok {
-			return nil, fmt.Errorf("scheduler: job %d names unknown queue %q", j.ID, j.Queue)
-		}
-		// Enforce the queue's advertised constraints the way batch systems
-		// do (Section 5.2 of the paper: "constraints ... which the
-		// batch-queue software enforces"): oversized submissions are
-		// rejected, runtime estimates are clamped to the queue ceiling
-		// (the job is killed at the ceiling if it overruns).
-		if qc.MaxProcs > 0 && j.Procs > qc.MaxProcs {
-			return nil, fmt.Errorf("scheduler: job %d wants %d procs, queue %q allows %d", j.ID, j.Procs, j.Queue, qc.MaxProcs)
-		}
-		if qc.MaxRuntime > 0 {
-			if j.Estimate > qc.MaxRuntime {
-				j.Estimate = qc.MaxRuntime
-			}
-			if j.Runtime > qc.MaxRuntime {
-				j.Runtime = qc.MaxRuntime
-				j.Killed = true
-			}
-		}
-		j.start = -1
-	}
-
-	order := append([]*Job(nil), jobs...)
-	sort.SliceStable(order, func(i, k int) bool { return order[i].Submit < order[k].Submit })
-
-	s := &state{
-		cfg:     cfg,
-		prio:    prio,
-		free:    cfg.Procs,
-		pending: nil,
-	}
-	heap.Init(&s.run)
-
-	var busySeconds float64
-	next := 0
-	now := int64(0)
-	if len(order) > 0 {
-		now = order[0].Submit
-	}
-	boundaries := cfg.downtimeBoundaries()
-	nextBoundary := func() int64 {
-		for len(boundaries) > 0 && boundaries[0] <= now {
-			boundaries = boundaries[1:]
-		}
-		if len(boundaries) == 0 {
-			return -1
-		}
-		return boundaries[0]
-	}
-	for next < len(order) || len(s.pending) > 0 || s.run.Len() > 0 {
-		// Advance to the next event: arrival, completion, or capacity
-		// change.
-		var tArr, tEnd int64 = -1, -1
-		if next < len(order) {
-			tArr = order[next].Submit
-		}
-		if s.run.Len() > 0 {
-			tEnd = s.run[0].end
-		}
-		tCap := int64(-1)
-		if len(s.pending) > 0 || s.run.Len() > 0 || next < len(order) {
-			tCap = nextBoundary()
-		}
-		switch {
-		case tCap >= 0 && (tArr < 0 || tCap < tArr) && (tEnd < 0 || tCap < tEnd):
-			now = tCap
-		case tArr >= 0 && (tEnd < 0 || tArr <= tEnd):
-			now = tArr
-			for next < len(order) && order[next].Submit == now {
-				s.pending = append(s.pending, order[next])
-				next++
-			}
-		case tEnd >= 0:
-			now = tEnd
-			for s.run.Len() > 0 && s.run[0].end == now {
-				r := heap.Pop(&s.run).(running)
-				s.free += r.procs
-			}
-		default:
-			// Unreachable: loop condition guarantees an event exists.
-			return nil, fmt.Errorf("scheduler: event loop stalled at t=%d", now)
-		}
-		s.offline = cfg.offlineAt(now)
-		started := s.schedule(now)
-		for _, j := range started {
-			busySeconds += float64(j.Procs) * j.Runtime
-		}
-	}
-
-	res := &Result{Jobs: jobs, Backfilled: s.backfilled}
-	for _, j := range jobs {
-		if end := j.start + int64(j.Runtime); end > res.Makespan {
-			res.Makespan = end
-		}
-	}
-	if res.Makespan > 0 {
-		res.Utilization = busySeconds / (float64(cfg.Procs) * float64(res.Makespan))
-	}
-	return res, nil
-}
-
-type state struct {
-	cfg        Config
-	prio       map[string]int
-	free       int
-	offline    int
-	run        runHeap
-	pending    []*Job
-	backfilled int
-}
-
-// available returns the processors new work may occupy right now: free
-// minus whatever is offline (drained nodes count against free capacity
-// first; jobs already running on them are allowed to finish).
-func (s *state) available() int {
-	a := s.free - s.offline
-	if a < 0 {
-		a = 0
-	}
-	return a
-}
-
-// schedule starts every job the policy allows at time now and returns them.
-func (s *state) schedule(now int64) []*Job {
-	var started []*Job
-	for {
-		progressed := false
-		s.sortPending()
-		// Start jobs in priority order while they fit.
-		for len(s.pending) > 0 && s.pending[0].Procs <= s.available() {
-			j := s.pending[0]
-			s.pending = s.pending[1:]
-			s.start(j, now)
-			started = append(started, j)
-			progressed = true
-		}
-		if !progressed || len(s.pending) == 0 {
-			break
-		}
-	}
-	if len(s.pending) == 0 {
-		return started
-	}
-	switch s.cfg.Policy {
-	case EASY:
-		return append(started, s.backfillEASY(now)...)
-	case Conservative:
-		return append(started, s.backfillConservative(now)...)
-	default:
-		return started
-	}
-}
-
-// backfillEASY reserves the earliest feasible start for the head job, then
-// starts any lower-ranked job that fits now without delaying the
-// reservation.
-func (s *state) backfillEASY(now int64) []*Job {
-	var started []*Job
-	head := s.pending[0]
-	resStart, resFree := s.reservation(now, head.Procs)
-	for i := 1; i < len(s.pending); i++ {
-		j := s.pending[i]
-		if j.Procs > s.available() {
-			continue
-		}
-		endEst := now + int64(j.Estimate)
-		// Safe if it finishes before the reservation, or if it leaves the
-		// reserved processors untouched at reservation time.
-		if endEst <= resStart || j.Procs <= resFree {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			i--
-			s.start(j, now)
-			s.backfilled++
-			started = append(started, j)
-			if endEst > resStart {
-				resFree -= j.Procs
-			}
-			if len(s.pending) == 0 {
-				break
-			}
-		}
-	}
-	return started
-}
-
-// reservation computes the earliest time the given processor count becomes
-// available assuming running jobs finish at their estimated ends, and how
-// many processors will be spare beyond the request at that time.
-func (s *state) reservation(now int64, procs int) (start int64, spare int) {
-	ends := make([]running, len(s.run))
-	copy(ends, s.run)
-	sort.Slice(ends, func(i, j int) bool { return ends[i].est < ends[j].est })
-	// Reservation planning approximates future capacity with the current
-	// offline level; a boundary crossing reschedules everything anyway.
-	free := s.available()
-	t := now
-	for _, r := range ends {
-		if free >= procs {
-			break
-		}
-		free += r.procs
-		if r.est > t {
-			t = r.est
-		}
-	}
-	return t, free - procs
-}
-
-func (s *state) start(j *Job, now int64) {
-	j.start = now
-	s.free -= j.Procs
-	heap.Push(&s.run, running{
-		procs: j.Procs,
-		end:   now + int64(j.Runtime),
-		est:   now + int64(j.Estimate),
-	})
-}
-
-// sortPending orders waiting jobs by queue priority (descending) then
-// submission time, the priority-FCFS discipline.
-func (s *state) sortPending() {
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		pi, pj := s.prio[s.pending[i].Queue], s.prio[s.pending[j].Queue]
-		if pi != pj {
-			return pi > pj
-		}
-		return s.pending[i].Submit < s.pending[j].Submit
-	})
+	return &Result{
+		Jobs:        jobs,
+		Makespan:    kr.Makespan,
+		Utilization: kr.Utilization,
+		Backfilled:  kr.Backfilled,
+	}, nil
 }

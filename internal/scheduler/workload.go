@@ -1,9 +1,6 @@
 package scheduler
 
-import (
-	"math"
-	"math/rand"
-)
+import "math"
 
 // WorkloadConfig parameterizes the synthetic job stream offered to the
 // simulated machine. Defaults (zero values) give a moderately loaded
@@ -108,86 +105,15 @@ func indexOf(names []string, name string) int {
 	return 0
 }
 
-// GenerateJobs produces a synthetic submission stream for Run.
+// GenerateJobs produces a synthetic submission stream for Run. It is the
+// single-shot composition of NewBaseTrace and an unperturbed Fill; callers
+// replaying many variants of one workload should hold the BaseTrace and
+// Fill per scenario instead.
 func GenerateJobs(cfg WorkloadConfig) []*Job {
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	jobs := make([]*Job, 0, cfg.Jobs)
-	t := float64(cfg.Start)
-	var wsum float64
-	for _, w := range cfg.QueueWeights {
-		wsum += w
-	}
-	for i := 0; i < cfg.Jobs; i++ {
-		// Diurnal modulation: submissions cluster in "working hours" of a
-		// 24h cycle, like every published workload study observes.
-		hour := math.Mod(t/3600, 24)
-		rate := 1.0
-		if hour >= 8 && hour < 20 {
-			rate = 0.6 // busier: shorter interarrivals
-		} else {
-			rate = 1.8
-		}
-		t += rng.ExpFloat64() * cfg.MeanInterarrival * rate
-
-		// Processor counts: powers of two, heavily weighted small.
-		exp := 0
-		for exp < 10 && rng.Float64() < 0.45 {
-			exp++
-		}
-		procs := 1 << exp
-		if procs > cfg.MaxProcs {
-			procs = cfg.MaxProcs
-		}
-
-		runtime := math.Exp(cfg.RuntimeMu + cfg.RuntimeSigma*rng.NormFloat64())
-		if runtime < 10 {
-			runtime = 10
-		}
-		estimate := runtime * (1 + rng.Float64()*(cfg.OverestimateMax-1))
-
-		u := rng.Float64() * wsum
-		queue := cfg.QueueNames[len(cfg.QueueNames)-1]
-		for qi, w := range cfg.QueueWeights {
-			if u <= w {
-				queue = cfg.QueueNames[qi]
-				break
-			}
-			u -= w
-		}
-		// Users route around advertised constraints: a job too long for
-		// its drawn queue goes to the next queue down that accommodates
-		// it; a job still too long for the last queue is shortened to fit
-		// (checkpoint-and-resubmit behavior).
-		for qi := indexOf(cfg.QueueNames, queue); qi < len(cfg.QueueNames); qi++ {
-			queue = cfg.QueueNames[qi]
-			ceil := cfg.QueueMaxRuntime[queue]
-			if ceil <= 0 || runtime <= ceil {
-				break
-			}
-			if qi == len(cfg.QueueNames)-1 {
-				runtime = ceil * 0.95
-			}
-		}
-		if ceil := cfg.QueueMaxRuntime[queue]; ceil > 0 && estimate > ceil {
-			estimate = ceil
-		}
-		if estimate < runtime {
-			estimate = runtime
-		}
-		// And within the queue's advertised processor cap.
-		if cap, ok := cfg.QueueMaxProcs[queue]; ok && cap > 0 && procs > cap {
-			procs = cap
-		}
-
-		jobs = append(jobs, &Job{
-			ID:       i,
-			Queue:    queue,
-			Procs:    procs,
-			Submit:   int64(t),
-			Estimate: estimate,
-			Runtime:  runtime,
-		})
+	vals := NewBaseTrace(cfg).Fill(nil, Perturbation{})
+	jobs := make([]*Job, len(vals))
+	for i := range vals {
+		jobs[i] = &vals[i]
 	}
 	return jobs
 }

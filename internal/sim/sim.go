@@ -219,10 +219,44 @@ func (h *slotHeap) pop() int32 {
 	return s
 }
 
+// Arena owns the replay loop's grown-once state — the pending-job slot
+// arena and its heap — so repeated runs (scenario grids, hypothesis cells,
+// experiment caches) stop paying the per-run growth allocations. The zero
+// value is ready; pass the same Arena to successive RunArena calls. An
+// Arena is not safe for concurrent use: pool one per worker.
+type Arena struct {
+	pool    jobPool
+	pending slotHeap
+}
+
+// reset prepares the arena for a run with np predictors, keeping every
+// backing array. The flattened bound arrays are stride-np, so they restart
+// empty regardless of the previous run's predictor count.
+func (a *Arena) reset(np int) {
+	a.pool.np = np
+	a.pool.jobs = a.pool.jobs[:0]
+	a.pool.bounds = a.pool.bounds[:0]
+	a.pool.boundOK = a.pool.boundOK[:0]
+	a.pool.free = a.pool.free[:0]
+	a.pending.pool = &a.pool
+	a.pending.slots = a.pending.slots[:0]
+}
+
 // Run replays the trace against the predictors and returns one Result per
 // predictor, in the same order. The trace must be (or will be) ordered by
 // submission time; Run sorts a copy if needed.
 func Run(t *trace.Trace, preds []predictor.Predictor, cfg Config) []Result {
+	return RunArena(t, preds, cfg, nil)
+}
+
+// RunArena is Run with caller-owned scratch state: a's arrays are reused
+// across calls, so back-to-back replays allocate only the Result slice and
+// whatever the predictors themselves allocate. A nil arena degrades to a
+// private one (exactly Run).
+func RunArena(t *trace.Trace, preds []predictor.Predictor, cfg Config, a *Arena) []Result {
+	if a == nil {
+		a = new(Arena)
+	}
 	cfg = cfg.withDefaults()
 	jobs := t.Jobs
 	if !sort.SliceIsSorted(jobs, func(i, j int) bool { return jobs[i].Submit < jobs[j].Submit }) {
@@ -242,8 +276,8 @@ func Run(t *trace.Trace, preds []predictor.Predictor, cfg Config) []Result {
 	}
 
 	trainCount := int(cfg.TrainFraction * float64(len(jobs)))
-	pool := &jobPool{np: len(preds)}
-	pending := &slotHeap{pool: pool}
+	a.reset(len(preds))
+	pool, pending := &a.pool, &a.pending
 
 	epochFloor := func(ts int64) int64 {
 		if cfg.InstantUpdates {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/predictor"
@@ -308,6 +309,31 @@ func TestEpochInsensitivity(t *testing.T) {
 		db := b[i].CorrectFraction()
 		if math.Abs(da-db) > 0.02 {
 			t.Errorf("%s: epoch sensitivity %g vs %g", a[i].Method, da, db)
+		}
+	}
+}
+
+// TestRunArenaReuseMatchesFreshRun drives one Arena through back-to-back
+// replays with different traces and predictor counts and checks every pass
+// is bit-identical to a fresh private-arena Run: residue from an earlier
+// replay (grown slot arrays, stale heap entries, a different bound stride)
+// must never leak into the next.
+func TestRunArenaReuseMatchesFreshRun(t *testing.T) {
+	a := new(Arena)
+	for pass := 0; pass < 2; pass++ {
+		for _, np := range []int{1, 3} {
+			tr := synthTrace(1500, int64(7+np))
+			mk := func() []predictor.Predictor {
+				if np == 1 {
+					return []predictor.Predictor{&scripted{bound: 200, ok: true}}
+				}
+				return predictor.Standard(0.95, 0.95, 11)
+			}
+			got := RunArena(tr, mk(), Config{}, a)
+			want := Run(tr, mk(), Config{})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pass %d np %d: reused arena diverged:\n got %+v\nwant %+v", pass, np, got, want)
+			}
 		}
 	}
 }

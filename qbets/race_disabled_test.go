@@ -1,0 +1,5 @@
+//go:build !race
+
+package qbets
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package qbets
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; wall-clock acceptance checks are skipped under its ~10x
+// instrumentation slowdown.
+const raceEnabled = true

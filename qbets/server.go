@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/whatif"
 )
 
 // Server exposes a Service over HTTP with a small JSON API, the deployment
@@ -55,6 +56,15 @@ type Server struct {
 	panics            *obs.Counter
 	predLatency       *obs.Histogram
 	forecastBatchSize *obs.Histogram
+	whatifScenarios   *obs.Counter
+	whatifCacheHits   *obs.Counter
+	whatifSizing      *obs.Counter
+	whatifLatency     *obs.Histogram
+
+	// whatifPlanners pools the capacity-planning simulators (whatif.go),
+	// keyed by base-trace length × queue filter.
+	whatifMu       sync.Mutex
+	whatifPlanners map[whatifPlannerKey]*whatif.Planner
 
 	// levelsJSON is the pre-rendered `,"quantile":…,"confidence":…`
 	// fragment of every ForecastResponse: the two floats are fixed at
@@ -122,6 +132,11 @@ func newServer(svc *Service) *Server {
 		panics:            reg.NewCounter("qbets_panics_total", "Handler panics recovered by the server."),
 		predLatency:       reg.NewHistogram("qbets_prediction_latency_seconds", "Latency of forecast and profile computations.", obs.LatencyBuckets()),
 		forecastBatchSize: reg.NewHistogram("qbets_forecast_batch_size", "Shapes per batch forecast request (POST /v1/forecast).", obs.SizeBuckets()),
+		whatifScenarios:   reg.NewCounter("qbets_whatif_scenarios_total", "Scenarios answered by POST /v1/whatif (simulated or cache-served, baseline included)."),
+		whatifCacheHits:   reg.NewCounter("qbets_whatif_cache_hits_total", "What-if scenarios served from the fingerprint-keyed cache."),
+		whatifSizing:      reg.NewCounter("qbets_whatif_sizing_requests_total", "SLO sizing searches answered by POST /v1/whatif."),
+		whatifLatency:     reg.NewHistogram("qbets_whatif_latency_seconds", "Latency of what-if grid evaluation and sizing, per request.", obs.LatencyBuckets()),
+		whatifPlanners:    make(map[whatifPlannerKey]*whatif.Planner),
 		reqCounters:       make(map[reqCounterKey]*obs.Counter),
 	}
 	s.levelsJSON = appendForecastLevels(nil, svc.Quantile(), svc.Confidence())
@@ -297,6 +312,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/v1/status":
 		endpoint = "status"
 		s.handleStatus(sw, r)
+	case "/v1/whatif":
+		endpoint = "whatif"
+		s.handleWhatif(sw, r)
 	case "/metrics":
 		endpoint = "metrics"
 		s.reg.Handler().ServeHTTP(sw, r)

@@ -1,0 +1,296 @@
+package qbets
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"net/http"
+	"time"
+
+	"repro/internal/scheduler"
+	"repro/internal/whatif"
+)
+
+// POST /v1/whatif — the capacity-planning endpoint. A request names an
+// optional live stream (queue + procs) and either a list of scenarios to
+// evaluate, an SLO sizing question, or both. Scenarios replay the
+// calibrated simulation kernel (internal/whatif); the live stream's
+// published bound — read lock-free from the same snapshot the forecast
+// endpoint serves — anchors the simulation to reality:
+//
+//	scale = live bound / simulated baseline bound
+//
+// and every simulated bound is multiplied by that scale before it is
+// compared against the live bound or an SLO target. When no live stream is
+// named (or it has no bound yet), results are reported uncalibrated at
+// scale 1.
+//
+// Simulation results are memoized per (model fingerprint, scenario): the
+// fingerprint covers the live stream's identity and forecast generation,
+// so any refit — trim, restore, or simply new observations — invalidates
+// the cached grid wholesale.
+
+const (
+	maxWhatifBody      = 1 << 20
+	maxWhatifScenarios = 256
+
+	// whatifDefaultJobs is the base-trace length scenarios replay; 2000
+	// jobs keeps a 64-scenario grid comfortably inside one second while
+	// leaving the 0.95-quantile bound well determined (MinSampleSize at
+	// 0.95/0.95 is 59).
+	whatifDefaultJobs = 2000
+	whatifMinJobs     = 200
+	whatifMaxJobs     = 20000
+
+	// maxWhatifPlanners caps the per-server planner registry (one planner
+	// per distinct workload size × queue filter, each holding a base trace
+	// and pooled kernels).
+	maxWhatifPlanners = 8
+)
+
+// WhatifScenario aliases the planner's scenario type so API clients can
+// build requests from the qbets package alone.
+type WhatifScenario = whatif.Scenario
+
+// WhatifRequest is the body of POST /v1/whatif.
+type WhatifRequest struct {
+	// Queue and Procs name the live stream to calibrate against and
+	// compare with (optional).
+	Queue string `json:"queue,omitempty"`
+	Procs int    `json:"procs,omitempty"`
+	// WorkloadJobs sizes the simulated base trace (default 2000).
+	WorkloadJobs int `json:"workload_jobs,omitempty"`
+	// Scenarios to evaluate (at most 256 per request).
+	Scenarios []whatif.Scenario `json:"scenarios,omitempty"`
+	// Sizing asks for the maximum sustainable arrival rate under an SLO.
+	Sizing *WhatifSizingRequest `json:"sizing,omitempty"`
+}
+
+// WhatifSizingRequest is the SLO sizing mode: "how much load can this
+// system take before the bound crosses target_seconds?"
+type WhatifSizingRequest struct {
+	// TargetSeconds is the SLO on the (calibrated) bound; required, > 0.
+	TargetSeconds float64 `json:"target_seconds"`
+	// Scenario fixes the non-rate parameters during the search (optional;
+	// its RateMultiplier is ignored — the search owns that axis).
+	Scenario whatif.Scenario `json:"scenario"`
+}
+
+// WhatifLive echoes the live-stream snapshot used for calibration.
+type WhatifLive struct {
+	Stream       string  `json:"stream"`
+	BoundSeconds float64 `json:"bound_seconds"`
+	BoundOK      bool    `json:"bound_ok"`
+	Observations int     `json:"observations"`
+	Generation   uint64  `json:"generation"`
+}
+
+// WhatifScenarioResult is one scenario's simulated outcome plus its
+// calibrated comparison against the live bound.
+type WhatifScenarioResult struct {
+	whatif.Outcome
+	// CalibratedBoundSeconds is BoundSeconds × the calibration scale.
+	CalibratedBoundSeconds float64 `json:"calibrated_bound_seconds"`
+	// DeltaVsLiveSeconds is CalibratedBoundSeconds − the live bound,
+	// present only when a live bound anchored the request.
+	DeltaVsLiveSeconds *float64 `json:"delta_vs_live_seconds,omitempty"`
+}
+
+// WhatifSizingResult reports the sizing answer in calibrated seconds.
+type WhatifSizingResult struct {
+	whatif.Sizing
+	// CalibratedBoundSeconds is the simulated bound at the returned rate,
+	// scaled into live seconds (equals BoundSeconds at scale 1).
+	CalibratedBoundSeconds float64 `json:"calibrated_bound_seconds"`
+}
+
+// WhatifResponse is the body of a successful POST /v1/whatif.
+type WhatifResponse struct {
+	Quantile   float64 `json:"quantile"`
+	Confidence float64 `json:"confidence"`
+	// WorkloadJobs echoes the resolved base-trace length.
+	WorkloadJobs int `json:"workload_jobs"`
+	// Live is the calibration anchor (absent when none was named).
+	Live *WhatifLive `json:"live,omitempty"`
+	// Calibrated reports whether simulated bounds were anchored to the
+	// live bound; CalibrationScale is 1 when not.
+	Calibrated       bool    `json:"calibrated"`
+	CalibrationScale float64 `json:"calibration_scale"`
+
+	Scenarios []WhatifScenarioResult `json:"scenarios,omitempty"`
+	Sizing    *WhatifSizingResult    `json:"sizing,omitempty"`
+}
+
+// whatifPlannerKey identifies one planner: base-trace length × queue
+// filter (the queue filter only applies when the live queue names one of
+// the simulated machine's queues).
+type whatifPlannerKey struct {
+	jobs  int
+	queue string
+}
+
+// planner returns (creating on first use) the pooled planner for key. The
+// registry is bounded; at capacity an arbitrary planner is evicted —
+// planners are caches, losing one costs re-simulation, not correctness.
+func (s *Server) planner(key whatifPlannerKey) *whatif.Planner {
+	s.whatifMu.Lock()
+	defer s.whatifMu.Unlock()
+	if p, ok := s.whatifPlanners[key]; ok {
+		return p
+	}
+	if len(s.whatifPlanners) >= maxWhatifPlanners {
+		for k := range s.whatifPlanners {
+			delete(s.whatifPlanners, k)
+			break
+		}
+	}
+	p := whatif.NewPlanner(whatif.Config{
+		Workload:   scheduler.WorkloadConfig{Jobs: key.jobs, Seed: 42},
+		Machine:    scheduler.DefaultMachine(),
+		Queue:      key.queue,
+		Quantile:   s.svc.Quantile(),
+		Confidence: s.svc.Confidence(),
+	})
+	s.whatifPlanners[key] = p
+	return p
+}
+
+// simQueueFilter maps a live queue name onto the simulated machine's
+// queues: when they match, simulated bounds come from that queue's waits
+// alone; otherwise all simulated waits feed the bound and the calibration
+// scale absorbs the level difference.
+func simQueueFilter(queue string) string {
+	for _, q := range scheduler.DefaultMachine().Queues {
+		if q.Name == queue {
+			return queue
+		}
+	}
+	return ""
+}
+
+// whatifFingerprint identifies the model snapshot a cached scenario grid
+// was computed against.
+func whatifFingerprint(live *WhatifLive) uint64 {
+	h := fnv.New64a()
+	if live != nil {
+		_, _ = h.Write([]byte(live.Stream))
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(live.Generation >> (8 * i))
+		}
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req WhatifRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWhatifBody))
+	if err := dec.Decode(&req); err != nil {
+		writeDecodeError(w, err, "bad JSON: %v")
+		return
+	}
+	if len(req.Scenarios) == 0 && req.Sizing == nil {
+		writeError(w, http.StatusBadRequest, "nothing to do: provide scenarios and/or sizing")
+		return
+	}
+	if len(req.Scenarios) > maxWhatifScenarios {
+		writeError(w, http.StatusBadRequest, "%d scenarios exceeds the per-request limit of %d", len(req.Scenarios), maxWhatifScenarios)
+		return
+	}
+	if req.Sizing != nil && !(req.Sizing.TargetSeconds > 0) {
+		writeError(w, http.StatusBadRequest, "sizing.target_seconds must be > 0")
+		return
+	}
+	jobs := req.WorkloadJobs
+	if jobs == 0 {
+		jobs = whatifDefaultJobs
+	}
+	if jobs < whatifMinJobs || jobs > whatifMaxJobs {
+		writeError(w, http.StatusBadRequest, "workload_jobs must be in [%d, %d]", whatifMinJobs, whatifMaxJobs)
+		return
+	}
+
+	resp := WhatifResponse{
+		Quantile:         s.svc.Quantile(),
+		Confidence:       s.svc.Confidence(),
+		WorkloadJobs:     jobs,
+		CalibrationScale: 1,
+	}
+	key := whatifPlannerKey{jobs: jobs}
+	if req.Queue != "" {
+		st, ok := s.svc.StreamStats(req.Queue, req.Procs)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no stream for queue %q procs %d", req.Queue, req.Procs)
+			return
+		}
+		resp.Live = &WhatifLive{
+			Stream:       st.Stream,
+			BoundSeconds: st.BoundSeconds,
+			BoundOK:      st.BoundOK,
+			Observations: st.Observations,
+			Generation:   st.Generation,
+		}
+		key.queue = simQueueFilter(req.Queue)
+	}
+
+	start := time.Now()
+	p := s.planner(key)
+	fp := whatifFingerprint(resp.Live)
+
+	// The unperturbed baseline anchors calibration; evaluating it with the
+	// request costs nothing extra once cached.
+	grid := make([]whatif.Scenario, 0, len(req.Scenarios)+1)
+	grid = append(grid, whatif.Scenario{})
+	grid = append(grid, req.Scenarios...)
+	outs := p.Evaluate(fp, grid)
+	base, outs := outs[0], outs[1:]
+
+	if resp.Live != nil && resp.Live.BoundOK && base.BoundOK && base.BoundSeconds > 0 {
+		resp.Calibrated = true
+		resp.CalibrationScale = resp.Live.BoundSeconds / base.BoundSeconds
+	}
+
+	cacheHits := 0
+	if base.Cached {
+		cacheHits++
+	}
+	if len(req.Scenarios) > 0 {
+		resp.Scenarios = make([]WhatifScenarioResult, len(outs))
+		for i, o := range outs {
+			res := WhatifScenarioResult{Outcome: o}
+			if o.BoundOK {
+				res.CalibratedBoundSeconds = o.BoundSeconds * resp.CalibrationScale
+				if resp.Calibrated {
+					d := res.CalibratedBoundSeconds - resp.Live.BoundSeconds
+					res.DeltaVsLiveSeconds = &d
+				}
+			}
+			if o.Cached {
+				cacheHits++
+			}
+			resp.Scenarios[i] = res
+		}
+	}
+
+	if req.Sizing != nil {
+		// The SLO is stated in live (calibrated) seconds; the search runs
+		// in simulation seconds.
+		simTarget := req.Sizing.TargetSeconds / resp.CalibrationScale
+		siz := p.SizeToSLO(fp, req.Sizing.Scenario, simTarget)
+		resp.Sizing = &WhatifSizingResult{
+			Sizing:                 siz,
+			CalibratedBoundSeconds: siz.BoundSeconds * resp.CalibrationScale,
+		}
+		resp.Sizing.TargetSeconds = req.Sizing.TargetSeconds
+		s.whatifSizing.Inc()
+	}
+
+	s.whatifScenarios.Add(uint64(len(grid)))
+	s.whatifCacheHits.Add(uint64(cacheHits))
+	s.whatifLatency.Observe(time.Since(start).Seconds())
+	writeJSON(w, &resp)
+}

@@ -1,0 +1,258 @@
+package qbets
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func decodeWhatif(t *testing.T, resp *http.Response) WhatifResponse {
+	t.Helper()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out WhatifResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestWhatifUncalibratedScenarios(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/whatif", `{
+		"workload_jobs": 500,
+		"scenarios": [
+			{"name": "base"},
+			{"name": "surge", "rate_multiplier": 4},
+			{"name": "no-backfill", "policy": "fcfs"}
+		]
+	}`)
+	out := decodeWhatif(t, resp)
+	if out.Calibrated || out.CalibrationScale != 1 {
+		t.Fatalf("no live stream but calibrated: %+v", out)
+	}
+	if out.Live != nil {
+		t.Fatal("live snapshot present without a queue")
+	}
+	if len(out.Scenarios) != 3 {
+		t.Fatalf("got %d scenario results", len(out.Scenarios))
+	}
+	for _, sc := range out.Scenarios {
+		if sc.Error != "" || !sc.BoundOK {
+			t.Fatalf("scenario %q failed: %+v", sc.Scenario.Name, sc)
+		}
+		if sc.CalibratedBoundSeconds != sc.BoundSeconds {
+			t.Errorf("scenario %q: calibrated %.1f != raw %.1f at scale 1",
+				sc.Scenario.Name, sc.CalibratedBoundSeconds, sc.BoundSeconds)
+		}
+		if sc.DeltaVsLiveSeconds != nil {
+			t.Errorf("scenario %q: delta without a live bound", sc.Scenario.Name)
+		}
+	}
+	base, surge := out.Scenarios[0], out.Scenarios[1]
+	if surge.BoundSeconds < base.BoundSeconds {
+		t.Errorf("4x load lowered the bound: %.1f < %.1f", surge.BoundSeconds, base.BoundSeconds)
+	}
+}
+
+func TestWhatifCalibratedAgainstLiveStream(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Feed one stream enough observations for a live bound.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		if err := s.svc.Observe("normal", 8, 100+400*rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, ok := s.svc.StreamStats("normal", 8)
+	if !ok || !live.BoundOK {
+		t.Fatalf("no live bound: %+v", live)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/whatif", `{
+		"queue": "normal", "procs": 8, "workload_jobs": 500,
+		"scenarios": [{"name": "base"}, {"name": "surge", "rate_multiplier": 3}]
+	}`)
+	out := decodeWhatif(t, resp)
+	if out.Live == nil || !out.Live.BoundOK {
+		t.Fatalf("live snapshot missing: %+v", out)
+	}
+	if out.Live.BoundSeconds != live.BoundSeconds {
+		t.Errorf("live bound %.2f != service %.2f", out.Live.BoundSeconds, live.BoundSeconds)
+	}
+	if !out.Calibrated {
+		t.Fatal("expected calibration against the live bound")
+	}
+	base := out.Scenarios[0]
+	// The baseline's calibrated bound equals the live bound by construction,
+	// so its delta is ~0.
+	if base.DeltaVsLiveSeconds == nil {
+		t.Fatal("baseline has no delta")
+	}
+	if d := *base.DeltaVsLiveSeconds; d > 1e-6 || d < -1e-6 {
+		t.Errorf("baseline delta = %g, want ~0", d)
+	}
+	surge := out.Scenarios[1]
+	if surge.DeltaVsLiveSeconds == nil || *surge.DeltaVsLiveSeconds < 0 {
+		t.Errorf("3x load should raise the calibrated bound above live: %+v", surge)
+	}
+
+	// Unknown stream: 404.
+	resp = postJSON(t, ts.URL+"/v1/whatif", `{"queue": "nope", "scenarios": [{}]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown stream: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestWhatifSizingMode(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Find the baseline bound first, then ask for an SLO above it: the
+	// machine should absorb at least the base rate.
+	resp := postJSON(t, ts.URL+"/v1/whatif", `{"workload_jobs": 500, "scenarios": [{}]}`)
+	base := decodeWhatif(t, resp).Scenarios[0]
+	if !base.BoundOK {
+		t.Fatal("no baseline bound")
+	}
+
+	body := fmt.Sprintf(`{"workload_jobs": 500, "sizing": {"target_seconds": %g}}`, base.BoundSeconds*2)
+	out := decodeWhatif(t, postJSON(t, ts.URL+"/v1/whatif", body))
+	if out.Sizing == nil {
+		t.Fatal("no sizing result")
+	}
+	if !out.Sizing.OK {
+		t.Fatalf("sizing found no feasible rate: %+v", out.Sizing)
+	}
+	if out.Sizing.MaxRateMultiplier < 1 {
+		t.Errorf("SLO at 2x the base bound should allow at least the base rate, got %.3f", out.Sizing.MaxRateMultiplier)
+	}
+	if out.Sizing.CalibratedBoundSeconds > base.BoundSeconds*2 {
+		t.Errorf("sizing answer violates its own target: %.1f > %.1f",
+			out.Sizing.CalibratedBoundSeconds, base.BoundSeconds*2)
+	}
+
+	// Validation.
+	resp = postJSON(t, ts.URL+"/v1/whatif", `{"sizing": {"target_seconds": 0}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero target: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestWhatifValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty", `{}`, http.StatusBadRequest},
+		{"bad-json", `{`, http.StatusBadRequest},
+		{"jobs-too-small", `{"workload_jobs": 10, "scenarios": [{}]}`, http.StatusBadRequest},
+		{"jobs-too-large", `{"workload_jobs": 100000, "scenarios": [{}]}`, http.StatusBadRequest},
+		{"too-many-scenarios", `{"scenarios": [` + strings.Repeat(`{},`, 256) + `{}]}`, http.StatusBadRequest},
+		{"get-method", ``, http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		if tc.name == "get-method" {
+			r, err := http.Get(ts.URL + "/v1/whatif")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { r.Body.Close() })
+			resp = r
+		} else {
+			resp = postJSON(t, ts.URL+"/v1/whatif", tc.body)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+func TestWhatifCacheMetricsAndRefitInvalidation(t *testing.T) {
+	s, ts := newTestServer(t)
+	body := `{"workload_jobs": 500, "scenarios": [{"rate_multiplier": 1.5}]}`
+
+	decodeWhatif(t, postJSON(t, ts.URL+"/v1/whatif", body))
+	if got := s.whatifScenarios.Value(); got != 2 { // baseline + 1 scenario
+		t.Fatalf("scenarios counter = %d, want 2", got)
+	}
+	first := s.whatifCacheHits.Value()
+
+	out := decodeWhatif(t, postJSON(t, ts.URL+"/v1/whatif", body))
+	if !out.Scenarios[0].Cached {
+		t.Fatal("repeat scenario not served from cache")
+	}
+	if got := s.whatifCacheHits.Value(); got != first+2 {
+		t.Fatalf("cache hits = %d, want %d", got, first+2)
+	}
+
+	// Now anchor to a live stream and refit it: the fingerprint moves with
+	// the forecast generation, so the cached grid must be recomputed.
+	rng := rand.New(rand.NewSource(3))
+	observe := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := s.svc.Observe("normal", 8, 50+100*rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	observe(200)
+	liveBody := `{"queue": "normal", "procs": 8, "workload_jobs": 500, "scenarios": [{"rate_multiplier": 1.5}]}`
+	if out := decodeWhatif(t, postJSON(t, ts.URL+"/v1/whatif", liveBody)); out.Scenarios[0].Cached {
+		t.Fatal("new fingerprint served stale cache")
+	}
+	out = decodeWhatif(t, postJSON(t, ts.URL+"/v1/whatif", liveBody))
+	if !out.Scenarios[0].Cached {
+		t.Fatal("same generation should hit the cache")
+	}
+	observe(1) // bump the stream generation: refit invalidates
+	if out := decodeWhatif(t, postJSON(t, ts.URL+"/v1/whatif", liveBody)); out.Scenarios[0].Cached {
+		t.Fatal("generation bump did not invalidate the scenario cache")
+	}
+
+	if s.whatifLatency.Count() == 0 {
+		t.Error("whatif latency histogram never observed")
+	}
+}
+
+// TestWhatifGridLatency is the acceptance check behind the benchmark: a
+// 64-scenario grid over a 2000-job trace answers in under a second.
+func TestWhatifGridLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	_, ts := newTestServer(t)
+	var sb strings.Builder
+	sb.WriteString(`{"scenarios": [`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"rate_multiplier": %.3f, "procs": %d}`, 0.25+float64(i%16)*0.25, []int{0, 96, 64, 32}[i/16])
+	}
+	sb.WriteString(`]}`)
+
+	start := time.Now()
+	out := decodeWhatif(t, postJSON(t, ts.URL+"/v1/whatif", sb.String()))
+	elapsed := time.Since(start)
+	if len(out.Scenarios) != 64 {
+		t.Fatalf("got %d results", len(out.Scenarios))
+	}
+	for _, sc := range out.Scenarios {
+		if sc.Error != "" {
+			t.Fatalf("scenario failed: %+v", sc)
+		}
+	}
+	if raceEnabled {
+		t.Logf("64-scenario grid took %v under the race detector; the < 1s bar applies uninstrumented", elapsed)
+	} else if elapsed > time.Second {
+		t.Errorf("64-scenario grid took %v, want < 1s", elapsed)
+	}
+}
