@@ -1,8 +1,8 @@
 # BENCH_JSON is where `make bench` drops its machine-readable results;
 # CI uploads it as an artifact so the perf trajectory is recorded per PR.
 # BENCH_BASELINE is what `make bench-compare` diffs against.
-BENCH_JSON ?= BENCH_PR9.json
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR10.json
+BENCH_BASELINE ?= BENCH_PR9.json
 
 .PHONY: build test race crash replication-crash cover hypo hypo-full bench bench-compare
 
@@ -20,8 +20,10 @@ crash:
 
 # replication-crash repeats the replicated-serving fault trials (leader
 # power cut, partition-and-heal, epoch-fenced failover, snapshot
-# catch-up) race-enabled: timing-rich code, so -count=5 -race is the
-# tier that shakes out interleavings a single run would miss.
+# catch-up, three-follower fan-out, K-of-N commit quorum, and a torn
+# mid-chunk snapshot transfer) race-enabled: timing-rich code, so
+# -count=5 -race is the tier that shakes out interleavings a single run
+# would miss.
 replication-crash:
 	go test -count=5 -race ./internal/repl/
 	go test -run 'Crash|Repl' -count=5 -race ./internal/crashprop/
@@ -52,7 +54,10 @@ hypo-full:
 # $(BENCH_JSON): one entry per benchmark with ns/op, B/op, allocs/op,
 # cpus, and any custom metrics such as records/s. The read-plane benches
 # run at -cpu 1,4 so contention behaviour is on record alongside the
-# single-threaded numbers. The scale benches (million-stream registry,
+# single-threaded numbers. The replication set records the shipping
+# plane: ShipThroughput fans out to 1/2/4/8 followers (aggregate
+# records/s proves frame-once/ship-many), and SnapshotCatchup times a
+# chunked 4 MiB catch-up one-shot-style at -benchtime=20x. The scale benches (million-stream registry,
 # stream-creation churn) are sized one-shot runs, so they go at
 # -benchtime=1x; their custom metrics (create-ns/stream, heapB/stream,
 # read-p50/p99-ns) land in "metrics". The what-if set (kernel replay,
@@ -63,9 +68,10 @@ bench:
 	@set -e; \
 	out=$$(mktemp); \
 	go test -run '^$$' -bench PredictionLatency -benchmem . >> $$out; \
-	go test -run '^$$' -bench 'ServiceObserve|ServerObserveBatch' -benchmem ./qbets/ >> $$out; \
+	go test -run '^$$' -bench 'ServiceObserve|ServerObserveBatch' -count=3 -benchmem ./qbets/ >> $$out; \
 	go test -run '^$$' -bench 'ServiceForecast|ServiceProfile|ServiceReadWhileIngest|ServerForecast|FollowerForecast' -cpu 1,4 -benchmem ./qbets/ >> $$out; \
-	go test -run '^$$' -bench 'ShipThroughput' -benchmem ./internal/repl/ >> $$out; \
+	go test -run '^$$' -bench 'ShipThroughput' -count=3 -benchmem ./internal/repl/ >> $$out; \
+	go test -run '^$$' -bench 'SnapshotCatchup' -benchtime=20x -benchmem ./internal/repl/ >> $$out; \
 	go test -run '^$$' -bench 'SchedulerRun|RunHeap' -benchmem ./internal/scheduler/ >> $$out; \
 	go test -run '^$$' -bench 'WhatifGrid' -benchmem ./internal/whatif/ >> $$out; \
 	go test -run '^$$' -bench 'MillionStreams|StreamCreationChurn' -benchtime=1x -timeout 30m ./qbets/ >> $$out; \

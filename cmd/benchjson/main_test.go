@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -92,6 +93,36 @@ func TestCompareUnreadableFile(t *testing.T) {
 	badPath := writeBench(t, "bad.json", `{not json`)
 	if code := runCompare(oldPath, badPath, 1.25); code != 2 {
 		t.Errorf("malformed file: exit %d, want 2", code)
+	}
+}
+
+func TestCollectKeepsFastestRepetition(t *testing.T) {
+	// A -count=N run emits the same benchmark several times; the JSON
+	// artifact keeps the fastest repetition (lowest ns/op), with its
+	// custom metrics, so one bad scheduling rhythm on a small box cannot
+	// poison the recorded number. Distinct GOMAXPROCS stay separate.
+	in := strings.NewReader(`goos: linux
+BenchmarkShip/f=8   1000   700 ns/op   9000000 records/s
+BenchmarkShip/f=8   1000   615 ns/op   13000000 records/s
+BenchmarkShip/f=8   1000   650 ns/op   12000000 records/s
+BenchmarkShip/f=8-4   1000   900 ns/op   8000000 records/s
+`)
+	var passthru strings.Builder
+	rs, err := collect(in, &passthru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(rs), rs)
+	}
+	if rs[0].NsPerOp != 615 || rs[0].Metrics["records/s"] != 13000000 {
+		t.Errorf("kept repetition %+v, want the 615 ns/op one", rs[0])
+	}
+	if rs[1].Cpus != 4 || rs[1].NsPerOp != 900 {
+		t.Errorf("GOMAXPROCS=4 run merged away: %+v", rs[1])
+	}
+	if passthru.String() != "goos: linux\n" {
+		t.Errorf("passthru = %q", passthru.String())
 	}
 }
 

@@ -85,6 +85,9 @@ func main() {
 		epochDir    = flag.String("epoch-dir", "", "directory persisting the replication epoch (the fencing token); required with -replicate-to or -follow")
 		maxLag      = flag.Uint64("max-follower-lag", 10000, "follower lag bound in records: past it /healthz degrades to 503 until the follower catches up (0 never degrades)")
 		syncRepl    = flag.Bool("sync-replication", false, "leader acks a write only after a follower acknowledged it durable (requires -replicate-to)")
+		syncQuorum  = flag.Int("sync-replication-quorum", 1, "acks required before a synchronous write commits: K of N connected followers (requires -sync-replication)")
+		replWinMsgs = flag.Int("repl-window-batches", 0, "per-follower in-flight window in messages: batches or snapshot chunks on the wire before backpressure (0 = default 32)")
+		replWinB    = flag.Int("repl-window-bytes", 0, "per-follower in-flight window in payload bytes (0 = default 1 MiB)")
 	)
 	flag.Parse()
 	if *pprofOn && *metricsAddr == "" {
@@ -104,6 +107,12 @@ func main() {
 	}
 	if *syncRepl && *replicateTo == "" {
 		log.Fatal("-sync-replication requires -replicate-to")
+	}
+	if *syncQuorum < 1 {
+		log.Fatal("-sync-replication-quorum must be at least 1")
+	}
+	if *syncQuorum > 1 && !*syncRepl {
+		log.Fatal("-sync-replication-quorum above 1 requires -sync-replication")
 	}
 
 	server := qbets.NewServer(*byProcs,
@@ -196,7 +205,10 @@ func main() {
 			log.Fatal(err)
 		}
 		replLeader = repl.NewLeader(obsLog, server.Service(), repl.LeaderOptions{
-			Epoch: epoch,
+			Epoch:         epoch,
+			Quorum:        *syncQuorum,
+			WindowBatches: *replWinMsgs,
+			WindowBytes:   *replWinB,
 			OnFence: func(e uint64) {
 				log.Printf("repl: fenced by epoch %d; this node will never ack again (restart to rejoin)", e)
 			},
@@ -210,7 +222,7 @@ func main() {
 			server.Service().SetCommitHook(replLeader.CommitWait)
 		}
 		server.SetLeaderReplication(replLeader)
-		log.Printf("repl: leading epoch %d on %s (sync-replication %v)", epoch, *replicateTo, *syncRepl)
+		log.Printf("repl: leading epoch %d on %s (sync-replication %v, quorum %d)", epoch, *replicateTo, *syncRepl, *syncQuorum)
 	}
 	if *follow != "" {
 		epochs, err := repl.NewFileEpochStore(*epochDir)

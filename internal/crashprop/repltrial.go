@@ -41,6 +41,19 @@ const (
 	// ScenarioCatchup connects the follower only after the leader's log
 	// has been compacted, forcing snapshot-based catch-up.
 	ScenarioCatchup = "catchup"
+	// ScenarioFanout replicates one leader to three followers at once;
+	// every follower must converge to the acked-prefix oracle exactly.
+	ScenarioFanout = "fanout"
+	// ScenarioQuorum runs synchronous replication with commit quorum
+	// K=2 of 3 followers: writes keep committing after one follower drops
+	// (2 >= K), and are refused once a second drops (1 < K) — while the
+	// refused-but-durable record still ships to the survivor.
+	ScenarioQuorum = "quorum"
+	// ScenarioTornSnapshot severs the transport mid-chunked-snapshot (a
+	// torn shard stream): the follower must discard the partial install,
+	// reconnect, re-request the snapshot from scratch, and converge to
+	// the acked-prefix oracle exactly.
+	ScenarioTornSnapshot = "tornsnapshot"
 )
 
 // ReplTrialConfig parameterizes one replication trial. As with
@@ -85,6 +98,15 @@ type ReplTrialResult struct {
 	// RecoveredAllAcked: recovery of the crashed leader replayed every
 	// acked record.
 	RecoveredAllAcked bool
+	// FanoutConverged: every follower in the fan-out converged to the
+	// acked-prefix oracle exactly.
+	FanoutConverged bool
+	// QuorumRefusedBelowK: with fewer than K followers reachable, a
+	// synchronous write was refused rather than acked.
+	QuorumRefusedBelowK bool
+	// TornTransfer: the follower discarded at least one partial chunked
+	// snapshot install (a torn shard stream).
+	TornTransfer bool
 }
 
 // replNode bundles one service with its WAL and filesystem.
@@ -197,7 +219,15 @@ func RunReplTrial(cfg ReplTrialConfig) (ReplTrialResult, error) {
 		return res, err
 	}
 	ldrEpochs := &repl.MemEpochStore{}
-	ldr := repl.NewLeader(leader.w, leader.svc, repl.LeaderOptions{Epoch: 1, HeartbeatEvery: 10 * time.Millisecond})
+	ldrOpt := repl.LeaderOptions{Epoch: 1, HeartbeatEvery: 10 * time.Millisecond}
+	if cfg.Scenario == ScenarioQuorum {
+		// K=2 of 3: commits need two follower acks. The timeout bounds the
+		// below-quorum refusal probe, not the happy path (which is
+		// event-driven and milliseconds).
+		ldrOpt.Quorum = 2
+		ldrOpt.CommitTimeout = 750 * time.Millisecond
+	}
+	ldr := repl.NewLeader(leader.w, leader.svc, ldrOpt)
 	defer ldr.Close()
 	go ldr.Serve(ln)
 	_ = ldrEpochs.Save(1)
@@ -424,6 +454,132 @@ func RunReplTrial(cfg ReplTrialConfig) (ReplTrialResult, error) {
 			return res, fmt.Errorf("follower converged without the required snapshot")
 		}
 		// Catch-up keeps working live: post-snapshot appends still ship.
+		if err := observeWorkload(leader.svc, rng, 5, &log); err != nil {
+			return res, err
+		}
+		res.Appended, res.Acked = len(log), len(log)
+		if err := quiesce(folSvc, len(log)); err != nil {
+			return res, err
+		}
+
+	case ScenarioFanout:
+		// Frame-once/ship-many: three followers ride one leader, and every
+		// one must converge to the same acked-prefix oracle.
+		const fanout = 3
+		folSvcs := make([]*qbets.Service, fanout)
+		for i := 0; i < fanout; i++ {
+			folSvc, fol, err := startFollower(tr, "leader", &repl.MemEpochStore{}, cfg.Seed+2+int64(i))
+			if err != nil {
+				return res, err
+			}
+			defer fol.Close()
+			folSvcs[i] = folSvc
+		}
+		if err := observeWorkload(leader.svc, rng, n, &log); err != nil {
+			return res, err
+		}
+		res.Appended, res.Acked = len(log), len(log)
+		for _, folSvc := range folSvcs {
+			if err := quiesce(folSvc, len(log)); err != nil {
+				return res, err
+			}
+		}
+		res.Converged = true
+		res.FanoutConverged = true
+
+	case ScenarioQuorum:
+		// Synchronous replication with commit quorum K=2 of 3 (set in the
+		// leader options above).
+		leader.svc.SetCommitHook(ldr.CommitWait)
+		folSvcs := make([]*qbets.Service, 3)
+		fols := make([]*repl.Follower, 3)
+		for i := range fols {
+			folSvc, fol, err := startFollower(tr, "leader", &repl.MemEpochStore{}, cfg.Seed+2+int64(i))
+			if err != nil {
+				return res, err
+			}
+			defer fol.Close()
+			folSvcs[i], fols[i] = folSvc, fol
+		}
+		half := n / 2
+		if err := observeWorkload(leader.svc, rng, half, &log); err != nil {
+			return res, err
+		}
+		for _, folSvc := range folSvcs {
+			if err := quiesce(folSvc, len(log)); err != nil {
+				return res, err
+			}
+		}
+		// One follower drops. Two remain — still >= K, so writes keep
+		// acking without it.
+		fols[2].Close()
+		if err := observeWorkload(leader.svc, rng, n-half, &log); err != nil {
+			return res, err
+		}
+		res.Appended, res.Acked = len(log), len(log)
+		for _, folSvc := range folSvcs[:2] {
+			if err := quiesce(folSvc, len(log)); err != nil {
+				return res, err
+			}
+		}
+		res.Converged = true
+		// A second drop leaves one reachable follower — below K. The next
+		// write must be refused: it is appended and durable on the leader
+		// (apply-then-wait), but the ack is withheld.
+		fols[1].Close()
+		probeErr := leader.svc.Observe(TrialQueues[0], 1, 1)
+		res.QuorumRefusedBelowK = errors.Is(probeErr, qbets.ErrReadOnly)
+		if !res.QuorumRefusedBelowK {
+			return res, fmt.Errorf("below-quorum write was not refused (err=%v)", probeErr)
+		}
+		// The refused-but-durable record still ships: the survivor converges
+		// to the full durable log, ack or no ack.
+		log = append(log, replObs{TrialQueues[0], 1})
+		res.Appended = len(log)
+		if err := quiesce(folSvcs[0], len(log)); err != nil {
+			return res, err
+		}
+
+	case ScenarioTornSnapshot:
+		// One stream per chunk, so the tiny trial state still yields a
+		// multi-chunk transfer to tear.
+		leader.svc.SetSnapshotChunkStreams(1)
+		if err := observeWorkload(leader.svc, rng, n, &log); err != nil {
+			return res, err
+		}
+		res.Appended, res.Acked = len(log), len(log)
+		cut, err := leader.w.Rotate()
+		if err != nil {
+			return res, fmt.Errorf("rotate: %w", err)
+		}
+		if err := leader.w.RemoveSegmentsBelow(cut); err != nil {
+			return res, fmt.Errorf("compact: %w", err)
+		}
+		// Sever after four message deliveries: hello, snapBegin, and two
+		// more. The workload touches at least three queues, so at least
+		// three chunks were coming and snapEnd cannot have been delivered —
+		// the transfer is torn mid-chunk-stream no matter how the two
+		// directions interleave.
+		tr.SeverAfter(4)
+		folSvc, fol, err := startFollower(tr, "leader", folEpochs, cfg.Seed+2)
+		if err != nil {
+			return res, err
+		}
+		defer fol.Close()
+		if err := quiesce(folSvc, len(log)); err != nil {
+			return res, err
+		}
+		res.Converged = true
+		res.SnapshotInstalled = fol.SnapshotsInstalled() >= 1
+		res.TornTransfer = fol.SnapshotAborts() >= 1
+		res.Reconnected = fol.Reconnects() >= 2
+		if !res.TornTransfer {
+			return res, fmt.Errorf("transfer was not torn (aborts=%d, reconnects=%d)", fol.SnapshotAborts(), fol.Reconnects())
+		}
+		if !res.SnapshotInstalled {
+			return res, fmt.Errorf("follower converged without the required snapshot")
+		}
+		// The re-requested install keeps serving the live tail.
 		if err := observeWorkload(leader.svc, rng, 5, &log); err != nil {
 			return res, err
 		}

@@ -14,6 +14,9 @@ func TestReplTrialScenarios(t *testing.T) {
 		{Scenario: ScenarioLeaderCrash},
 		{Scenario: ScenarioFailover},
 		{Scenario: ScenarioCatchup},
+		{Scenario: ScenarioFanout},
+		{Scenario: ScenarioQuorum},
+		{Scenario: ScenarioTornSnapshot},
 	}
 	for _, cfg := range scenarios {
 		cfg := cfg
@@ -44,7 +47,7 @@ func TestReplTrialScenarios(t *testing.T) {
 // hypothesis tier depends on: for a fixed seed, the quiescent counts and
 // outcome booleans are identical across runs.
 func TestReplTrialDeterministicCounts(t *testing.T) {
-	for _, scenario := range []string{ScenarioSteady, ScenarioPartition, ScenarioLeaderCrash, ScenarioFailover, ScenarioCatchup} {
+	for _, scenario := range []string{ScenarioSteady, ScenarioPartition, ScenarioLeaderCrash, ScenarioFailover, ScenarioCatchup, ScenarioFanout, ScenarioQuorum, ScenarioTornSnapshot} {
 		cfg := ReplTrialConfig{Seed: 42, Scenario: scenario}
 		a, err := RunReplTrial(cfg)
 		if err != nil {

@@ -1,7 +1,9 @@
 package repl
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -39,10 +41,20 @@ func (s benchSnap) ReplicaSnapshot() (uint64, []byte, error) {
 }
 
 // BenchmarkShipThroughput measures end-to-end replication throughput over
-// the in-memory transport: records appended to a MemFS WAL, tailed and
-// batch-framed by the leader, applied and acked by one follower. The
-// custom metric is records/s at the follower's applied watermark.
+// the in-memory transport across a fan-out matrix: records appended to a
+// MemFS WAL, tailed and batch-framed once by the leader, shipped to F
+// followers, applied and acked by each. The custom metric is aggregate
+// records/s — records delivered across all followers — so frame-once/
+// ship-many shows up as scaling with F rather than a flat line.
 func BenchmarkShipThroughput(b *testing.B) {
+	for _, followers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("followers=%d", followers), func(b *testing.B) {
+			benchShipThroughput(b, followers)
+		})
+	}
+}
+
+func benchShipThroughput(b *testing.B, followers int) {
 	fs := wal.NewMemFS()
 	w, err := wal.Open("wal", wal.Options{FS: fs, Mode: wal.SyncEachRecord})
 	if err != nil {
@@ -53,28 +65,32 @@ func BenchmarkShipThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 
-	app := &benchApp{}
 	tr := NewMemTransport()
-	ldr := NewLeader(w, benchSnap{app}, LeaderOptions{Epoch: 1})
+	snapApp := &benchApp{}
+	ldr := NewLeader(w, benchSnap{snapApp}, LeaderOptions{Epoch: 1})
 	defer ldr.Close()
 	ln, err := tr.Listen("leader")
 	if err != nil {
 		b.Fatal(err)
 	}
 	go ldr.Serve(ln)
-	fol, err := NewFollower(app, FollowerOptions{Addr: "leader", Transport: tr})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer fol.Close()
-	go fol.Run()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for !fol.Connected() {
-		if time.Now().After(deadline) {
-			b.Fatal("follower never connected")
+	apps := make([]*benchApp, followers)
+	for i := range apps {
+		apps[i] = &benchApp{}
+		fol, err := NewFollower(apps[i], FollowerOptions{Addr: "leader", Transport: tr})
+		if err != nil {
+			b.Fatal(err)
 		}
-		time.Sleep(time.Millisecond)
+		defer fol.Close()
+		go fol.Run()
+		deadline := time.Now().Add(10 * time.Second)
+		for !fol.Connected() {
+			if time.Now().After(deadline) {
+				b.Fatalf("follower %d never connected", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
 	}
 
 	const chunk = 256
@@ -96,14 +112,80 @@ func BenchmarkShipThroughput(b *testing.B) {
 		}
 		appended += uint64(m)
 	}
-	deadline = time.Now().Add(30 * time.Second)
-	for app.applied.Load() < appended {
-		if time.Now().After(deadline) {
-			b.Fatalf("follower applied %d of %d", app.applied.Load(), appended)
+	deadline := time.Now().Add(30 * time.Second)
+	for _, app := range apps {
+		for app.applied.Load() < appended {
+			if time.Now().After(deadline) {
+				b.Fatalf("follower applied %d of %d", app.applied.Load(), appended)
+			}
+			time.Sleep(time.Millisecond)
 		}
-		time.Sleep(time.Millisecond)
 	}
 	elapsed := time.Since(start).Seconds()
 	b.StopTimer()
-	b.ReportMetric(float64(appended)/elapsed, "records/s")
+	b.ReportMetric(float64(appended*uint64(followers))/elapsed, "records/s")
+	b.ReportMetric(float64(ldr.BatchCacheHits()), "cache-hits")
+	b.ReportMetric(float64(ldr.BatchCacheMisses()), "cache-misses")
+}
+
+// BenchmarkSnapshotCatchup measures chunked snapshot catch-up: each
+// iteration connects a fresh follower that must install a 128-chunk,
+// ~4 MiB snapshot (rendered, CRC-framed, windowed, acked) before it is
+// caught up. The custom metric is snapshot bytes per second of transfer.
+func BenchmarkSnapshotCatchup(b *testing.B) {
+	fs := wal.NewMemFS()
+	w, err := wal.Open("wal", wal.Options{FS: fs, Mode: wal.SyncEachRecord})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Replay(func(wal.Record) {}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Append("q", 1, 1); err != nil {
+		b.Fatal(err)
+	}
+
+	const chunks = 128
+	const chunkBytes = 32 << 10
+	payload := make([][]byte, chunks)
+	total := 0
+	for i := range payload {
+		payload[i] = bytes.Repeat([]byte{byte(i)}, chunkBytes)
+		total += chunkBytes
+	}
+	tr := NewMemTransport()
+	snap := &stubStreamSnap{w: w, chunks: payload}
+	ldr := NewLeader(w, snap, LeaderOptions{Epoch: 1})
+	defer ldr.Close()
+	ln, err := tr.Listen("leader")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go ldr.Serve(ln)
+
+	covered := w.SyncedSeq()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for n := 0; n < b.N; n++ {
+		app := &benchApp{}
+		fol, err := NewFollower(app, FollowerOptions{Addr: "leader", Transport: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go fol.Run()
+		deadline := time.Now().Add(30 * time.Second)
+		for app.applied.Load() < covered {
+			if time.Now().After(deadline) {
+				fol.Close()
+				b.Fatal("catch-up never completed")
+			}
+			runtime.Gosched()
+		}
+		fol.Close()
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	b.ReportMetric(float64(total*b.N)/elapsed, "snap-bytes/s")
 }

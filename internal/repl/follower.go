@@ -1,6 +1,8 @@
 package repl
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -12,11 +14,28 @@ import (
 // ReplicaApp is the follower-side application surface: the forecast
 // service in follower mode. ApplyReplicated must refuse batches that do
 // not extend its applied prefix (the gap error forces a reconnect, which
-// renegotiates position via the hello).
+// renegotiates position via the hello). Records passed to ApplyReplicated
+// are only valid for the duration of the call — the decode buffer is
+// reused — so implementations copy what they keep.
 type ReplicaApp interface {
 	ReplicaAppliedSeq() uint64
 	ApplyReplicated(prevSeq uint64, recs []wal.Record) error
 	InstallReplicaSnapshot(coveredSeq uint64, blob []byte) error
+}
+
+// ChunkedReplicaApp is the streaming upgrade of ReplicaApp: the app
+// ingests a catch-up snapshot chunk by chunk instead of as one blob, so
+// follower install memory is O(chunk) too. Begin/Apply/Commit follow the
+// leader's snapBegin/snapChunk/snapEnd exactly; Abort discards a partial
+// install after a torn transfer (the reconnect hello then re-requests the
+// snapshot from scratch). Apps that do not implement it still work — the
+// follower assembles the chunks and calls InstallReplicaSnapshot.
+type ChunkedReplicaApp interface {
+	ReplicaApp
+	BeginReplicaSnapshot(coveredSeq uint64, header []byte) error
+	ApplyReplicaSnapshotChunk(index int, chunk []byte) error
+	CommitReplicaSnapshot(coveredSeq uint64) error
+	AbortReplicaSnapshot()
 }
 
 // FollowerOptions configures a Follower.
@@ -48,8 +67,9 @@ type FollowerOptions struct {
 // reconnects forever with capped exponential backoff plus jitter until
 // Closed or Promoted.
 type Follower struct {
-	app ReplicaApp
-	opt FollowerOptions
+	app      ReplicaApp
+	chunkApp ChunkedReplicaApp // non-nil when app supports chunked installs
+	opt      FollowerOptions
 
 	mu     sync.Mutex
 	epoch  uint64 // highest epoch witnessed, persisted before adopted
@@ -64,11 +84,13 @@ type Follower struct {
 	leaderSeq   atomic.Uint64 // leader's advertised durability watermark
 	lastBackoff atomic.Int64  // nanoseconds; Retry-After hint
 
-	reconnects atomic.Uint64
-	batchesIn  atomic.Uint64
-	recordsIn  atomic.Uint64
-	snapshots  atomic.Uint64
-	rejects    atomic.Uint64
+	reconnects   atomic.Uint64
+	batchesIn    atomic.Uint64
+	recordsIn    atomic.Uint64
+	snapshots    atomic.Uint64
+	rejects      atomic.Uint64
+	snapChunksIn atomic.Uint64
+	snapAborts   atomic.Uint64
 }
 
 // NewFollower wires a follower to its app and leader address, loading
@@ -87,6 +109,7 @@ func NewFollower(app ReplicaApp, opt FollowerOptions) (*Follower, error) {
 		opt.HeartbeatTimeout = 3 * time.Second
 	}
 	f := &Follower{app: app, opt: opt, done: make(chan struct{})}
+	f.chunkApp, _ = app.(ChunkedReplicaApp)
 	if opt.Epochs != nil {
 		e, err := opt.Epochs.Load()
 		if err != nil {
@@ -223,13 +246,17 @@ func (f *Follower) RetryAfter() time.Duration {
 	return time.Second
 }
 
-// Reconnects, BatchesApplied, RecordsApplied, SnapshotsInstalled, and
-// RejectsSent are cumulative counters for the metrics plane.
-func (f *Follower) Reconnects() uint64         { return f.reconnects.Load() }
-func (f *Follower) BatchesApplied() uint64     { return f.batchesIn.Load() }
-func (f *Follower) RecordsApplied() uint64     { return f.recordsIn.Load() }
-func (f *Follower) SnapshotsInstalled() uint64 { return f.snapshots.Load() }
-func (f *Follower) RejectsSent() uint64        { return f.rejects.Load() }
+// Reconnects, BatchesApplied, RecordsApplied, SnapshotsInstalled,
+// RejectsSent, SnapshotChunksApplied, and SnapshotAborts are cumulative
+// counters for the metrics plane. SnapshotAborts counts torn chunked
+// transfers discarded before commit.
+func (f *Follower) Reconnects() uint64            { return f.reconnects.Load() }
+func (f *Follower) BatchesApplied() uint64        { return f.batchesIn.Load() }
+func (f *Follower) RecordsApplied() uint64        { return f.recordsIn.Load() }
+func (f *Follower) SnapshotsInstalled() uint64    { return f.snapshots.Load() }
+func (f *Follower) RejectsSent() uint64           { return f.rejects.Load() }
+func (f *Follower) SnapshotChunksApplied() uint64 { return f.snapChunksIn.Load() }
+func (f *Follower) SnapshotAborts() uint64        { return f.snapAborts.Load() }
 
 // adoptEpoch persists then records a higher epoch learned from the wire.
 func (f *Follower) adoptEpoch(e uint64) error {
@@ -312,6 +339,17 @@ func (f *Follower) session(c Conn) (productive bool) {
 		}()
 	}
 
+	// snap tracks a chunked install in progress. Any protocol deviation —
+	// a hole in the chunk indices, a checksum mismatch, an unexpected
+	// message — aborts the partial install and drops the session; the
+	// reconnect hello re-requests the snapshot from scratch.
+	var snap snapState
+	defer func() {
+		if snap.active {
+			f.abortSnap(&snap)
+		}
+	}()
+	var dec wal.FrameDecoder
 	for {
 		b, rerr := c.Recv()
 		if rerr != nil {
@@ -335,6 +373,12 @@ func (f *Follower) session(c Conn) (productive bool) {
 				return productive
 			}
 		}
+		if snap.active && m.kind != msgSnapChunk && m.kind != msgSnapEnd && m.kind != msgHeartbeat {
+			// The leader never interleaves other traffic with a chunk
+			// stream; anything else means the stream is torn.
+			f.abortSnap(&snap)
+			return productive
+		}
 		switch m.kind {
 		case msgSnapshot:
 			if f.app.InstallReplicaSnapshot(m.arg, m.payload) != nil {
@@ -343,8 +387,59 @@ func (f *Follower) session(c Conn) (productive bool) {
 			f.snapshots.Add(1)
 			f.maxLeaderSeq(m.arg)
 			productive = true
+		case msgSnapBegin:
+			if f.chunkApp != nil {
+				if f.chunkApp.BeginReplicaSnapshot(m.arg, m.payload) != nil {
+					return productive
+				}
+			} else {
+				snap.blob = snap.blob[:0]
+			}
+			snap.active, snap.covered, snap.next = true, m.arg, 0
+			// No ack: the chunk window is driven by snapAcks, and the
+			// applied watermark has not moved yet.
+			continue
+		case msgSnapChunk:
+			if !snap.active || m.arg != uint64(snap.next) || len(m.payload) < 4 ||
+				crc32.Checksum(m.payload[4:], tcpCastagnoli) != binary.LittleEndian.Uint32(m.payload[:4]) {
+				f.abortSnap(&snap)
+				return productive
+			}
+			chunk := m.payload[4:]
+			if f.chunkApp != nil {
+				if f.chunkApp.ApplyReplicaSnapshotChunk(snap.next, chunk) != nil {
+					f.abortSnap(&snap)
+					return productive
+				}
+			} else {
+				snap.blob = append(snap.blob, chunk...)
+			}
+			snap.next++
+			f.snapChunksIn.Add(1)
+			if sbuf, err = f.send(c, sbuf, message{kind: msgSnapAck, epoch: f.Epoch(), arg: m.arg}); err != nil {
+				return productive
+			}
+			continue
+		case msgSnapEnd:
+			if !snap.active || m.arg != snap.covered {
+				f.abortSnap(&snap)
+				return productive
+			}
+			if f.chunkApp != nil {
+				if f.chunkApp.CommitReplicaSnapshot(snap.covered) != nil {
+					f.abortSnap(&snap)
+					return productive
+				}
+			} else if f.app.InstallReplicaSnapshot(snap.covered, snap.blob) != nil {
+				snap.active = false
+				return productive
+			}
+			snap.active = false
+			f.snapshots.Add(1)
+			f.maxLeaderSeq(snap.covered)
+			productive = true
 		case msgBatch:
-			recs, ferr := wal.DecodeFrames(m.payload)
+			recs, ferr := dec.Decode(m.payload)
 			if ferr != nil {
 				return productive
 			}
@@ -361,6 +456,10 @@ func (f *Follower) session(c Conn) (productive bool) {
 			productive = true
 		case msgHeartbeat:
 			f.maxLeaderSeq(m.arg)
+			if snap.active {
+				// Mid-transfer keepalive: no applied progress to ack.
+				continue
+			}
 		case msgReject:
 			// Higher epoch was already adopted above; nothing to apply.
 			return productive
@@ -369,6 +468,26 @@ func (f *Follower) session(c Conn) (productive bool) {
 			return productive
 		}
 	}
+}
+
+// snapState is one in-progress chunked install: the expected next chunk,
+// the covered sequence the commit will claim, and — for apps without
+// ChunkedReplicaApp — the assembled blob.
+type snapState struct {
+	active  bool
+	covered uint64
+	next    int
+	blob    []byte
+}
+
+// abortSnap discards a partial chunked install after a torn transfer.
+func (f *Follower) abortSnap(s *snapState) {
+	if f.chunkApp != nil {
+		f.chunkApp.AbortReplicaSnapshot()
+	}
+	s.active = false
+	s.blob = s.blob[:0]
+	f.snapAborts.Add(1)
 }
 
 func (f *Follower) send(c Conn, buf []byte, m message) ([]byte, error) {

@@ -30,6 +30,9 @@ type MemTransport struct {
 	delay       time.Duration
 	reorderProb float64
 	rng         *rand.Rand
+
+	severArmed     bool
+	severRemaining int
 }
 
 // NewMemTransport returns a transport with no faults armed.
@@ -57,6 +60,34 @@ func (t *MemTransport) Sever() {
 		c.in.close(true)
 		c.out.close(true)
 	}
+}
+
+// SeverAfter arms a delayed sever: after n more message deliveries
+// (across all connections, both directions), every live connection is
+// broken as Sever does. Deliveries — not sends — are counted, so a trial
+// can cut a transfer at a deterministic point in the conversation, e.g.
+// mid-way through a chunked snapshot stream, regardless of how far ahead
+// the sender has buffered.
+func (t *MemTransport) SeverAfter(n int) {
+	t.mu.Lock()
+	t.severArmed, t.severRemaining = true, n
+	t.mu.Unlock()
+}
+
+func (t *MemTransport) noteDelivery() {
+	t.mu.Lock()
+	if !t.severArmed {
+		t.mu.Unlock()
+		return
+	}
+	t.severRemaining--
+	if t.severRemaining > 0 {
+		t.mu.Unlock()
+		return
+	}
+	t.severArmed = false
+	t.mu.Unlock()
+	t.Sever()
 }
 
 // SetDelay holds every subsequently sent message for d before delivery.
@@ -152,7 +183,13 @@ func (c *memConn) Send(b []byte) error {
 	return c.out.send(append([]byte(nil), b...), time.Now().Add(delay), reorder)
 }
 
-func (c *memConn) Recv() ([]byte, error) { return c.in.recv() }
+func (c *memConn) Recv() ([]byte, error) {
+	b, err := c.in.recv()
+	if err == nil {
+		c.t.noteDelivery()
+	}
+	return b, err
+}
 
 func (c *memConn) Close() error {
 	c.in.close(false)

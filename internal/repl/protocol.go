@@ -16,10 +16,25 @@ import (
 //	heartbeat  leader → follower   arg = leader's durability watermark
 //	ack        follower → leader   arg = follower's applied sequence
 //	reject     either direction    sender refuses the peer's epoch
+//	snapBegin  leader → follower   arg = covered sequence, payload = header
+//	snapChunk  leader → follower   arg = chunk index, payload = u32 CRC32C
+//	                               (little-endian) followed by the chunk
+//	snapEnd    leader → follower   arg = covered sequence
+//	snapAck    follower → leader   arg = highest applied chunk index
 //
 // prevSeq is what makes a drop/reorder-capable transport safe: a follower
 // accepts a batch only if it extends (or overlaps) its applied prefix;
 // anything else forces a reconnect, and the hello renegotiates position.
+//
+// snapBegin/snapChunk/snapEnd stream a catch-up snapshot as bounded
+// chunks instead of one monolithic blob, so leader memory during catch-up
+// is O(chunk), not O(state). Chunks carry their own CRC (in addition to
+// the transport frame's) and strictly increasing indices; a follower that
+// sees a hole, a bad checksum, or a dropped end marker aborts the install
+// and reconnects — the hello then re-requests the snapshot from scratch.
+// snapAck drives the leader's chunk window the way ack drives the batch
+// window: the leader keeps at most a window of unacknowledged chunks in
+// flight per follower.
 const (
 	msgHello byte = iota + 1
 	msgSnapshot
@@ -27,6 +42,12 @@ const (
 	msgHeartbeat
 	msgAck
 	msgReject
+	msgSnapBegin
+	msgSnapChunk
+	msgSnapEnd
+	msgSnapAck
+
+	msgKindMax = msgSnapAck
 )
 
 const msgHeaderLen = 1 + 8 + 8
@@ -51,7 +72,7 @@ func decodeMessage(b []byte) (message, error) {
 		return m, fmt.Errorf("repl: message of %d bytes is shorter than the header", len(b))
 	}
 	m.kind = b[0]
-	if m.kind < msgHello || m.kind > msgReject {
+	if m.kind < msgHello || m.kind > msgKindMax {
 		return m, fmt.Errorf("repl: unknown message kind %d", m.kind)
 	}
 	m.epoch = binary.LittleEndian.Uint64(b[1:9])

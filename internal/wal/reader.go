@@ -83,13 +83,66 @@ func EncodeFrames(buf []byte, recs []Record) []byte {
 func DecodeFrames(b []byte) ([]Record, error) {
 	var recs []Record
 	for len(b) > 0 {
-		r, n, err := decodeFrame(b)
+		r, n, err := decodeFrame(b, nil)
 		if err != nil {
 			return nil, fmt.Errorf("wal: decode frames: %w", err)
 		}
 		recs = append(recs, r)
 		b = b[n:]
 	}
+	return recs, nil
+}
+
+// maxInternedKeys bounds a keyIntern table. Stream-key working sets are
+// tiny next to record counts; if a pathological producer churns through
+// more distinct keys than this, the table is dropped and rebuilt rather
+// than growing without bound.
+const maxInternedKeys = 4096
+
+// keyIntern deduplicates record key strings across decoded frames. The
+// lookup uses Go's map[string]T special case for string([]byte) keys, so
+// a hit allocates nothing: steady-state decoding of a stream's records
+// reuses one shared string per distinct key instead of allocating per
+// record.
+type keyIntern struct {
+	m map[string]string
+}
+
+func (ki *keyIntern) get(b []byte) string {
+	if s, ok := ki.m[string(b)]; ok {
+		return s
+	}
+	if ki.m == nil || len(ki.m) >= maxInternedKeys {
+		ki.m = make(map[string]string, 64)
+	}
+	s := string(b)
+	ki.m[s] = s
+	return s
+}
+
+// FrameDecoder decodes shipped batches with cross-call reuse: the record
+// slice is recycled and key strings are interned, so the follower apply
+// path's decode cost is flat per record regardless of batch count. The
+// returned slice (and its backing array) is only valid until the next
+// Decode call; callers may copy Record values out but must not retain the
+// slice. Not safe for concurrent use — one decoder per connection.
+type FrameDecoder struct {
+	ki   keyIntern
+	recs []Record
+}
+
+// Decode is the reusing twin of DecodeFrames, with the same strictness.
+func (d *FrameDecoder) Decode(b []byte) ([]Record, error) {
+	recs := d.recs[:0]
+	for len(b) > 0 {
+		r, n, err := decodeFrame(b, &d.ki)
+		if err != nil {
+			return nil, fmt.Errorf("wal: decode frames: %w", err)
+		}
+		recs = append(recs, r)
+		b = b[n:]
+	}
+	d.recs = recs
 	return recs, nil
 }
 
@@ -100,8 +153,9 @@ func DecodeFrames(b []byte) ([]Record, error) {
 var errShortFrame = fmt.Errorf("wal: short frame")
 
 // decodeFrame decodes one frame from the front of b, returning the record
-// and the full frame size. It is the slice-based twin of readRecord.
-func decodeFrame(b []byte) (Record, int, error) {
+// and the full frame size. It is the slice-based twin of readRecord. A
+// non-nil ki interns the key string instead of allocating per record.
+func decodeFrame(b []byte, ki *keyIntern) (Record, int, error) {
 	var r Record
 	if len(b) < frameHeaderLen {
 		return r, 0, errShortFrame
@@ -126,7 +180,11 @@ func decodeFrame(b []byte) (Record, int, error) {
 	r.Seq = binary.LittleEndian.Uint64(payload[0:8])
 	r.UnixNanos = int64(binary.LittleEndian.Uint64(payload[8:16]))
 	r.Wait = math.Float64frombits(binary.LittleEndian.Uint64(payload[16:24]))
-	r.Key = string(payload[26 : 26+keyLen])
+	if ki != nil {
+		r.Key = ki.get(payload[26 : 26+keyLen])
+	} else {
+		r.Key = string(payload[26 : 26+keyLen])
+	}
 	return r, n, nil
 }
 
@@ -151,6 +209,7 @@ type TailReader struct {
 	buf      []byte        // bytes read from seg but not yet consumed
 	sawMagic bool          // seg's header has been validated
 	sawFirst bool          // head-of-log gap check has run
+	ki       keyIntern     // shared key strings across reads
 }
 
 // OpenTail returns a reader positioned after afterSeq: the first call to
@@ -192,8 +251,16 @@ func (t *TailReader) closeSeg() {
 // follower outrun by snapshot+truncate). The reader is then exhausted;
 // the caller must fall back to a snapshot and open a fresh tail.
 func (t *TailReader) Read(uptoSeq uint64, max int) (recs []Record, gap bool, err error) {
+	return t.ReadInto(nil, uptoSeq, max)
+}
+
+// ReadInto is Read with a caller-supplied destination slice: records are
+// appended to dst[:0], so a shipper that frames and forgets each batch
+// pays no per-batch slice allocation.
+func (t *TailReader) ReadInto(dst []Record, uptoSeq uint64, max int) (recs []Record, gap bool, err error) {
+	recs = dst[:0]
 	if max <= 0 || uptoSeq <= t.afterSeq {
-		return nil, false, nil
+		return recs, false, nil
 	}
 	for {
 		if t.rc == nil {
@@ -226,7 +293,7 @@ func (t *TailReader) Read(uptoSeq uint64, max int) (recs []Record, gap bool, err
 			t.sawMagic = true
 		}
 		for {
-			rec, n, derr := decodeFrame(t.buf)
+			rec, n, derr := decodeFrame(t.buf, &t.ki)
 			if derr != nil {
 				// Incomplete or invalid frame: live tail not yet flushed, or
 				// a torn tail on a rotated-away segment (skip it — Replay

@@ -77,6 +77,24 @@ func (s *Server) SetLeaderReplication(l *repl.Leader) {
 		func(emit func(string, float64)) { emit("", float64(l.HeartbeatsSent())) })
 	s.reg.RegisterCounterFunc("qbets_repl_fences_total", "Times this leader was fenced by a higher epoch.",
 		func(emit func(string, float64)) { emit("", float64(l.Fences())) })
+	s.reg.RegisterGaugeFunc("qbets_repl_quorum", "Commit quorum K: acks required before CommitWait releases.",
+		func(emit func(string, float64)) { emit("", float64(l.Quorum())) })
+	s.reg.RegisterCounterFunc("qbets_repl_ship_bytes_total", "Payload bytes shipped to followers (batches, snapshots, chunks).",
+		func(emit func(string, float64)) { emit("", float64(l.ShipBytes())) })
+	s.reg.RegisterCounterFunc("qbets_repl_batch_cache_hits_total", "Shipped batches served from the frame-once batch cache.",
+		func(emit func(string, float64)) { emit("", float64(l.BatchCacheHits())) })
+	s.reg.RegisterCounterFunc("qbets_repl_batch_cache_misses_total", "Shipped batches that had to be read and framed from the WAL.",
+		func(emit func(string, float64)) { emit("", float64(l.BatchCacheMisses())) })
+	s.reg.RegisterGaugeFunc("qbets_repl_inflight_messages", "Sent-but-unacknowledged messages across all follower windows.",
+		func(emit func(string, float64)) { emit("", float64(l.InflightMessages())) })
+	s.reg.RegisterGaugeFunc("qbets_repl_inflight_bytes", "Sent-but-unacknowledged payload bytes across all follower windows.",
+		func(emit func(string, float64)) { emit("", float64(l.InflightBytes())) })
+	s.reg.RegisterCounterFunc("qbets_repl_snapshot_chunks_sent_total", "Catch-up snapshot chunks shipped.",
+		func(emit func(string, float64)) { emit("", float64(l.SnapChunksSent())) })
+	s.reg.RegisterCounterFunc("qbets_repl_snapshot_generations_shared_total", "Catch-ups that joined an already-open snapshot generation.",
+		func(emit func(string, float64)) { emit("", float64(l.SnapGenerationsShared())) })
+	s.reg.RegisterGaugeFunc("qbets_repl_snapshot_inflight_peak_bytes", "High-water mark of snapshot chunk bytes in flight across all catch-ups.",
+		func(emit func(string, float64)) { emit("", float64(l.SnapInflightPeakBytes())) })
 }
 
 // SetFollowerReplication marks this server as a replication follower and
@@ -118,4 +136,8 @@ func (s *Server) SetFollowerReplication(f *repl.Follower) {
 		func(emit func(string, float64)) { emit("", float64(f.SnapshotsInstalled())) })
 	s.reg.RegisterCounterFunc("qbets_repl_rejects_sent_total", "Stale-epoch messages rejected (fences sent to a deposed leader).",
 		func(emit func(string, float64)) { emit("", float64(f.RejectsSent())) })
+	s.reg.RegisterCounterFunc("qbets_repl_snapshot_chunks_applied_total", "Catch-up snapshot chunks applied.",
+		func(emit func(string, float64)) { emit("", float64(f.SnapshotChunksApplied())) })
+	s.reg.RegisterCounterFunc("qbets_repl_snapshot_aborts_total", "Torn chunked snapshot transfers discarded before commit.",
+		func(emit func(string, float64)) { emit("", float64(f.SnapshotAborts())) })
 }

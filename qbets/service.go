@@ -115,6 +115,13 @@ type Service struct {
 	follower    atomic.Bool
 	replApplied atomic.Uint64
 	commitHook  func(lastSeq uint64) error
+
+	// Chunked catch-up (replicastream.go). snapChunkStreams is the
+	// per-chunk stream count for outgoing snapshot streams (0 = default);
+	// pendingSnap accumulates an incoming chunked install until commit.
+	snapChunkStreams atomic.Int64
+	pendingSnapMu    sync.Mutex
+	pendingSnap      *pendingReplicaSnapshot
 }
 
 // ErrInvalidWait rejects observations whose wait is NaN, infinite, or
